@@ -1,0 +1,175 @@
+//! The constrained-budget optimizer of Appendix C.
+//!
+//! AdaParse restricts itself to two parsers (PyMuPDF and Nougat). Given a
+//! total compute budget `T`, the fraction α of documents that may go to
+//! Nougat is bounded by
+//!
+//! ```text
+//! α ≤ (T − n·T_PyMuPDF) / (n·(T_Nougat − T_PyMuPDF))
+//! ```
+//!
+//! and the objective is maximized by sorting documents by the *expected
+//! accuracy improvement* of Nougat over PyMuPDF and sending the top ⌊αn⌋ to
+//! Nougat. For throughput, AdaParse performs this selection per batch of
+//! size k rather than globally; the optimality gap is negligible for large k
+//! and is measurable with [`optimality_gap`].
+
+/// Upper bound on α implied by a total budget `total_budget` (seconds) for
+/// `n` documents with average per-document costs `cheap_cost` and
+/// `expensive_cost` (seconds).
+///
+/// Returns a value clamped to `[0, 1]`; returns `0.0` when even the cheap
+/// parser alone exceeds the budget, and `1.0` when the expensive parser fits
+/// for every document.
+pub fn max_affordable_alpha(total_budget: f64, n: usize, cheap_cost: f64, expensive_cost: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    if expensive_cost <= cheap_cost {
+        return 1.0;
+    }
+    let alpha = (total_budget - n * cheap_cost) / (n * (expensive_cost - cheap_cost));
+    alpha.clamp(0.0, 1.0)
+}
+
+/// Per-batch greedy selection: mark the ⌊α·k⌋ documents with the highest
+/// predicted improvement within each batch of size `batch_size`.
+///
+/// Returns a boolean mask (`true` = route to the high-quality parser) of the
+/// same length as `improvements`.
+pub fn select_batch(improvements: &[f64], alpha: f64, batch_size: usize) -> Vec<bool> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let batch_size = batch_size.max(1);
+    let mut mask = vec![false; improvements.len()];
+    for (batch_index, batch) in improvements.chunks(batch_size).enumerate() {
+        let quota = ((batch.len() as f64) * alpha).floor() as usize;
+        if quota == 0 {
+            continue;
+        }
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        order.sort_by(|&a, &b| batch[b].partial_cmp(&batch[a]).unwrap_or(std::cmp::Ordering::Equal));
+        for &local in order.iter().take(quota) {
+            mask[batch_index * batch_size + local] = true;
+        }
+    }
+    mask
+}
+
+/// Global selection: mark the ⌊α·n⌋ documents with the highest predicted
+/// improvement across the whole collection (the optimum of the relaxed
+/// problem).
+pub fn select_global(improvements: &[f64], alpha: f64) -> Vec<bool> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let quota = ((improvements.len() as f64) * alpha).floor() as usize;
+    let mut mask = vec![false; improvements.len()];
+    if quota == 0 {
+        return mask;
+    }
+    let mut order: Vec<usize> = (0..improvements.len()).collect();
+    order.sort_by(|&a, &b| {
+        improvements[b].partial_cmp(&improvements[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &index in order.iter().take(quota) {
+        mask[index] = true;
+    }
+    mask
+}
+
+/// Total improvement captured by a selection mask.
+pub fn captured_improvement(improvements: &[f64], mask: &[bool]) -> f64 {
+    improvements.iter().zip(mask).filter(|(_, &m)| m).map(|(v, _)| v).sum()
+}
+
+/// Relative optimality gap of the per-batch selection against the global
+/// optimum: `(global − batch) / global`, or `0.0` when the global optimum
+/// captures nothing.
+pub fn optimality_gap(improvements: &[f64], alpha: f64, batch_size: usize) -> f64 {
+    let global = captured_improvement(improvements, &select_global(improvements, alpha));
+    if global <= 0.0 {
+        return 0.0;
+    }
+    let batch = captured_improvement(improvements, &select_batch(improvements, alpha, batch_size));
+    ((global - batch) / global).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn alpha_bound_matches_the_formula() {
+        // n = 100 docs, cheap = 1 s, expensive = 11 s, budget = 150 s:
+        // alpha <= (150 - 100) / (100 * 10) = 0.05.
+        let alpha = max_affordable_alpha(150.0, 100, 1.0, 11.0);
+        assert!((alpha - 0.05).abs() < 1e-12);
+        assert_eq!(max_affordable_alpha(50.0, 100, 1.0, 11.0), 0.0);
+        assert_eq!(max_affordable_alpha(1e9, 100, 1.0, 11.0), 1.0);
+        assert_eq!(max_affordable_alpha(1.0, 0, 1.0, 11.0), 1.0);
+        assert_eq!(max_affordable_alpha(1.0, 10, 2.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn batch_selection_respects_the_quota_per_batch() {
+        let improvements: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let mask = select_batch(&improvements, 0.1, 20);
+        assert_eq!(mask.len(), 100);
+        for chunk in mask.chunks(20) {
+            assert_eq!(chunk.iter().filter(|&&m| m).count(), 2);
+        }
+        // Within each batch the selected entries are the largest.
+        for (b, chunk) in improvements.chunks(20).enumerate() {
+            let selected_min = chunk
+                .iter()
+                .zip(&mask[b * 20..(b + 1) * 20])
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| *v)
+                .fold(f64::INFINITY, f64::min);
+            let unselected_max = chunk
+                .iter()
+                .zip(&mask[b * 20..(b + 1) * 20])
+                .filter(|(_, &m)| !m)
+                .map(|(v, _)| *v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(selected_min >= unselected_max);
+        }
+    }
+
+    #[test]
+    fn global_selection_picks_the_overall_top() {
+        let improvements = vec![0.1, 0.9, 0.2, 0.8, 0.0, 0.7];
+        let mask = select_global(&improvements, 0.5);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 3);
+        assert!(mask[1] && mask[3] && mask[5]);
+    }
+
+    #[test]
+    fn zero_alpha_selects_nothing_and_one_selects_everything() {
+        let improvements = vec![0.5; 10];
+        assert!(select_batch(&improvements, 0.0, 4).iter().all(|&m| !m));
+        assert!(select_global(&improvements, 1.0).iter().all(|&m| m));
+        assert!(select_batch(&[], 0.5, 4).is_empty());
+    }
+
+    #[test]
+    fn per_batch_gap_shrinks_with_batch_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let improvements: Vec<f64> = (0..2048).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let small_batch = optimality_gap(&improvements, 0.05, 16);
+        let large_batch = optimality_gap(&improvements, 0.05, 256);
+        assert!(large_batch <= small_batch + 1e-9, "{large_batch} vs {small_batch}");
+        // With the paper's k = 256 the gap is negligible.
+        assert!(large_batch < 0.15, "gap = {large_batch}");
+        // Global selection has zero gap by definition.
+        assert!(optimality_gap(&improvements, 0.05, improvements.len()) < 1e-12);
+    }
+
+    #[test]
+    fn captured_improvement_sums_selected_entries() {
+        let improvements = vec![0.2, 0.4, 0.6];
+        let mask = vec![true, false, true];
+        assert!((captured_improvement(&improvements, &mask) - 0.8).abs() < 1e-12);
+    }
+}

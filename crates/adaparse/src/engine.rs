@@ -1,0 +1,493 @@
+//! The AdaParse engine: hierarchical routing plus the campaign driver.
+
+use docmodel::document::Document;
+use docmodel::spdf::{write_document, SpdfFile};
+use parsersim::cost::{CostModel, NodeSpec, ResourceCost};
+use parsersim::registry::parser_for;
+use parsersim::traits::Parser;
+use parsersim::ParserKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selector::cls1::Cls1Decision;
+use selector::cls2::ImprovementClassifier;
+use selector::cls3::{AccuracyPredictor, ParserPreference, PredictorConfig};
+use selector::dataset::{AccuracyDataset, AccuracySample};
+use serde::{Deserialize, Serialize};
+use textmetrics::accepted::{AcceptedTokens, DEFAULT_ACCEPTANCE_THRESHOLD};
+use textmetrics::QualityReport;
+
+use crate::budget::select_batch;
+use crate::config::{AdaParseConfig, Variant};
+use crate::output::ParsedRecord;
+
+/// Routing decision for one document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedDocument {
+    /// Document identifier.
+    pub doc_id: u64,
+    /// Parser the document was routed to.
+    pub parser: ParserKind,
+    /// Predicted improvement of the high-quality parser over the default
+    /// (the ranking key of the budget optimizer).
+    pub predicted_improvement: f64,
+    /// Whether CLS I flagged the extraction as invalid.
+    pub cls1_invalid: bool,
+}
+
+/// Aggregate output quality of a campaign (one row of Tables 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignQuality {
+    /// Mean page coverage.
+    pub coverage: f64,
+    /// Mean BLEU.
+    pub bleu: f64,
+    /// Mean ROUGE-L F1.
+    pub rouge: f64,
+    /// Mean character accuracy rate.
+    pub car: f64,
+    /// Accepted-token rate.
+    pub accepted_tokens: f64,
+    /// Number of documents parsed.
+    pub documents: usize,
+}
+
+/// Full result of a campaign over a document collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Aggregate quality.
+    pub quality: CampaignQuality,
+    /// Per-document routing decisions.
+    pub routed: Vec<RoutedDocument>,
+    /// Fraction of documents routed to the high-quality parser.
+    pub high_quality_fraction: f64,
+    /// Total resources consumed (extraction + assigned parsers).
+    pub total_cost: ResourceCost,
+    /// Per-document output records (JSONL-ready).
+    pub records: Vec<ParsedRecord>,
+}
+
+/// Inputs the router needs for one document (no ground truth involved).
+#[derive(Debug, Clone, PartialEq)]
+struct RoutingInput {
+    doc_id: u64,
+    first_page_text: String,
+    metadata_features: Vec<f64>,
+    title: String,
+    pages: usize,
+}
+
+impl RoutingInput {
+    fn as_sample(&self) -> AccuracySample {
+        AccuracySample {
+            doc_id: self.doc_id,
+            first_page_text: self.first_page_text.clone(),
+            title: self.title.clone(),
+            metadata_features: self.metadata_features.clone(),
+            targets: vec![0.0; ParserKind::ALL.len()],
+            pages: self.pages,
+        }
+    }
+}
+
+/// The AdaParse engine.
+#[derive(Debug, Clone)]
+pub struct AdaParseEngine {
+    config: AdaParseConfig,
+    cls2: ImprovementClassifier,
+    cls3: AccuracyPredictor,
+    trained: bool,
+}
+
+impl AdaParseEngine {
+    /// Create an engine (untrained) from a configuration.
+    pub fn new(config: AdaParseConfig) -> Self {
+        let config = config.normalized();
+        let encoder = match config.variant {
+            Variant::FastText => mlcore::encoder::EncoderProfile::FastText,
+            Variant::Llm => mlcore::encoder::EncoderProfile::SciBert,
+        };
+        AdaParseEngine {
+            cls2: ImprovementClassifier::new(),
+            cls3: AccuracyPredictor::new(PredictorConfig { encoder, ..PredictorConfig::default() }),
+            config,
+            trained: false,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AdaParseConfig {
+        &self.config
+    }
+
+    /// Whether the prediction stages have been trained.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Train CLS II and CLS III on a labelled dataset; `preferences` (may be
+    /// empty) feed DPO alignment when the configuration enables it.
+    pub fn train(&mut self, dataset: &AccuracyDataset, preferences: &[ParserPreference]) {
+        self.cls2.fit(dataset.train());
+        self.cls3.fit_regression(dataset.train());
+        if self.config.use_dpo && self.config.variant == Variant::Llm && !preferences.is_empty() {
+            self.cls3.fit_preferences(preferences);
+        }
+        self.trained = true;
+    }
+
+    /// Convenience: evaluate `documents` with the parser zoo to build the
+    /// training dataset, then train (without preference data).
+    pub fn train_on_corpus(&mut self, documents: &[Document], seed: u64) {
+        let dataset = AccuracyDataset::build(documents, seed, 1.0);
+        self.train(&dataset, &[]);
+    }
+
+    /// Access to the CLS III predictor (for R² reporting).
+    pub fn predictor(&self) -> &AccuracyPredictor {
+        &self.cls3
+    }
+
+    fn route_inputs(&self, inputs: &[RoutingInput]) -> Vec<RoutedDocument> {
+        // Stage decisions: candidate improvements for the budget optimizer.
+        let mut improvements = Vec::with_capacity(inputs.len());
+        let mut cls1_flags = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let decision = self.config.validity.decide(&input.first_page_text, 1);
+            let invalid = decision == Cls1Decision::Invalid;
+            cls1_flags.push(invalid);
+            let improvement = if invalid {
+                // CLS I failures always deserve the high-quality parser.
+                f64::MAX / 4.0
+            } else {
+                match self.config.variant {
+                    Variant::FastText => {
+                        let p = self.cls2.improvement_probability(&input.as_sample());
+                        if p >= 0.5 {
+                            p
+                        } else {
+                            f64::MIN / 4.0
+                        }
+                    }
+                    Variant::Llm => {
+                        let gain = self.cls3.predicted_improvement(
+                            &input.first_page_text,
+                            self.config.high_quality_parser,
+                            self.config.default_parser,
+                        );
+                        if gain > 0.0 {
+                            gain
+                        } else {
+                            f64::MIN / 4.0
+                        }
+                    }
+                }
+            };
+            improvements.push(improvement);
+        }
+        let mask = select_batch(&improvements, self.config.alpha, self.config.batch_size);
+        inputs
+            .iter()
+            .zip(improvements.iter())
+            .zip(mask.iter())
+            .zip(cls1_flags.iter())
+            .map(|(((input, &improvement), &selected), &invalid)| {
+                let is_candidate = improvement > f64::MIN / 8.0;
+                let parser = if selected && is_candidate {
+                    self.config.high_quality_parser
+                } else {
+                    self.config.default_parser
+                };
+                RoutedDocument {
+                    doc_id: input.doc_id,
+                    parser,
+                    predicted_improvement: if is_candidate { improvement } else { 0.0 },
+                    cls1_invalid: invalid,
+                }
+            })
+            .collect()
+    }
+
+    /// Route a document collection without parsing it (returns one decision
+    /// per document, in order).
+    pub fn route_documents(&self, documents: &[Document], seed: u64) -> Vec<RoutedDocument> {
+        let inputs: Vec<RoutingInput> =
+            documents.iter().map(|doc| self.build_input(doc, seed)).collect();
+        self.route_inputs(&inputs)
+    }
+
+    fn build_input(&self, doc: &Document, seed: u64) -> RoutingInput {
+        let bytes = write_document(doc);
+        let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
+        let extraction = self.extract_first_page(&file, seed ^ doc.id.0);
+        RoutingInput {
+            doc_id: doc.id.0,
+            first_page_text: extraction,
+            metadata_features: doc.metadata.feature_vector(),
+            title: doc.metadata.title.clone(),
+            pages: doc.page_count(),
+        }
+    }
+
+    fn extract_first_page(&self, file: &SpdfFile, seed: u64) -> String {
+        let parser = parser_for(self.config.default_parser);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xEAF1);
+        match parser.parse_file(file, &mut rng) {
+            Ok(out) => out.text.split('\u{c}').next().unwrap_or("").to_string(),
+            Err(_) => String::new(),
+        }
+    }
+
+    /// Parse a document collection end-to-end: extract, route, parse with the
+    /// assigned parser, and score against ground truth.
+    pub fn parse_documents(&self, documents: &[Document], seed: u64) -> CampaignResult {
+        let mut files = Vec::with_capacity(documents.len());
+        let mut inputs = Vec::with_capacity(documents.len());
+        for doc in documents {
+            let bytes = write_document(doc);
+            let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
+            let extraction = self.extract_first_page(&file, seed ^ doc.id.0);
+            inputs.push(RoutingInput {
+                doc_id: doc.id.0,
+                first_page_text: extraction,
+                metadata_features: doc.metadata.feature_vector(),
+                title: doc.metadata.title.clone(),
+                pages: doc.page_count(),
+            });
+            files.push(file);
+        }
+        let routed = self.route_inputs(&inputs);
+
+        let default_parser = parser_for(self.config.default_parser);
+        let high_quality_parser = parser_for(self.config.high_quality_parser);
+
+        let mut total_cost = ResourceCost::default();
+        let mut accepted = AcceptedTokens::new();
+        let mut coverage = 0.0;
+        let mut bleu = 0.0;
+        let mut rouge = 0.0;
+        let mut car = 0.0;
+        let mut records = Vec::with_capacity(documents.len());
+        let mut high_quality = 0usize;
+
+        for ((doc, file), decision) in documents.iter().zip(&files).zip(&routed) {
+            let parser: &dyn Parser = if decision.parser == self.config.high_quality_parser {
+                high_quality += 1;
+                high_quality_parser.as_ref()
+            } else {
+                default_parser.as_ref()
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ doc.id.0.wrapping_mul(0x2545F491));
+            let output = match parser.parse_file(file, &mut rng) {
+                Ok(out) => out,
+                Err(_) => parsersim::ParseOutput {
+                    parser: parser.kind(),
+                    text: String::new(),
+                    pages_parsed: 0,
+                    pages_total: doc.page_count(),
+                    cost: ResourceCost::default(),
+                },
+            };
+            // The cheap extraction is always paid (it feeds the router); the
+            // assigned parser is paid on top unless it *is* the extraction.
+            let extraction_cost =
+                CostModel::for_parser(self.config.default_parser).document_cost(doc.page_count(), 0.3);
+            total_cost = total_cost + extraction_cost;
+            if decision.parser != self.config.default_parser {
+                total_cost = total_cost + output.cost;
+            }
+            let report = QualityReport::compute(&output.text, &doc.ground_truth(), output.coverage());
+            coverage += report.coverage;
+            bleu += report.bleu;
+            rouge += report.rouge;
+            car += report.car;
+            accepted.record(output.token_count(), report.bleu, DEFAULT_ACCEPTANCE_THRESHOLD);
+            records.push(ParsedRecord {
+                doc_id: doc.id.0,
+                parser: decision.parser,
+                text: output.text,
+                coverage: report.coverage,
+                bleu: report.bleu,
+            });
+        }
+
+        let n = documents.len().max(1) as f64;
+        CampaignResult {
+            quality: CampaignQuality {
+                coverage: coverage / n,
+                bleu: bleu / n,
+                rouge: rouge / n,
+                car: car / n,
+                accepted_tokens: accepted.rate(),
+                documents: documents.len(),
+            },
+            routed,
+            high_quality_fraction: high_quality as f64 / n,
+            total_cost,
+            records,
+        }
+    }
+
+    /// Steady-state single-node throughput of this engine configuration in
+    /// documents per second: every document pays the extraction cost, an
+    /// α-fraction additionally pays the high-quality parser, and the LLM
+    /// variant pays a small per-document inference cost for CLS III.
+    pub fn node_throughput(&self, node: &NodeSpec, pages_per_doc: f64) -> f64 {
+        let cheap = CostModel::for_parser(self.config.default_parser)
+            .document_cost(pages_per_doc.ceil() as usize, 0.3);
+        let expensive = CostModel::for_parser(self.config.high_quality_parser)
+            .document_cost(pages_per_doc.ceil() as usize, 0.3);
+        let inference_cpu = match self.config.variant {
+            Variant::FastText => 0.002,
+            Variant::Llm => 0.03,
+        };
+        let cpu_per_doc =
+            cheap.cpu_seconds + inference_cpu + self.config.alpha * expensive.cpu_seconds;
+        let gpu_per_doc = self.config.alpha * expensive.gpu_seconds;
+        let cpu_rate = if cpu_per_doc > 0.0 { node.cpu_cores as f64 / cpu_per_doc } else { f64::INFINITY };
+        let gpu_rate = if gpu_per_doc > 0.0 { node.gpus as f64 / gpu_per_doc } else { f64::INFINITY };
+        let rate = cpu_rate.min(gpu_rate);
+        if rate.is_finite() {
+            rate
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+    fn corpus(n: usize, scanned_fraction: f64, seed: u64) -> Vec<Document> {
+        DocumentGenerator::new(GeneratorConfig {
+            n_documents: n,
+            seed,
+            min_pages: 1,
+            max_pages: 2,
+            scanned_fraction,
+            ..Default::default()
+        })
+        .generate_many(n)
+    }
+
+    fn trained_engine(config: AdaParseConfig) -> AdaParseEngine {
+        let mut engine = AdaParseEngine::new(config);
+        engine.train_on_corpus(&corpus(20, 0.3, 111), 5);
+        engine
+    }
+
+    #[test]
+    fn alpha_budget_is_respected() {
+        let engine = trained_engine(AdaParseConfig { alpha: 0.10, batch_size: 10, ..Default::default() });
+        let docs = corpus(40, 0.4, 222);
+        let result = engine.parse_documents(&docs, 9);
+        assert!(
+            result.high_quality_fraction <= 0.10 + 1e-9,
+            "fraction = {}",
+            result.high_quality_fraction
+        );
+        assert_eq!(result.routed.len(), 40);
+        assert_eq!(result.records.len(), 40);
+        assert_eq!(result.quality.documents, 40);
+    }
+
+    #[test]
+    fn adaparse_beats_the_pure_default_parser_on_mixed_corpora() {
+        let engine = trained_engine(AdaParseConfig { alpha: 0.3, batch_size: 16, ..Default::default() });
+        let docs = corpus(32, 0.5, 333);
+        let adaparse = engine.parse_documents(&docs, 13);
+        // Baseline: α = 0 means every document goes to PyMuPDF.
+        let baseline_engine = trained_engine(AdaParseConfig { alpha: 0.0, ..Default::default() });
+        let baseline = baseline_engine.parse_documents(&docs, 13);
+        assert!(
+            adaparse.quality.bleu >= baseline.quality.bleu,
+            "adaparse {} must not trail extraction-only {}",
+            adaparse.quality.bleu,
+            baseline.quality.bleu
+        );
+        assert!(adaparse.high_quality_fraction > 0.0);
+        assert!(baseline.high_quality_fraction == 0.0);
+        // Extra quality costs extra resources.
+        assert!(adaparse.total_cost.gpu_seconds > baseline.total_cost.gpu_seconds);
+    }
+
+    #[test]
+    fn ft_variant_routes_without_llm_inference() {
+        let engine = trained_engine(AdaParseConfig {
+            variant: Variant::FastText,
+            alpha: 0.2,
+            batch_size: 8,
+            ..Default::default()
+        });
+        let docs = corpus(16, 0.5, 444);
+        let result = engine.parse_documents(&docs, 21);
+        assert!(result.high_quality_fraction <= 0.2 + 1e-9);
+        for decision in &result.routed {
+            assert!(matches!(decision.parser, ParserKind::PyMuPdf | ParserKind::Nougat));
+        }
+    }
+
+    #[test]
+    fn scanned_documents_are_preferentially_routed_to_nougat() {
+        let engine = trained_engine(AdaParseConfig { alpha: 0.25, batch_size: 64, ..Default::default() });
+        let docs = corpus(40, 0.4, 555);
+        let routed = engine.route_documents(&docs, 31);
+        let mut nougat_scanned = 0usize;
+        let mut nougat_clean = 0usize;
+        for (doc, decision) in docs.iter().zip(&routed) {
+            if decision.parser == ParserKind::Nougat {
+                if doc.text_layer.has_text() {
+                    nougat_clean += 1;
+                } else {
+                    nougat_scanned += 1;
+                }
+            }
+        }
+        assert!(
+            nougat_scanned >= nougat_clean,
+            "scanned docs should dominate Nougat routing ({nougat_scanned} vs {nougat_clean})"
+        );
+        // CLS I should flag at least some scanned documents as invalid.
+        assert!(routed.iter().any(|r| r.cls1_invalid));
+    }
+
+    #[test]
+    fn throughput_ordering_matches_the_paper() {
+        let node = NodeSpec::default();
+        let llm = trained_engine(AdaParseConfig { variant: Variant::Llm, ..Default::default() });
+        let ft = trained_engine(AdaParseConfig { variant: Variant::FastText, ..Default::default() });
+        let t_llm = llm.node_throughput(&node, 10.0);
+        let t_ft = ft.node_throughput(&node, 10.0);
+        let t_nougat = CostModel::for_parser(ParserKind::Nougat).node_throughput(&node, 10.0);
+        let t_pymupdf = CostModel::for_parser(ParserKind::PyMuPdf).node_throughput(&node, 10.0);
+        // AdaParse sits between pure extraction and pure recognition…
+        assert!(t_llm < t_pymupdf);
+        assert!(t_llm > t_nougat);
+        // …the FT variant is faster than the LLM variant…
+        assert!(t_ft >= t_llm);
+        // …and the LLM variant is roughly an order of magnitude (the paper
+        // reports 17×) faster than Nougat alone.
+        let ratio = t_llm / t_nougat;
+        assert!(ratio > 5.0, "AdaParse(LLM)/Nougat ratio = {ratio}");
+    }
+
+    #[test]
+    fn untrained_engine_still_routes_within_budget() {
+        let engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.05, ..Default::default() });
+        assert!(!engine.is_trained());
+        let docs = corpus(20, 0.2, 666);
+        let routed = engine.route_documents(&docs, 41);
+        let nougat = routed.iter().filter(|r| r.parser == ParserKind::Nougat).count();
+        assert!(nougat as f64 / 20.0 <= 0.05 + 1e-9 + 0.05); // one per batch at most
+    }
+
+    #[test]
+    fn empty_document_set_yields_empty_result() {
+        let engine = AdaParseEngine::new(AdaParseConfig::default());
+        let result = engine.parse_documents(&[], 1);
+        assert_eq!(result.quality.documents, 0);
+        assert_eq!(result.records.len(), 0);
+        assert_eq!(result.high_quality_fraction, 0.0);
+    }
+}

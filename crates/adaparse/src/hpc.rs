@@ -1,0 +1,203 @@
+//! Bridge from parser routing decisions to the HPC simulator.
+//!
+//! Figure 5 of the paper reports the throughput of each parser — and of
+//! AdaParse — from 1 to 128 Polaris nodes. This module turns a document
+//! workload into `hpcsim` tasks (one per document, with stage-in bytes,
+//! compute seconds from the parser cost model, and model-load cold-start
+//! costs) and runs the Parsl-like executor over an arbitrary node count.
+
+use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, SlotKind, Task, WorkflowExecutor};
+use parsersim::cost::CostModel;
+use parsersim::ParserKind;
+use serde::{Deserialize, Serialize};
+
+use crate::config::AdaParseConfig;
+use crate::engine::RoutedDocument;
+
+/// A lightweight description of a document workload for scaling studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of documents.
+    pub documents: usize,
+    /// Average pages per document.
+    pub pages_per_doc: usize,
+    /// Average input size per document in MiB.
+    pub mb_per_doc: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec { documents: 10_000, pages_per_doc: 10, mb_per_doc: 1.5 }
+    }
+}
+
+/// Build one task per document for a single fixed parser.
+pub fn tasks_for_parser(kind: ParserKind, workload: &WorkloadSpec) -> Vec<Task> {
+    let model = CostModel::for_parser(kind);
+    let cost = model.document_cost(workload.pages_per_doc, 0.3);
+    let slot = if kind.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
+    let compute = if kind.requires_gpu() { cost.gpu_seconds } else { cost.cpu_seconds };
+    (0..workload.documents)
+        .map(|i| {
+            Task::new(i as u64, slot, compute)
+                .with_input_mb(workload.mb_per_doc)
+                .with_input_files(1)
+                .with_cold_start(model.model_load_seconds)
+                .with_label(kind.name())
+        })
+        .collect()
+}
+
+/// Build tasks for an AdaParse campaign from explicit routing decisions:
+/// every document gets an extraction task and the documents routed to the
+/// high-quality parser get a GPU task on top.
+pub fn tasks_for_routing(
+    config: &AdaParseConfig,
+    routed: &[RoutedDocument],
+    workload: &WorkloadSpec,
+) -> Vec<Task> {
+    let cheap_model = CostModel::for_parser(config.default_parser);
+    let expensive_model = CostModel::for_parser(config.high_quality_parser);
+    let cheap = cheap_model.document_cost(workload.pages_per_doc, 0.3);
+    let expensive = expensive_model.document_cost(workload.pages_per_doc, 0.3);
+    let mut tasks = Vec::with_capacity(routed.len() * 2);
+    for decision in routed {
+        tasks.push(
+            Task::new(decision.doc_id * 2, SlotKind::Cpu, cheap.cpu_seconds)
+                .with_input_mb(workload.mb_per_doc)
+                .with_label(config.default_parser.name()),
+        );
+        if decision.parser == config.high_quality_parser {
+            let slot =
+                if config.high_quality_parser.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
+            let compute = if config.high_quality_parser.requires_gpu() {
+                expensive.gpu_seconds
+            } else {
+                expensive.cpu_seconds
+            };
+            tasks.push(
+                Task::new(decision.doc_id * 2 + 1, slot, compute)
+                    .with_input_mb(workload.mb_per_doc)
+                    .with_cold_start(expensive_model.model_load_seconds)
+                    .with_label(config.high_quality_parser.name()),
+            );
+        }
+    }
+    tasks
+}
+
+/// Build tasks for an AdaParse campaign by *assuming* an α-fraction goes to
+/// the high-quality parser (used for large synthetic scaling sweeps where
+/// running the router per document would be wasteful).
+pub fn tasks_for_alpha(config: &AdaParseConfig, workload: &WorkloadSpec) -> Vec<Task> {
+    let quota = ((workload.documents as f64) * config.alpha.clamp(0.0, 1.0)).floor() as usize;
+    let routed: Vec<RoutedDocument> = (0..workload.documents)
+        .map(|i| RoutedDocument {
+            doc_id: i as u64,
+            parser: if i < quota { config.high_quality_parser } else { config.default_parser },
+            predicted_improvement: 0.0,
+            cls1_invalid: false,
+        })
+        .collect();
+    tasks_for_routing(config, &routed, workload)
+}
+
+/// Throughput (documents per second) of one parser at a given node count.
+pub fn parser_throughput_at_scale(
+    kind: ParserKind,
+    workload: &WorkloadSpec,
+    nodes: usize,
+    executor: &ExecutorConfig,
+) -> f64 {
+    let tasks = tasks_for_parser(kind, workload);
+    let report = WorkflowExecutor::new(*executor).run(
+        &tasks,
+        &ClusterConfig::polaris(nodes),
+        &LustreModel::default(),
+    );
+    // One task per document for fixed parsers.
+    report.throughput_per_second
+}
+
+/// Throughput (documents per second) of an AdaParse configuration at a given
+/// node count, using the α-quota task construction.
+pub fn adaparse_throughput_at_scale(
+    config: &AdaParseConfig,
+    workload: &WorkloadSpec,
+    nodes: usize,
+    executor: &ExecutorConfig,
+) -> f64 {
+    let tasks = tasks_for_alpha(config, workload);
+    let report = WorkflowExecutor::new(*executor).run(
+        &tasks,
+        &ClusterConfig::polaris(nodes),
+        &LustreModel::default(),
+    );
+    if report.makespan_seconds > 0.0 {
+        workload.documents as f64 / report.makespan_seconds
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload() -> WorkloadSpec {
+        WorkloadSpec { documents: 400, pages_per_doc: 10, mb_per_doc: 1.5 }
+    }
+
+    #[test]
+    fn fixed_parser_tasks_have_the_right_slot_kind() {
+        let w = small_workload();
+        let nougat = tasks_for_parser(ParserKind::Nougat, &w);
+        assert_eq!(nougat.len(), w.documents);
+        assert!(nougat.iter().all(|t| t.slot == SlotKind::Gpu));
+        assert!(nougat[0].cold_start_seconds > 10.0);
+        let pymupdf = tasks_for_parser(ParserKind::PyMuPdf, &w);
+        assert!(pymupdf.iter().all(|t| t.slot == SlotKind::Cpu));
+        assert!(pymupdf[0].compute_seconds < nougat[0].compute_seconds);
+    }
+
+    #[test]
+    fn alpha_quota_controls_the_number_of_gpu_tasks() {
+        let w = small_workload();
+        let config = AdaParseConfig { alpha: 0.05, ..Default::default() };
+        let tasks = tasks_for_alpha(&config, &w);
+        let gpu_tasks = tasks.iter().filter(|t| t.slot == SlotKind::Gpu).count();
+        assert_eq!(gpu_tasks, 20);
+        assert_eq!(tasks.len(), w.documents + gpu_tasks);
+    }
+
+    #[test]
+    fn scaling_order_matches_figure_5() {
+        let w = small_workload();
+        let executor = ExecutorConfig::default();
+        let nodes = 4;
+        let pymupdf = parser_throughput_at_scale(ParserKind::PyMuPdf, &w, nodes, &executor);
+        let nougat = parser_throughput_at_scale(ParserKind::Nougat, &w, nodes, &executor);
+        let marker = parser_throughput_at_scale(ParserKind::Marker, &w, nodes, &executor);
+        let adaparse = adaparse_throughput_at_scale(
+            &AdaParseConfig { alpha: 0.05, ..Default::default() },
+            &w,
+            nodes,
+            &executor,
+        );
+        assert!(pymupdf > adaparse, "extraction is fastest: {pymupdf} vs {adaparse}");
+        assert!(adaparse > nougat, "AdaParse beats Nougat: {adaparse} vs {nougat}");
+        assert!(nougat > marker, "Nougat beats Marker: {nougat} vs {marker}");
+        // AdaParse improves on Nougat by a large factor (the paper reports 17×).
+        assert!(adaparse / nougat > 4.0, "ratio = {}", adaparse / nougat);
+    }
+
+    #[test]
+    fn more_nodes_increase_adaparse_throughput() {
+        let w = small_workload();
+        let config = AdaParseConfig { alpha: 0.05, ..Default::default() };
+        let executor = ExecutorConfig::default();
+        let one = adaparse_throughput_at_scale(&config, &w, 1, &executor);
+        let four = adaparse_throughput_at_scale(&config, &w, 4, &executor);
+        assert!(four > one, "{four} vs {one}");
+    }
+}

@@ -1,0 +1,41 @@
+//! AdaParse: the adaptive parallel PDF parsing and resource scaling engine.
+//!
+//! This crate is the paper's primary contribution: a meta-parser that routes
+//! every document to the parser most likely to produce accurate text, subject
+//! to a compute budget, and the machinery to run that routing as a large
+//! parallel campaign.
+//!
+//! * [`config`] — the engine configuration (variant, α budget, batch size),
+//! * [`budget`] — the Appendix C constrained-budget optimizer (per-batch and
+//!   global),
+//! * [`engine`] — the hierarchical routing pipeline (CLS I → II → III) plus
+//!   the campaign driver that parses corpora and scores the result,
+//! * [`output`] — JSONL output records for parsed documents,
+//! * [`hpc`] — the bridge turning routed documents into `hpcsim` tasks so
+//!   multi-node throughput (Figure 5) and GPU utilization (Figure 4) can be
+//!   simulated.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use adaparse::{AdaParseConfig, AdaParseEngine};
+//! use scicorpus::{Corpus, GeneratorConfig};
+//!
+//! let corpus = Corpus::generate(&GeneratorConfig { n_documents: 50, seed: 3, ..Default::default() });
+//! let mut engine = AdaParseEngine::new(AdaParseConfig::default());
+//! engine.train_on_corpus(corpus.train().into_iter().cloned().collect::<Vec<_>>().as_slice(), 7);
+//! let result = engine.parse_documents(&corpus.test().into_iter().cloned().collect::<Vec<_>>(), 11);
+//! println!("BLEU = {:.3}", result.quality.bleu);
+//! ```
+
+pub mod budget;
+pub mod config;
+pub mod engine;
+pub mod hpc;
+pub mod output;
+
+pub use budget::{max_affordable_alpha, select_batch, select_global};
+pub use config::{AdaParseConfig, Variant};
+pub use engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
+pub use hpc::{adaparse_throughput_at_scale, parser_throughput_at_scale, WorkloadSpec};
+pub use output::ParsedRecord;

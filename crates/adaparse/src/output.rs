@@ -1,0 +1,116 @@
+//! JSONL output records.
+//!
+//! Large parsing campaigns write one JSON object per document to line-
+//! delimited files (the paper's pipeline emits JSONL for LLM data curation).
+//! Serialization is hand-rolled to keep the dependency set to the approved
+//! crates; only the small, flat record type below needs it.
+
+use parsersim::ParserKind;
+use serde::{Deserialize, Serialize};
+
+/// One parsed document as written to the campaign's JSONL output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsedRecord {
+    /// Document identifier.
+    pub doc_id: u64,
+    /// Parser that produced the accepted text.
+    pub parser: ParserKind,
+    /// The parsed text.
+    pub text: String,
+    /// Page coverage of the parse.
+    pub coverage: f64,
+    /// BLEU against ground truth (only available in benchmark runs).
+    pub bleu: f64,
+}
+
+impl ParsedRecord {
+    /// Serialize to a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"doc_id\":{},\"parser\":\"{}\",\"coverage\":{:.4},\"bleu\":{:.4},\"text\":\"{}\"}}",
+            self.doc_id,
+            self.parser.name(),
+            self.coverage,
+            self.bleu,
+            escape_json(&self.text)
+        )
+    }
+}
+
+/// Serialize a batch of records to JSONL.
+pub fn to_jsonl(records: &[ParsedRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&record.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let record = ParsedRecord {
+            doc_id: 7,
+            parser: ParserKind::Nougat,
+            text: "line one\nwith \"quotes\" and \\slashes\\".to_string(),
+            coverage: 0.93,
+            bleu: 0.48,
+        };
+        let line = record.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"parser\":\"Nougat\""));
+        assert!(line.contains("\\n"));
+        assert!(line.contains("\\\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record() {
+        let records: Vec<ParsedRecord> = (0..3)
+            .map(|i| ParsedRecord {
+                doc_id: i,
+                parser: ParserKind::PyMuPdf,
+                text: format!("text {i}"),
+                coverage: 1.0,
+                bleu: 0.5,
+            })
+            .collect();
+        let jsonl = to_jsonl(&records);
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(to_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let record = ParsedRecord {
+            doc_id: 1,
+            parser: ParserKind::Pypdf,
+            text: "form\u{c}feed and \t tab".to_string(),
+            coverage: 1.0,
+            bleu: 0.1,
+        };
+        let line = record.to_json_line();
+        assert!(line.contains("\\u000c"));
+        assert!(line.contains("\\t"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Appendix C: the per-batch budget optimizer against the global optimum, at
+//! the batch sizes a campaign would use.
+
+use adaparse::budget::{optimality_gap, select_batch, select_global};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn improvements(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let values = improvements(16_384);
+    let mut group = c.benchmark_group("budget");
+    for &batch in &[16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("per_batch", batch), &batch, |b, &batch| {
+            b.iter(|| select_batch(black_box(&values), 0.05, batch))
+        });
+    }
+    group.bench_function("global", |b| b.iter(|| select_global(black_box(&values), 0.05)));
+    group.bench_function("optimality_gap_k256", |b| {
+        b.iter(|| optimality_gap(black_box(&values), 0.05, 256))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget);
+criterion_main!(benches);

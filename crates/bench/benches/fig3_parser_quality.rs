@@ -1,0 +1,28 @@
+//! Figure 3 kernel: evaluating one document with the whole parser zoo (the
+//! unit of work the quality benchmark repeats tens of thousands of times).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use parsersim::evaluate::evaluate_document;
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+fn bench_parser_quality(c: &mut Criterion) {
+    let mut generator = DocumentGenerator::new(GeneratorConfig {
+        n_documents: 4,
+        seed: 21,
+        min_pages: 2,
+        max_pages: 2,
+        ..Default::default()
+    });
+    let docs = generator.generate_many(4);
+    c.bench_function("fig3/evaluate_document_all_parsers", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let doc = &docs[i % docs.len()];
+            i += 1;
+            evaluate_document(black_box(doc), 9)
+        })
+    });
+}
+
+criterion_group!(benches, bench_parser_quality);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 5 kernel: simulating a multi-node campaign with the Parsl-like
+//! executor for the extreme parsers and for AdaParse.
+
+use adaparse::hpc::{tasks_for_alpha, tasks_for_parser, WorkloadSpec};
+use adaparse::AdaParseConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+use parsersim::ParserKind;
+
+fn bench_scaling(c: &mut Criterion) {
+    let workload = WorkloadSpec { documents: 2_000, pages_per_doc: 10, mb_per_doc: 1.5 };
+    let executor = WorkflowExecutor::new(ExecutorConfig::default());
+    let fs = LustreModel::default();
+    let mut group = c.benchmark_group("fig5");
+    for &nodes in &[8usize, 64] {
+        let cluster = ClusterConfig::polaris(nodes);
+        let pymupdf_tasks = tasks_for_parser(ParserKind::PyMuPdf, &workload);
+        group.bench_with_input(BenchmarkId::new("pymupdf_campaign", nodes), &nodes, |b, _| {
+            b.iter(|| executor.run(black_box(&pymupdf_tasks), &cluster, &fs))
+        });
+        let ada_tasks = tasks_for_alpha(&AdaParseConfig::default(), &workload);
+        group.bench_with_input(BenchmarkId::new("adaparse_campaign", nodes), &nodes, |b, _| {
+            b.iter(|| executor.run(black_box(&ada_tasks), &cluster, &fs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

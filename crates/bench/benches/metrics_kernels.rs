@@ -1,0 +1,32 @@
+//! Microbenchmarks of the metric kernels every evaluation run leans on
+//! (BLEU, ROUGE-L, character accuracy rate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use textmetrics::bleu::sentence_bleu;
+use textmetrics::levenshtein::char_accuracy_rate;
+use textmetrics::rouge::rouge_l;
+
+fn sample_pair() -> (String, String) {
+    let reference = "the gravitational force between two masses is directly proportional to the \
+                     product of their masses and inversely proportional to the square of the distance "
+        .repeat(20);
+    let mut candidate = reference.clone();
+    candidate.insert_str(200, "scrambled artifact ");
+    (candidate, reference)
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let (candidate, reference) = sample_pair();
+    c.bench_function("bleu/medium_doc", |b| {
+        b.iter(|| sentence_bleu(black_box(&candidate), black_box(&reference)))
+    });
+    c.bench_function("rouge_l/medium_doc", |b| {
+        b.iter(|| rouge_l(black_box(&candidate), black_box(&reference)))
+    });
+    c.bench_function("car/medium_doc", |b| {
+        b.iter(|| char_accuracy_rate(black_box(&candidate), black_box(&reference)))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of the SPDF container (write + parse) and of the fastest
+//! extraction parser over it — the per-document overhead every campaign pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use docmodel::spdf::{write_document, SpdfFile};
+use parsersim::pymupdf::PyMuPdfParser;
+use parsersim::Parser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+fn bench_spdf(c: &mut Criterion) {
+    let mut generator = DocumentGenerator::new(GeneratorConfig {
+        n_documents: 1,
+        seed: 7,
+        min_pages: 8,
+        max_pages: 8,
+        ..Default::default()
+    });
+    let doc = generator.generate();
+    let bytes = write_document(&doc);
+
+    c.bench_function("spdf/write_8_pages", |b| b.iter(|| write_document(black_box(&doc))));
+    c.bench_function("spdf/parse_8_pages", |b| b.iter(|| SpdfFile::parse(black_box(&bytes)).unwrap()));
+    c.bench_function("pymupdf/parse_8_pages", |b| {
+        let parser = PyMuPdfParser::new();
+        let file = SpdfFile::parse(&bytes).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            parser.parse_file(black_box(&file), &mut rng).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_spdf);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 4: per-GPU utilization of the Nougat workload on one node, with and
+//! without the warm-start optimization (§5.2).
+//!
+//! Usage: `cargo run -p bench --bin fig4_gpu_util --release`
+
+use adaparse::hpc::{tasks_for_parser, WorkloadSpec};
+use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+use parsersim::ParserKind;
+
+fn main() {
+    let workload = WorkloadSpec {
+        documents: bench::bench_doc_count(200),
+        pages_per_doc: 10,
+        mb_per_doc: 1.5,
+    };
+    let tasks = tasks_for_parser(ParserKind::Nougat, &workload);
+    let cluster = ClusterConfig::polaris(1);
+    let fs = LustreModel::default();
+
+    for (label, warm) in [("warm-start workers (paper configuration)", true), ("cold start per task (ablation)", false)] {
+        let report = WorkflowExecutor::new(ExecutorConfig { warm_start: warm, ..Default::default() })
+            .run(&tasks, &cluster, &fs);
+        println!("Figure 4 — GPU utilization, {label}");
+        println!(
+            "  makespan = {:.1} s, throughput = {:.2} PDF/s, cold starts = {}",
+            report.makespan_seconds, report.throughput_per_second, report.cold_starts
+        );
+        let bins = 20;
+        for gpu in 0..report.gpu_trace.gpus() {
+            let series = report.gpu_trace.utilization_series(gpu, report.makespan_seconds, bins);
+            let bars: String = series
+                .iter()
+                .map(|&u| match (u * 4.0).round() as usize {
+                    0 => ' ',
+                    1 => '░',
+                    2 => '▒',
+                    3 => '▓',
+                    _ => '█',
+                })
+                .collect();
+            println!(
+                "  GPU {gpu}: [{bars}] util = {:>5.1} %  (model load {:>5.1} s)",
+                100.0 * report.gpu_trace.utilization(gpu, report.makespan_seconds),
+                report.gpu_trace.model_load_seconds(gpu)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 5: throughput scalability of every parser and AdaParse from 1 to
+//! 128 nodes. Pass `--no-staging` to ablate node-local ZIP staging.
+//!
+//! Usage: `cargo run -p bench --bin fig5_scaling --release [-- --no-staging]`
+
+use adaparse::hpc::{adaparse_throughput_at_scale, parser_throughput_at_scale, WorkloadSpec};
+use adaparse::AdaParseConfig;
+use hpcsim::ExecutorConfig;
+use parsersim::ParserKind;
+
+fn main() {
+    let no_staging = std::env::args().any(|a| a == "--no-staging");
+    let executor = ExecutorConfig { node_local_staging: !no_staging, ..Default::default() };
+    let workload = WorkloadSpec {
+        documents: bench::bench_doc_count(4_000),
+        pages_per_doc: 10,
+        mb_per_doc: 1.5,
+    };
+    let node_counts = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    println!(
+        "Figure 5 — throughput scaling (PDFs/s), {} documents/point, staging = {}",
+        workload.documents, !no_staging
+    );
+    print!("{:>6}", "nodes");
+    for kind in ParserKind::ALL {
+        print!(" {:>10}", kind.name());
+    }
+    println!(" {:>12}", "AdaParse");
+    for &nodes in &node_counts {
+        print!("{nodes:>6}");
+        for kind in ParserKind::ALL {
+            let rate = parser_throughput_at_scale(kind, &workload, nodes, &executor);
+            print!(" {:>10.2}", rate);
+        }
+        let ada = adaparse_throughput_at_scale(
+            &AdaParseConfig { alpha: 0.05, ..Default::default() },
+            &workload,
+            nodes,
+            &executor,
+        );
+        println!(" {:>12.2}", ada);
+    }
+}

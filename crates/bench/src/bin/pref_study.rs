@@ -1,0 +1,33 @@
+//! §7.1 statistics of the (simulated) user-preference study: per-parser win
+//! rates, decisiveness, inter-annotator consensus, and the BLEU↔win-rate
+//! correlation.
+//!
+//! Usage: `cargo run -p bench --bin pref_study --release`
+
+use bench::{bench_doc_count, benchmark_corpus};
+use parsersim::evaluate::evaluate_corpus;
+use prefstudy::{PreferenceStudy, StudyAnalysis, StudyConfig};
+
+fn main() {
+    let n = bench_doc_count(60);
+    let corpus = benchmark_corpus(n, 66);
+    let evaluations = evaluate_corpus(corpus.documents(), 99);
+    let study = PreferenceStudy::collect(
+        &evaluations,
+        &StudyConfig { annotators: 23, target_preferences: 2794, repeat_fraction: 0.3, seed: 11 },
+    );
+    let analysis = StudyAnalysis::compute(&study, &evaluations);
+
+    println!("User preference study — {} preferences over {} documents", analysis.n_preferences, n);
+    println!("  decisiveness (paper: 91.3 %): {:>5.1} %", 100.0 * analysis.decisiveness);
+    println!("  consensus    (paper: 82.2 %): {:>5.1} %", 100.0 * analysis.consensus);
+    println!(
+        "  BLEU ↔ win-rate correlation (paper: 0.47): {:.2} (p = {:.2e})",
+        analysis.bleu_winrate_correlation, analysis.correlation_p_value
+    );
+    println!("  normalized win rates:");
+    for (name, rate) in &analysis.win_rates {
+        println!("    {:<10} {:>5.1} %", name, 100.0 * rate);
+    }
+    println!("  splits: train = {}, validation = {}, test = {}", study.train().len(), study.validation().len(), study.test().len());
+}

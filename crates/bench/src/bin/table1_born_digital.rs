@@ -1,0 +1,13 @@
+//! Table 1: accuracy on born-digital PDFs (coverage, BLEU, ROUGE, CAR, AT)
+//! for every fixed parser and AdaParse (α = 5 %).
+//!
+//! Usage: `cargo run -p bench --bin table1_born_digital --release`
+//! Set `ADAPARSE_BENCH_DOCS` to scale the corpus (paper: 1000 test documents).
+
+use bench::{bench_doc_count, format_table, run_quality_table, Regime};
+
+fn main() {
+    let docs = bench_doc_count(120);
+    let rows = run_quality_table(Regime::BornDigital, docs, 1001);
+    print!("{}", format_table(&format!("Table 1 — born-digital PDFs (n = {docs})"), &rows));
+}

@@ -1,0 +1,12 @@
+//! Table 2: accuracy under simulated scan degradation (15 % of documents get
+//! random rotation, contrast changes, blur and compression).
+//!
+//! Usage: `cargo run -p bench --bin table2_scanned --release`
+
+use bench::{bench_doc_count, format_table, run_quality_table, Regime};
+
+fn main() {
+    let docs = bench_doc_count(120);
+    let rows = run_quality_table(Regime::SimulatedScan, docs, 1002);
+    print!("{}", format_table(&format!("Table 2 — simulated scanned PDFs (n = {docs})"), &rows));
+}

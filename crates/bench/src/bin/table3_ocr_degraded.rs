@@ -1,0 +1,12 @@
+//! Table 3: accuracy when 15 % of embedded text layers are replaced with
+//! simulated OCR output.
+//!
+//! Usage: `cargo run -p bench --bin table3_ocr_degraded --release`
+
+use bench::{bench_doc_count, format_table, run_quality_table, Regime};
+
+fn main() {
+    let docs = bench_doc_count(120);
+    let rows = run_quality_table(Regime::OcrDegradedText, docs, 1003);
+    print!("{}", format_table(&format!("Table 3 — OCR-degraded text layers (n = {docs})"), &rows));
+}

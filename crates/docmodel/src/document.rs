@@ -1,0 +1,303 @@
+//! The document type tying pages, metadata, text layer and image layer
+//! together.
+
+use serde::{Deserialize, Serialize};
+
+use crate::element::{Element, ElementKind};
+use crate::imagelayer::ImageLayer;
+use crate::metadata::DocMetadata;
+use crate::textlayer::TextLayer;
+
+/// Opaque document identifier, unique within a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u64);
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc-{:08}", self.0)
+    }
+}
+
+/// One page: an ordered list of structural elements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Page {
+    /// Elements in reading order.
+    pub elements: Vec<Element>,
+}
+
+impl Page {
+    /// Create a page from its elements.
+    pub fn new(elements: Vec<Element>) -> Self {
+        Page { elements }
+    }
+
+    /// Ground-truth text of the page (elements joined by newlines).
+    pub fn ground_truth_text(&self) -> String {
+        self.elements
+            .iter()
+            .map(|e| e.ground_truth_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Number of ground-truth words on the page.
+    pub fn word_count(&self) -> usize {
+        self.elements.iter().map(|e| e.word_count()).sum()
+    }
+
+    /// Number of elements of a given kind.
+    pub fn count_kind(&self, kind: ElementKind) -> usize {
+        self.elements.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// Mean extraction difficulty of the page's elements (0.0 for an empty page).
+    pub fn extraction_difficulty(&self) -> f64 {
+        if self.elements.is_empty() {
+            return 0.0;
+        }
+        self.elements.iter().map(|e| e.extraction_difficulty()).sum::<f64>()
+            / self.elements.len() as f64
+    }
+}
+
+/// A scientific document: metadata, structured pages (the ground truth), the
+/// embedded text layer and the raster image layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Corpus-unique identifier.
+    pub id: DocId,
+    /// Publisher/domain/producer metadata.
+    pub metadata: DocMetadata,
+    /// Structured pages (the source of ground truth).
+    pub pages: Vec<Page>,
+    /// Embedded text layer (what extraction parsers see).
+    pub text_layer: TextLayer,
+    /// Raster image layer (what recognition parsers see).
+    pub image_layer: ImageLayer,
+}
+
+impl Document {
+    /// Assemble a document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the text layer or image layer page counts disagree with the
+    /// number of structured pages — such a document could not exist as a real
+    /// PDF and indicates a generator bug.
+    pub fn new(
+        id: DocId,
+        metadata: DocMetadata,
+        pages: Vec<Page>,
+        text_layer: TextLayer,
+        image_layer: ImageLayer,
+    ) -> Self {
+        assert_eq!(
+            pages.len(),
+            text_layer.page_count(),
+            "text layer page count must match structured pages"
+        );
+        assert_eq!(
+            pages.len(),
+            image_layer.page_count(),
+            "image layer page count must match structured pages"
+        );
+        Document { id, metadata, pages, text_layer, image_layer }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Ground-truth text of the whole document; pages separated by form feeds.
+    pub fn ground_truth(&self) -> String {
+        self.pages
+            .iter()
+            .map(|p| p.ground_truth_text())
+            .collect::<Vec<_>>()
+            .join("\u{c}")
+    }
+
+    /// Ground-truth text per page.
+    pub fn ground_truth_pages(&self) -> Vec<String> {
+        self.pages.iter().map(|p| p.ground_truth_text()).collect()
+    }
+
+    /// Total ground-truth word count.
+    pub fn word_count(&self) -> usize {
+        self.pages.iter().map(|p| p.word_count()).sum()
+    }
+
+    /// Number of elements of a given kind in the whole document.
+    pub fn count_kind(&self, kind: ElementKind) -> usize {
+        self.pages.iter().map(|p| p.count_kind(kind)).sum()
+    }
+
+    /// Whether the document is born-digital according to its metadata.
+    pub fn is_born_digital(&self) -> bool {
+        self.metadata.is_born_digital() && !self.image_layer.scanned
+    }
+
+    /// Intrinsic parsing difficulty in `[0, 1]`, combining structural
+    /// difficulty (equations, tables, SMILES), text-layer fidelity and image
+    /// legibility. Used by the corpus generator to produce the difficulty
+    /// ranking of Figure 3 and by tests as a sanity signal; the *selector*
+    /// never reads it (it only sees extracted text and metadata).
+    pub fn intrinsic_difficulty(&self) -> f64 {
+        let structural = if self.pages.is_empty() {
+            0.0
+        } else {
+            self.pages.iter().map(|p| p.extraction_difficulty()).sum::<f64>()
+                / self.pages.len() as f64
+        };
+        let text_penalty = 1.0 - self.text_layer.quality.expected_fidelity();
+        let image_penalty = 1.0 - self.image_layer.mean_legibility();
+        (0.45 * structural + 0.35 * text_penalty + 0.20 * image_penalty).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textlayer::TextLayerQuality;
+
+    fn sample_pages() -> Vec<Page> {
+        vec![
+            Page::new(vec![
+                Element::heading(1, "Introduction"),
+                Element::paragraph("Large corpora of scientific text require accurate parsing."),
+                Element::equation("\\mathcal{L} = -\\log p_\\theta(y|x)"),
+            ]),
+            Page::new(vec![
+                Element::paragraph("We evaluate on a benchmark of one thousand documents."),
+                Element::Table {
+                    caption: "Throughput".to_string(),
+                    rows: vec![vec!["parser".into(), "pdf/s".into()], vec!["pymupdf".into(), "315".into()]],
+                },
+            ]),
+        ]
+    }
+
+    fn sample_doc() -> Document {
+        let pages = sample_pages();
+        let gt: Vec<String> = pages.iter().map(|p| p.ground_truth_text()).collect();
+        Document::new(
+            DocId(1),
+            DocMetadata::default(),
+            pages,
+            TextLayer::clean(&gt),
+            ImageLayer::born_digital(2),
+        )
+    }
+
+    #[test]
+    fn ground_truth_concatenates_pages() {
+        let doc = sample_doc();
+        let gt = doc.ground_truth();
+        assert!(gt.contains("Introduction"));
+        assert!(gt.contains("Throughput"));
+        assert_eq!(gt.matches('\u{c}').count(), 1);
+        assert_eq!(doc.ground_truth_pages().len(), 2);
+    }
+
+    #[test]
+    fn counts_and_difficulty() {
+        let doc = sample_doc();
+        assert_eq!(doc.page_count(), 2);
+        assert!(doc.word_count() > 10);
+        assert_eq!(doc.count_kind(ElementKind::Equation), 1);
+        assert_eq!(doc.count_kind(ElementKind::Table), 1);
+        assert_eq!(doc.count_kind(ElementKind::Smiles), 0);
+        let d = doc.intrinsic_difficulty();
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn difficulty_increases_with_degraded_layers() {
+        let pages = sample_pages();
+        let gt: Vec<String> = pages.iter().map(|p| p.ground_truth_text()).collect();
+        let clean = Document::new(
+            DocId(2),
+            DocMetadata::default(),
+            pages.clone(),
+            TextLayer::clean(&gt),
+            ImageLayer::born_digital(2),
+        );
+        let missing_layer = Document::new(
+            DocId(3),
+            DocMetadata::default(),
+            pages,
+            TextLayer::missing(2),
+            ImageLayer::born_digital(2),
+        );
+        assert!(missing_layer.intrinsic_difficulty() > clean.intrinsic_difficulty());
+    }
+
+    #[test]
+    fn born_digital_requires_clean_provenance() {
+        let doc = sample_doc();
+        assert!(doc.is_born_digital());
+        let mut scanned = sample_doc();
+        scanned.image_layer.scanned = true;
+        assert!(!scanned.is_born_digital());
+    }
+
+    #[test]
+    #[should_panic(expected = "text layer page count")]
+    fn mismatched_text_layer_panics() {
+        let pages = sample_pages();
+        let _ = Document::new(
+            DocId(4),
+            DocMetadata::default(),
+            pages,
+            TextLayer::missing(5),
+            ImageLayer::born_digital(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "image layer page count")]
+    fn mismatched_image_layer_panics() {
+        let pages = sample_pages();
+        let gt: Vec<String> = pages.iter().map(|p| p.ground_truth_text()).collect();
+        let _ = Document::new(
+            DocId(5),
+            DocMetadata::default(),
+            pages,
+            TextLayer::clean(&gt),
+            ImageLayer::born_digital(9),
+        );
+    }
+
+    #[test]
+    fn doc_id_display_is_stable() {
+        assert_eq!(DocId(42).to_string(), "doc-00000042");
+    }
+
+    #[test]
+    fn ocr_text_layer_lowers_expected_fidelity_not_structure() {
+        let pages = sample_pages();
+        let gt: Vec<String> = pages.iter().map(|p| p.ground_truth_text()).collect();
+        let mut rng = rand::rngs::mock::StepRng::new(2, 1);
+        let layer =
+            TextLayer::from_ground_truth(&gt, TextLayerQuality::OcrGenerated { error_rate: 0.3 }, &mut rng);
+        let doc = Document::new(DocId(6), DocMetadata::default(), pages, layer, ImageLayer::born_digital(2));
+        assert_eq!(doc.page_count(), 2);
+        assert!(doc.text_layer.quality.expected_fidelity() < 0.9);
+    }
+
+    #[test]
+    fn empty_document_is_not_difficult() {
+        let doc = Document::new(
+            DocId(7),
+            DocMetadata::default(),
+            vec![],
+            TextLayer::missing(0),
+            ImageLayer::born_digital(0),
+        );
+        assert_eq!(doc.page_count(), 0);
+        assert_eq!(doc.word_count(), 0);
+        // No structure, but the missing text layer still registers as a penalty.
+        assert!(doc.intrinsic_difficulty() <= 0.6);
+    }
+}

@@ -1,0 +1,318 @@
+//! The SPDF object model: the value types that can appear in an SPDF body.
+
+use std::collections::BTreeMap;
+
+/// A dictionary mapping name keys (without the leading `/`) to objects.
+///
+/// `BTreeMap` keeps serialization deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dict(pub BTreeMap<String, Object>);
+
+impl Dict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Dict(BTreeMap::new())
+    }
+
+    /// Insert a key/value pair, returning `self` for chaining.
+    pub fn with(mut self, key: &str, value: Object) -> Self {
+        self.0.insert(key.to_string(), value);
+        self
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Object> {
+        self.0.get(key)
+    }
+
+    /// Integer value of a key, if present and numeric.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Object::Int(v)) => Some(*v),
+            Some(Object::Real(v)) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Real value of a key, if present and numeric.
+    pub fn get_real(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Object::Real(v)) => Some(*v),
+            Some(Object::Int(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String value of a key, if present and a literal string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Object::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Name value of a key, if present and a name.
+    pub fn get_name(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Object::Name(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Boolean value of a key, if present and boolean.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Object::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object-reference value of a key, if present and a reference.
+    pub fn get_ref(&self, key: &str) -> Option<u32> {
+        match self.get(key) {
+            Some(Object::Ref(id)) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// One SPDF value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Object {
+    /// The null object.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Real number.
+    Real(f64),
+    /// Literal string `( ... )` with escapes resolved.
+    Str(String),
+    /// Name `/Foo` without the leading slash.
+    Name(String),
+    /// Array `[ ... ]`.
+    Array(Vec<Object>),
+    /// Dictionary `<< ... >>`.
+    Dict(Dict),
+    /// Stream: a dictionary followed by raw data.
+    Stream {
+        /// The stream's dictionary (must contain `/Length`).
+        dict: Dict,
+        /// Raw stream bytes.
+        data: Vec<u8>,
+    },
+    /// Indirect reference `N 0 R` to object number `N`.
+    Ref(u32),
+}
+
+impl Object {
+    /// Serialize the object into the output buffer in SPDF syntax.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            Object::Null => out.extend_from_slice(b"null"),
+            Object::Bool(true) => out.extend_from_slice(b"true"),
+            Object::Bool(false) => out.extend_from_slice(b"false"),
+            Object::Int(v) => out.extend_from_slice(v.to_string().as_bytes()),
+            Object::Real(v) => {
+                // Fixed precision keeps output deterministic across platforms.
+                out.extend_from_slice(format!("{v:.6}").as_bytes());
+            }
+            Object::Str(s) => {
+                out.push(b'(');
+                out.extend_from_slice(escape_string(s).as_bytes());
+                out.push(b')');
+            }
+            Object::Name(n) => {
+                out.push(b'/');
+                out.extend_from_slice(escape_name(n).as_bytes());
+            }
+            Object::Array(items) => {
+                out.push(b'[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(b' ');
+                    }
+                    item.serialize(out);
+                }
+                out.push(b']');
+            }
+            Object::Dict(dict) => serialize_dict(dict, out),
+            Object::Stream { dict, data } => {
+                serialize_dict(dict, out);
+                out.extend_from_slice(b"\nstream\n");
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\nendstream");
+            }
+            Object::Ref(id) => {
+                out.extend_from_slice(format!("{id} 0 R").as_bytes());
+            }
+        }
+    }
+}
+
+fn serialize_dict(dict: &Dict, out: &mut Vec<u8>) {
+    out.extend_from_slice(b"<< ");
+    for (key, value) in &dict.0 {
+        out.push(b'/');
+        out.extend_from_slice(escape_name(key).as_bytes());
+        out.push(b' ');
+        value.serialize(out);
+        out.push(b' ');
+    }
+    out.extend_from_slice(b">>");
+}
+
+/// Escape a literal string body: backslash, parentheses and control newlines.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '(' => out.push_str("\\("),
+            ')' => out.push_str("\\)"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_string`].
+pub fn unescape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escape a name token: whitespace and delimiter characters are replaced by
+/// `#xx` hex escapes, as in real PDF.
+pub fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+            out.push(c);
+        } else {
+            let mut buf = [0u8; 4];
+            for b in c.encode_utf8(&mut buf).as_bytes() {
+                out.push('#');
+                out.push_str(&format!("{b:02x}"));
+            }
+        }
+    }
+    out
+}
+
+/// Undo [`escape_name`]; invalid escapes are kept verbatim.
+pub fn unescape_name(name: &str) -> String {
+    let bytes = name.as_bytes();
+    let mut out_bytes = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'#' && i + 2 < bytes.len() {
+            if let Ok(v) =
+                u8::from_str_radix(std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""), 16)
+            {
+                out_bytes.push(v);
+                i += 3;
+                continue;
+            }
+        }
+        out_bytes.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out_bytes).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let cases = [
+            "plain",
+            "with (parens) inside",
+            "back\\slash",
+            "new\nline and \r carriage",
+            "nested ((deep)) \\( mix",
+            "",
+        ];
+        for case in cases {
+            assert_eq!(unescape_string(&escape_string(case)), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn name_escaping_round_trips() {
+        for case in ["Simple", "with space", "odd/chars#here", "naïve", "machine learning"] {
+            assert_eq!(unescape_name(&escape_name(case)), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn dict_accessors() {
+        let d = Dict::new()
+            .with("Int", Object::Int(7))
+            .with("Real", Object::Real(1.5))
+            .with("Str", Object::Str("hello".into()))
+            .with("Name", Object::Name("World".into()))
+            .with("Bool", Object::Bool(true))
+            .with("Ref", Object::Ref(3));
+        assert_eq!(d.get_int("Int"), Some(7));
+        assert_eq!(d.get_real("Int"), Some(7.0));
+        assert_eq!(d.get_real("Real"), Some(1.5));
+        assert_eq!(d.get_int("Real"), Some(1));
+        assert_eq!(d.get_str("Str"), Some("hello"));
+        assert_eq!(d.get_name("Name"), Some("World"));
+        assert_eq!(d.get_bool("Bool"), Some(true));
+        assert_eq!(d.get_ref("Ref"), Some(3));
+        assert_eq!(d.get_int("Missing"), None);
+        assert_eq!(d.get_str("Int"), None);
+    }
+
+    #[test]
+    fn serialization_shapes() {
+        let mut out = Vec::new();
+        Object::Array(vec![Object::Int(1), Object::Name("X".into()), Object::Bool(false)]).serialize(&mut out);
+        assert_eq!(String::from_utf8(out).unwrap(), "[1 /X false]");
+
+        let mut out = Vec::new();
+        Object::Dict(Dict::new().with("A", Object::Int(2))).serialize(&mut out);
+        assert_eq!(String::from_utf8(out).unwrap(), "<< /A 2 >>");
+
+        let mut out = Vec::new();
+        Object::Ref(12).serialize(&mut out);
+        assert_eq!(String::from_utf8(out).unwrap(), "12 0 R");
+
+        let mut out = Vec::new();
+        Object::Null.serialize(&mut out);
+        assert_eq!(String::from_utf8(out).unwrap(), "null");
+    }
+
+    #[test]
+    fn stream_serialization_contains_payload() {
+        let mut out = Vec::new();
+        let payload = b"raw bytes \x00\x01".to_vec();
+        Object::Stream {
+            dict: Dict::new().with("Length", Object::Int(payload.len() as i64)),
+            data: payload.clone(),
+        }
+        .serialize(&mut out);
+        let s = out.windows(payload.len()).any(|w| w == payload.as_slice());
+        assert!(s, "stream payload must appear verbatim");
+    }
+}

@@ -1,0 +1,193 @@
+//! Serialization of a [`Document`](crate::document::Document) into SPDF bytes.
+
+use crate::document::Document;
+use crate::textlayer::TextLayerQuality;
+
+use super::object::{Dict, Object};
+
+/// Serialize a document into SPDF bytes.
+///
+/// Object numbering: `1` is the catalog, `2` is the info dictionary, and each
+/// page `i` (0-based) owns three consecutive objects starting at `3 + 3*i`:
+/// the page dictionary, its content stream, and its page-image stream.
+pub fn write_document(doc: &Document) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+    out.extend_from_slice(format!("%SPDF-{}\n", doc.metadata.format.version_string()).as_bytes());
+
+    let page_count = doc.page_count();
+    let total_objects = 2 + 3 * page_count;
+    let mut offsets: Vec<usize> = Vec::with_capacity(total_objects + 1);
+
+    // Object 1: catalog.
+    let catalog = Object::Dict(
+        Dict::new()
+            .with("Type", Object::Name("Catalog".into()))
+            .with("PageCount", Object::Int(page_count as i64))
+            .with("Info", Object::Ref(2))
+            .with("DocId", Object::Int(doc.id.0 as i64)),
+    );
+    write_object(&mut out, &mut offsets, 1, &catalog);
+
+    // Object 2: info dictionary.
+    let info = Object::Dict(
+        Dict::new()
+            .with("Type", Object::Name("Info".into()))
+            .with("Title", Object::Str(doc.metadata.title.clone()))
+            .with("Publisher", Object::Name(doc.metadata.publisher.name().into()))
+            .with("Domain", Object::Name(doc.metadata.domain.name().into()))
+            .with("Subcategory", Object::Str(doc.metadata.subcategory.clone()))
+            .with("Year", Object::Int(doc.metadata.year as i64))
+            .with("Producer", Object::Str(doc.metadata.producer.name().into()))
+            .with("Scanned", Object::Bool(doc.image_layer.scanned)),
+    );
+    write_object(&mut out, &mut offsets, 2, &info);
+
+    let quality_name = text_quality_name(&doc.text_layer.quality);
+    for (i, _page) in doc.pages.iter().enumerate() {
+        let page_obj_id = (3 + 3 * i) as u32;
+        let content_obj_id = page_obj_id + 1;
+        let image_obj_id = page_obj_id + 2;
+
+        // Page dictionary.
+        let page_dict = Object::Dict(
+            Dict::new()
+                .with("Type", Object::Name("Page".into()))
+                .with("Index", Object::Int(i as i64))
+                .with("Contents", Object::Ref(content_obj_id))
+                .with("Image", Object::Ref(image_obj_id)),
+        );
+        write_object(&mut out, &mut offsets, page_obj_id, &page_dict);
+
+        // Content stream: the embedded text layer, wrapped in text operators.
+        let embedded = doc.text_layer.page(i).unwrap_or("");
+        let content_payload = encode_content_stream(embedded);
+        let content = Object::Stream {
+            dict: Dict::new()
+                .with("Type", Object::Name("Content".into()))
+                .with("Quality", Object::Name(quality_name.into()))
+                .with("Length", Object::Int(content_payload.len() as i64)),
+            data: content_payload,
+        };
+        write_object(&mut out, &mut offsets, content_obj_id, &content);
+
+        // Page-image stream: raster parameters + glyph source.
+        let img = doc
+            .image_layer
+            .pages
+            .get(i)
+            .copied()
+            .unwrap_or_else(crate::imagelayer::PageImage::born_digital);
+        let glyph_payload = doc.pages[i].ground_truth_text().into_bytes();
+        let image = Object::Stream {
+            dict: Dict::new()
+                .with("Type", Object::Name("PageImage".into()))
+                .with("DPI", Object::Int(img.dpi as i64))
+                .with("Skew", Object::Real(img.skew_degrees))
+                .with("Contrast", Object::Real(img.contrast))
+                .with("Blur", Object::Real(img.blur_sigma))
+                .with("JpegQuality", Object::Int(img.jpeg_quality as i64))
+                .with("Noise", Object::Real(img.noise))
+                .with("Length", Object::Int(glyph_payload.len() as i64)),
+            data: glyph_payload,
+        };
+        write_object(&mut out, &mut offsets, image_obj_id, &image);
+    }
+
+    // Cross-reference table.
+    let xref_offset = out.len();
+    out.extend_from_slice(b"xref\n");
+    out.extend_from_slice(format!("0 {}\n", total_objects + 1).as_bytes());
+    out.extend_from_slice(b"0000000000 65535 f \n");
+    for offset in &offsets {
+        out.extend_from_slice(format!("{offset:010} 00000 n \n").as_bytes());
+    }
+
+    // Trailer.
+    out.extend_from_slice(b"trailer\n");
+    let trailer = Object::Dict(
+        Dict::new()
+            .with("Size", Object::Int((total_objects + 1) as i64))
+            .with("Root", Object::Ref(1)),
+    );
+    trailer.serialize(&mut out);
+    out.extend_from_slice(b"\nstartxref\n");
+    out.extend_from_slice(format!("{xref_offset}\n").as_bytes());
+    out.extend_from_slice(b"%%EOF\n");
+    out
+}
+
+fn write_object(out: &mut Vec<u8>, offsets: &mut Vec<usize>, id: u32, object: &Object) {
+    offsets.push(out.len());
+    out.extend_from_slice(format!("{id} 0 obj\n").as_bytes());
+    object.serialize(out);
+    out.extend_from_slice(b"\nendobj\n");
+}
+
+/// Wrap embedded text into a PDF-flavoured content stream (`BT ... Tj ... ET`).
+fn encode_content_stream(text: &str) -> Vec<u8> {
+    let mut payload = String::with_capacity(text.len() + 32);
+    payload.push_str("BT /F1 10 Tf\n");
+    for line in text.split('\n') {
+        payload.push('(');
+        payload.push_str(&super::object::escape_string(line));
+        payload.push_str(") Tj\n");
+    }
+    payload.push_str("ET");
+    payload.into_bytes()
+}
+
+/// Decode a content stream produced by [`encode_content_stream`] back into
+/// the embedded text. Exposed for the reader and for extraction parsers.
+pub(crate) fn decode_content_stream(data: &[u8]) -> String {
+    let text = String::from_utf8_lossy(data);
+    let mut lines: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_suffix(") Tj") {
+            if let Some(body) = rest.strip_prefix('(') {
+                lines.push(super::object::unescape_string(body));
+            }
+        }
+    }
+    lines.join("\n")
+}
+
+fn text_quality_name(quality: &TextLayerQuality) -> &'static str {
+    match quality {
+        TextLayerQuality::Clean => "Clean",
+        TextLayerQuality::LatexMangled => "LatexMangled",
+        TextLayerQuality::OcrGenerated { .. } => "OcrGenerated",
+        TextLayerQuality::Scrambled => "Scrambled",
+        TextLayerQuality::Missing => "Missing",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_stream_round_trips() {
+        for text in [
+            "single line",
+            "two\nlines",
+            "with (parens) and \\ backslash",
+            "",
+            "trailing newline\n",
+        ] {
+            let encoded = encode_content_stream(text);
+            let decoded = decode_content_stream(&encoded);
+            // A trailing newline produces a trailing empty segment that is
+            // preserved by split/join, so equality must hold exactly.
+            assert_eq!(decoded, text, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn content_stream_has_pdf_operators() {
+        let encoded = String::from_utf8(encode_content_stream("hello")).unwrap();
+        assert!(encoded.starts_with("BT"));
+        assert!(encoded.ends_with("ET"));
+        assert!(encoded.contains("(hello) Tj"));
+    }
+}

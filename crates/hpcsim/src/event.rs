@@ -1,0 +1,134 @@
+//! A minimal discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulation time.
+#[derive(Debug, Clone)]
+struct Scheduled<T> {
+    time: f64,
+    sequence: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need the earliest
+        // event first; ties break by insertion order for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    sequence: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), sequence: 0 }
+    }
+
+    /// Schedule a payload at an absolute simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn push(&mut self, time: f64, payload: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        self.heap.push(Scheduled { time, sequence: self.sequence, payload });
+        self.sequence += 1;
+    }
+
+    /// Pop the earliest event, returning `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, 1);
+        q.push(5.0, 2);
+        q.push(5.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(0.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+}

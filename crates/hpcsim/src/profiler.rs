@@ -1,0 +1,130 @@
+//! GPU-utilization traces (the Nsight-style view of the paper's Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Busy intervals recorded per GPU during a campaign.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GpuTrace {
+    /// `intervals[g]` holds `(start, end, is_model_load)` busy spans of GPU `g`.
+    intervals: Vec<Vec<(f64, f64, bool)>>,
+}
+
+impl GpuTrace {
+    /// Trace for `gpus` devices.
+    pub fn new(gpus: usize) -> Self {
+        GpuTrace { intervals: vec![Vec::new(); gpus] }
+    }
+
+    /// Number of GPUs tracked.
+    pub fn gpus(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Record a busy span on a GPU. Spans outside the tracked range are ignored.
+    pub fn record(&mut self, gpu: usize, start: f64, end: f64, is_model_load: bool) {
+        if let Some(spans) = self.intervals.get_mut(gpu) {
+            if end > start {
+                spans.push((start, end, is_model_load));
+            }
+        }
+    }
+
+    /// Total busy seconds of one GPU (compute + model load).
+    pub fn busy_seconds(&self, gpu: usize) -> f64 {
+        self.intervals
+            .get(gpu)
+            .map(|spans| spans.iter().map(|(s, e, _)| e - s).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Seconds one GPU spent loading models rather than computing.
+    pub fn model_load_seconds(&self, gpu: usize) -> f64 {
+        self.intervals
+            .get(gpu)
+            .map(|spans| spans.iter().filter(|(_, _, load)| *load).map(|(s, e, _)| e - s).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Utilization of one GPU over `[0, horizon]` in `[0, 1]`.
+    pub fn utilization(&self, gpu: usize, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_seconds(gpu) / horizon).clamp(0.0, 1.0)
+    }
+
+    /// Mean utilization across all GPUs.
+    pub fn mean_utilization(&self, horizon: f64) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        (0..self.intervals.len()).map(|g| self.utilization(g, horizon)).sum::<f64>()
+            / self.intervals.len() as f64
+    }
+
+    /// Utilization time series of one GPU: `bins` equal windows over
+    /// `[0, horizon]`, each reporting the busy fraction within the window.
+    /// This is the per-GPU series plotted in Figure 4.
+    pub fn utilization_series(&self, gpu: usize, horizon: f64, bins: usize) -> Vec<f64> {
+        if horizon <= 0.0 || bins == 0 {
+            return vec![0.0; bins];
+        }
+        let bin_width = horizon / bins as f64;
+        let mut series = vec![0.0; bins];
+        if let Some(spans) = self.intervals.get(gpu) {
+            for &(start, end, _) in spans {
+                let first_bin = ((start / bin_width).floor() as usize).min(bins.saturating_sub(1));
+                let last_bin = ((end / bin_width).ceil() as usize).min(bins);
+                for (b, slot) in series.iter_mut().enumerate().take(last_bin).skip(first_bin) {
+                    let bin_start = b as f64 * bin_width;
+                    let bin_end = bin_start + bin_width;
+                    let overlap = (end.min(bin_end) - start.max(bin_start)).max(0.0);
+                    *slot += overlap / bin_width;
+                }
+            }
+        }
+        for v in &mut series {
+            *v = v.clamp(0.0, 1.0);
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_seconds_and_utilization() {
+        let mut trace = GpuTrace::new(2);
+        trace.record(0, 0.0, 5.0, false);
+        trace.record(0, 10.0, 12.0, true);
+        trace.record(1, 0.0, 1.0, false);
+        assert_eq!(trace.gpus(), 2);
+        assert!((trace.busy_seconds(0) - 7.0).abs() < 1e-12);
+        assert!((trace.model_load_seconds(0) - 2.0).abs() < 1e-12);
+        assert!((trace.utilization(0, 14.0) - 0.5).abs() < 1e-12);
+        assert!((trace.mean_utilization(14.0) - (0.5 + 1.0 / 14.0) / 2.0).abs() < 1e-9);
+        assert_eq!(trace.busy_seconds(7), 0.0);
+    }
+
+    #[test]
+    fn invalid_spans_are_ignored() {
+        let mut trace = GpuTrace::new(1);
+        trace.record(0, 5.0, 5.0, false);
+        trace.record(0, 6.0, 4.0, false);
+        trace.record(9, 0.0, 1.0, false);
+        assert_eq!(trace.busy_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn utilization_series_localizes_activity() {
+        let mut trace = GpuTrace::new(1);
+        trace.record(0, 0.0, 5.0, false);
+        let series = trace.utilization_series(0, 10.0, 10);
+        assert_eq!(series.len(), 10);
+        assert!(series[..5].iter().all(|&v| v > 0.99));
+        assert!(series[5..].iter().all(|&v| v < 0.01));
+        assert!(trace.utilization_series(0, 0.0, 4).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Task and cluster descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of worker slot a task needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotKind {
+    /// A CPU-core worker.
+    Cpu,
+    /// A GPU worker.
+    Gpu,
+}
+
+/// One schedulable parsing task (typically: parse one document, or one batch
+/// of documents, with a particular parser).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Which slot kind the task occupies.
+    pub slot: SlotKind,
+    /// Pure compute time in seconds (excluding stage-in and model load).
+    pub compute_seconds: f64,
+    /// Bytes staged in from the shared filesystem, in MiB.
+    pub input_mb: f64,
+    /// Number of files the input arrives as (drives metadata pressure when
+    /// node-local ZIP staging is disabled).
+    pub input_files: usize,
+    /// Model-load seconds paid when the task starts on a cold worker.
+    pub cold_start_seconds: f64,
+    /// Label used for grouping in reports (e.g. the parser name).
+    pub label: String,
+}
+
+impl Task {
+    /// A task with the given compute time and no I/O or cold-start cost.
+    pub fn new(id: u64, slot: SlotKind, compute_seconds: f64) -> Self {
+        Task {
+            id,
+            slot,
+            compute_seconds: compute_seconds.max(0.0),
+            input_mb: 0.0,
+            input_files: 1,
+            cold_start_seconds: 0.0,
+            label: String::new(),
+        }
+    }
+
+    /// Set the staged input size in MiB.
+    pub fn with_input_mb(mut self, input_mb: f64) -> Self {
+        self.input_mb = input_mb.max(0.0);
+        self
+    }
+
+    /// Set the number of input files.
+    pub fn with_input_files(mut self, files: usize) -> Self {
+        self.input_files = files.max(1);
+        self
+    }
+
+    /// Set the cold-start (model-load) cost.
+    pub fn with_cold_start(mut self, seconds: f64) -> Self {
+        self.cold_start_seconds = seconds.max(0.0);
+        self
+    }
+
+    /// Set the report label.
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+}
+
+/// Shape of the cluster running the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// CPU worker slots per node (Polaris: 32 cores, a few reserved).
+    pub cpu_slots_per_node: usize,
+    /// GPU worker slots per node (Polaris: 4 A100s).
+    pub gpu_slots_per_node: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { nodes: 1, cpu_slots_per_node: 30, gpu_slots_per_node: 4 }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` Polaris-like nodes.
+    pub fn polaris(nodes: usize) -> Self {
+        ClusterConfig { nodes: nodes.max(1), ..Default::default() }
+    }
+
+    /// Total number of slots of a kind across the cluster.
+    pub fn total_slots(&self, kind: SlotKind) -> usize {
+        match kind {
+            SlotKind::Cpu => self.nodes * self.cpu_slots_per_node,
+            SlotKind::Gpu => self.nodes * self.gpu_slots_per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_builder_clamps_and_sets() {
+        let t = Task::new(1, SlotKind::Gpu, -2.0)
+            .with_input_mb(-1.0)
+            .with_input_files(0)
+            .with_cold_start(15.0)
+            .with_label("Nougat");
+        assert_eq!(t.compute_seconds, 0.0);
+        assert_eq!(t.input_mb, 0.0);
+        assert_eq!(t.input_files, 1);
+        assert_eq!(t.cold_start_seconds, 15.0);
+        assert_eq!(t.label, "Nougat");
+        assert_eq!(t.slot, SlotKind::Gpu);
+    }
+
+    #[test]
+    fn cluster_slot_counts() {
+        let c = ClusterConfig::polaris(4);
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.total_slots(SlotKind::Cpu), 120);
+        assert_eq!(c.total_slots(SlotKind::Gpu), 16);
+        assert_eq!(ClusterConfig::polaris(0).nodes, 1);
+    }
+}

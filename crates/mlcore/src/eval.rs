@@ -1,0 +1,79 @@
+//! Evaluation metrics for the prediction models.
+
+/// Mean squared error. Returns `0.0` for empty or mismatched input.
+pub fn mse(predicted: &[f64], observed: &[f64]) -> f64 {
+    if predicted.len() != observed.len() || predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(observed).map(|(p, o)| (p - o) * (p - o)).sum::<f64>() / predicted.len() as f64
+}
+
+/// Mean absolute error. Returns `0.0` for empty or mismatched input.
+pub fn mae(predicted: &[f64], observed: &[f64]) -> f64 {
+    if predicted.len() != observed.len() || predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(observed).map(|(p, o)| (p - o).abs()).sum::<f64>() / predicted.len() as f64
+}
+
+/// Coefficient of determination R² (can be negative).
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
+    if predicted.len() != observed.len() || observed.len() < 2 {
+        return 0.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - mean) * (y - mean)).sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = predicted.iter().zip(observed).map(|(p, y)| (y - p) * (y - p)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Classification accuracy. Returns `0.0` for empty or mismatched input.
+pub fn accuracy(predicted: &[usize], observed: &[usize]) -> f64 {
+    if predicted.len() != observed.len() || predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(observed).filter(|(p, o)| p == o).count() as f64 / predicted.len() as f64
+}
+
+/// Index of the maximum element (first one on ties); `None` for empty input.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate() {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_metrics() {
+        let obs = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&obs, &obs), 0.0);
+        assert_eq!(mae(&obs, &obs), 0.0);
+        assert!((r_squared(&obs, &obs) - 1.0).abs() < 1e-12);
+        let pred = [2.0, 3.0, 4.0];
+        assert!((mse(&pred, &obs) - 1.0).abs() < 1e-12);
+        assert!((mae(&pred, &obs) - 1.0).abs() < 1e-12);
+        assert_eq!(mse(&[1.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn classification_metrics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 1.0]), Some(0));
+    }
+}

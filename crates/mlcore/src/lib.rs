@@ -1,0 +1,51 @@
+//! Minimal machine-learning substrate for the AdaParse reproduction.
+//!
+//! The paper fine-tunes pretrained language models (SciBERT, BERT, MiniLM,
+//! SPECTER) to regress per-parser BLEU from first-page text, applies LoRA
+//! for parameter-efficient adaptation, and post-trains with DPO on human
+//! preference pairs. Shipping those checkpoints is impossible here, so this
+//! crate provides the stand-ins with the same *shape*:
+//!
+//! * [`matrix`] — a small dense-matrix type with the operations the models
+//!   need (no external linear-algebra crates),
+//! * [`features`] — hashed character/word n-gram featurization (fastText-like),
+//! * [`encoder`] — frozen "pretrained" encoders of graded quality simulating
+//!   the SciBERT > BERT > MiniLM ordering,
+//! * [`linear`] / [`mlp`] — trainable heads (multi-output ridge/SGD linear
+//!   regression, logistic regression, linear SVC, one-hidden-layer MLP),
+//! * [`optim`] — SGD and Adam,
+//! * [`lora`] — low-rank adaptation of a frozen projection,
+//! * [`dpo`] — direct preference optimization on a scalar scoring head,
+//! * [`eval`] — regression/classification metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use mlcore::features::HashedNgramFeaturizer;
+//! use mlcore::linear::LinearRegression;
+//!
+//! let featurizer = HashedNgramFeaturizer::new(64);
+//! let xs: Vec<Vec<f64>> = ["alpha beta", "gamma delta"].iter().map(|t| featurizer.features(t)).collect();
+//! let ys = vec![vec![1.0], vec![0.0]];
+//! let mut model = LinearRegression::new(64, 1);
+//! model.fit(&xs, &ys, 200, 0.5, 1e-4);
+//! assert!(model.predict(&xs[0])[0] > model.predict(&xs[1])[0]);
+//! ```
+
+pub mod dpo;
+pub mod encoder;
+pub mod eval;
+pub mod features;
+pub mod linear;
+pub mod lora;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use dpo::{DpoConfig, DpoTrainer, PreferencePair};
+pub use encoder::{EncoderProfile, PretrainedEncoder};
+pub use features::HashedNgramFeaturizer;
+pub use linear::{LinearRegression, LinearSvc, LogisticRegression};
+pub use matrix::Matrix;
+pub use mlp::MlpRegressor;
+pub use optim::{Adam, Optimizer, Sgd};

@@ -1,0 +1,167 @@
+//! Low-rank adaptation (LoRA) of a frozen projection.
+//!
+//! The paper fine-tunes its accuracy predictor with parameter-efficient
+//! low-rank adaptation (Hu et al., 2021): the frozen pretrained weight matrix
+//! `W` is augmented with a trainable low-rank update `ΔW = (α/r)·A·B`. Here
+//! the frozen matrix is the encoder projection, the adapters are trained by
+//! SGD on a regression loss, and the adapted encoder is what the CLS III
+//! predictor builds on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A rank-`r` adapter for a frozen `out × in` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraAdapter {
+    /// `out × r`, initialized to small random values.
+    a: Matrix,
+    /// `r × in`, initialized to zero so the adapter starts as a no-op.
+    b: Matrix,
+    rank: usize,
+    alpha: f64,
+}
+
+impl LoraAdapter {
+    /// Create an adapter for a frozen matrix of shape `out_dim × in_dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the rank is zero.
+    pub fn new(out_dim: usize, in_dim: usize, rank: usize, alpha: f64, seed: u64) -> Self {
+        assert!(out_dim > 0 && in_dim > 0 && rank > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        LoraAdapter {
+            a: Matrix::random(out_dim, rank, 0.05, &mut rng),
+            b: Matrix::zeros(rank, in_dim),
+            rank,
+            alpha,
+        }
+    }
+
+    /// Adapter rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of trainable parameters.
+    pub fn trainable_parameters(&self) -> usize {
+        self.a.rows() * self.a.cols() + self.b.rows() * self.b.cols()
+    }
+
+    /// The low-rank update `ΔW = (α/r)·A·B`.
+    pub fn delta(&self) -> Matrix {
+        self.a.matmul(&self.b).scale(self.alpha / self.rank as f64)
+    }
+
+    /// Apply the adapter to the frozen matrix, producing the effective weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frozen`'s shape disagrees with the adapter.
+    pub fn apply(&self, frozen: &Matrix) -> Matrix {
+        frozen.add(&self.delta())
+    }
+
+    /// Adapted matrix–vector product `(W + ΔW)·x` without materializing ΔW.
+    pub fn matvec(&self, frozen: &Matrix, x: &[f64]) -> Vec<f64> {
+        let mut out = frozen.matvec(x);
+        let bx = self.b.matvec(x);
+        let scale = self.alpha / self.rank as f64;
+        for (o, row) in out.iter_mut().zip(0..self.a.rows()) {
+            let mut acc = 0.0;
+            for (k, bxk) in bx.iter().enumerate() {
+                acc += self.a.get(row, k) * bxk;
+            }
+            *o += scale * acc;
+        }
+        out
+    }
+
+    /// One SGD step on the squared error of `(W + ΔW)·x` against `target`.
+    ///
+    /// Returns the loss before the update.
+    pub fn sgd_step(&mut self, frozen: &Matrix, x: &[f64], target: &[f64], learning_rate: f64) -> f64 {
+        let pred = self.matvec(frozen, x);
+        assert_eq!(pred.len(), target.len(), "target dimension mismatch");
+        let residual: Vec<f64> = pred.iter().zip(target).map(|(p, t)| p - t).collect();
+        let loss: f64 = residual.iter().map(|r| r * r).sum::<f64>() / residual.len() as f64;
+        let scale = self.alpha / self.rank as f64;
+        let bx = self.b.matvec(x);
+        // Gradients: dL/dA = scale · residual ⊗ (B·x); dL/dB = scale · (Aᵀ·residual) ⊗ x.
+        let norm = 2.0 / residual.len() as f64;
+        let mut at_res = vec![0.0; self.rank];
+        for r in 0..self.a.rows() {
+            for k in 0..self.rank {
+                at_res[k] += self.a.get(r, k) * residual[r];
+            }
+        }
+        for r in 0..self.a.rows() {
+            for k in 0..self.rank {
+                let grad = norm * scale * residual[r] * bx[k];
+                self.a.set(r, k, self.a.get(r, k) - learning_rate * grad);
+            }
+        }
+        for k in 0..self.rank {
+            for i in 0..self.b.cols() {
+                let grad = norm * scale * at_res[k] * x[i];
+                self.b.set(k, i, self.b.get(k, i) - learning_rate * grad);
+            }
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_adapter_is_a_noop() {
+        let frozen = Matrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let adapter = LoraAdapter::new(2, 2, 1, 1.0, 3);
+        let x = [0.3, -0.7];
+        assert_eq!(adapter.matvec(&frozen, &x), frozen.matvec(&x));
+        assert_eq!(adapter.apply(&frozen), frozen);
+    }
+
+    #[test]
+    fn adapter_has_far_fewer_parameters_than_full_matrix() {
+        let adapter = LoraAdapter::new(128, 512, 4, 8.0, 1);
+        assert!(adapter.trainable_parameters() < 128 * 512 / 10);
+        assert_eq!(adapter.rank(), 4);
+    }
+
+    #[test]
+    fn sgd_steps_reduce_the_regression_loss() {
+        let frozen = Matrix::zeros(2, 3);
+        let mut adapter = LoraAdapter::new(2, 3, 2, 2.0, 9);
+        let x = [1.0, -0.5, 0.25];
+        let target = [0.8, -0.3];
+        let initial = adapter.sgd_step(&frozen, &x, &target, 0.2);
+        let mut last = initial;
+        for _ in 0..200 {
+            last = adapter.sgd_step(&frozen, &x, &target, 0.2);
+        }
+        assert!(last < initial * 0.1, "loss did not drop: {initial} -> {last}");
+        let pred = adapter.matvec(&frozen, &x);
+        assert!((pred[0] - 0.8).abs() < 0.1);
+        assert!((pred[1] + 0.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn delta_shape_matches_frozen() {
+        let adapter = LoraAdapter::new(4, 6, 2, 1.0, 11);
+        let delta = adapter.delta();
+        assert_eq!(delta.rows(), 4);
+        assert_eq!(delta.cols(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_rank_panics() {
+        LoraAdapter::new(2, 2, 0, 1.0, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! A one-hidden-layer multi-layer perceptron regressor.
+//!
+//! Used where a linear head underfits (the CLS III accuracy predictor when
+//! trained on rich text embeddings). Trained with plain backpropagation and
+//! SGD; tanh activation keeps the math small and stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::dot;
+
+/// One-hidden-layer MLP with tanh activation and linear outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    inputs: usize,
+    hidden: usize,
+    outputs: usize,
+    /// hidden × inputs
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// outputs × hidden
+    w2: Vec<f64>,
+    b2: Vec<f64>,
+}
+
+impl MlpRegressor {
+    /// Create an MLP with Xavier-style random initialization (seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(inputs: usize, hidden: usize, outputs: usize, seed: u64) -> Self {
+        assert!(inputs > 0 && hidden > 0 && outputs > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s1 = (2.0 / (inputs + hidden) as f64).sqrt();
+        let s2 = (2.0 / (hidden + outputs) as f64).sqrt();
+        MlpRegressor {
+            inputs,
+            hidden,
+            outputs,
+            w1: (0..inputs * hidden).map(|_| rng.gen_range(-s1..s1)).collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden * outputs).map(|_| rng.gen_range(-s2..s2)).collect(),
+            b2: vec![0.0; outputs],
+        }
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    fn hidden_activations(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.hidden)
+            .map(|h| (dot(&self.w1[h * self.inputs..(h + 1) * self.inputs], x) + self.b1[h]).tanh())
+            .collect()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.inputs()`.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.inputs, "input dimension mismatch");
+        let h = self.hidden_activations(x);
+        (0..self.outputs)
+            .map(|o| dot(&self.w2[o * self.hidden..(o + 1) * self.hidden], &h) + self.b2[o])
+            .collect()
+    }
+
+    /// Train with mini-batch SGD on the mean squared error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on sample/target count or dimension mismatches.
+    pub fn fit(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        epochs: usize,
+        learning_rate: f64,
+        batch_size: usize,
+        seed: u64,
+    ) {
+        assert_eq!(xs.len(), ys.len(), "sample/target count mismatch");
+        if xs.is_empty() {
+            return;
+        }
+        let batch_size = batch_size.clamp(1, xs.len());
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..epochs {
+            // Fisher–Yates shuffle for the epoch ordering.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(batch_size) {
+                self.train_batch(xs, ys, batch, learning_rate);
+            }
+        }
+    }
+
+    fn train_batch(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], batch: &[usize], learning_rate: f64) {
+        let mut grad_w1 = vec![0.0; self.w1.len()];
+        let mut grad_b1 = vec![0.0; self.b1.len()];
+        let mut grad_w2 = vec![0.0; self.w2.len()];
+        let mut grad_b2 = vec![0.0; self.b2.len()];
+        let n = batch.len() as f64;
+        for &idx in batch {
+            let x = &xs[idx];
+            let y = &ys[idx];
+            assert_eq!(y.len(), self.outputs, "target dimension mismatch");
+            let h = self.hidden_activations(x);
+            let pred: Vec<f64> = (0..self.outputs)
+                .map(|o| dot(&self.w2[o * self.hidden..(o + 1) * self.hidden], &h) + self.b2[o])
+                .collect();
+            // Output layer gradients.
+            let mut delta_h = vec![0.0; self.hidden];
+            for o in 0..self.outputs {
+                let err = 2.0 * (pred[o] - y[o]) / n;
+                grad_b2[o] += err;
+                for j in 0..self.hidden {
+                    grad_w2[o * self.hidden + j] += err * h[j];
+                    delta_h[j] += err * self.w2[o * self.hidden + j];
+                }
+            }
+            // Hidden layer gradients (tanh' = 1 - h²).
+            for j in 0..self.hidden {
+                let local = delta_h[j] * (1.0 - h[j] * h[j]);
+                grad_b1[j] += local;
+                for i in 0..self.inputs {
+                    grad_w1[j * self.inputs + i] += local * x[i];
+                }
+            }
+        }
+        for (w, g) in self.w1.iter_mut().zip(&grad_w1) {
+            *w -= learning_rate * g;
+        }
+        for (b, g) in self.b1.iter_mut().zip(&grad_b1) {
+            *b -= learning_rate * g;
+        }
+        for (w, g) in self.w2.iter_mut().zip(&grad_w2) {
+            *w -= learning_rate * g;
+        }
+        for (b, g) in self.b2.iter_mut().zip(&grad_b2) {
+            *b -= learning_rate * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_fits_a_nonlinear_function() {
+        // y = x^2 on [-1, 1]: impossible for a linear model, easy for an MLP.
+        let xs: Vec<Vec<f64>> = (0..80).map(|i| vec![-1.0 + 2.0 * i as f64 / 79.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * x[0]]).collect();
+        let mut model = MlpRegressor::new(1, 16, 1, 7);
+        model.fit(&xs, &ys, 1500, 0.05, 16, 3);
+        let mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| {
+                let p = model.predict(x)[0];
+                (p - y[0]) * (p - y[0])
+            })
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mse < 0.01, "mse = {mse}");
+    }
+
+    #[test]
+    fn mlp_multi_output_shapes() {
+        let model = MlpRegressor::new(4, 8, 3, 1);
+        assert_eq!(model.predict(&[0.0; 4]).len(), 3);
+        assert_eq!(model.inputs(), 4);
+        assert_eq!(model.outputs(), 3);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seeds() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0]]).collect();
+        let mut a = MlpRegressor::new(1, 4, 1, 5);
+        let mut b = MlpRegressor::new(1, 4, 1, 5);
+        a.fit(&xs, &ys, 50, 0.1, 4, 9);
+        b.fit(&xs, &ys, 50, 0.1, 4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut model = MlpRegressor::new(2, 4, 1, 0);
+        let before = model.clone();
+        model.fit(&[], &[], 10, 0.1, 8, 0);
+        assert_eq!(model, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn wrong_input_length_panics() {
+        MlpRegressor::new(3, 4, 1, 0).predict(&[0.0; 2]);
+    }
+}

@@ -1,0 +1,158 @@
+//! First-order optimizers operating on flat parameter slices.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer updating parameters in place from gradients.
+pub trait Optimizer {
+    /// Apply one update step.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != grads.len()`.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Reset any accumulated state (momentum, moment estimates).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(learning_rate: f64) -> Self {
+        Sgd { learning_rate, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(learning_rate: f64, momentum: f64) -> Self {
+        Sgd { learning_rate, momentum: momentum.clamp(0.0, 0.999), velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.learning_rate * grads[i];
+            params[i] += self.velocity[i];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay rate for the first moment.
+    pub beta1: f64,
+    /// Exponential decay rate for the second moment.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub epsilon: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the canonical hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8).
+    pub fn new(learning_rate: f64) -> Self {
+        Adam { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "parameter/gradient length mismatch");
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 with each optimizer.
+    fn minimize<O: Optimizer>(mut opt: O, steps: usize) -> f64 {
+        let mut params = vec![0.0f64];
+        for _ in 0..steps {
+            let grads = vec![2.0 * (params[0] - 3.0)];
+            opt.step(&mut params, &grads);
+        }
+        params[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(Sgd::new(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let plain = minimize(Sgd::new(0.01), 100);
+        let momentum = minimize(Sgd::with_momentum(0.01, 0.9), 100);
+        assert!((momentum - 3.0).abs() < (plain - 3.0).abs());
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(Adam::new(0.1), 500);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut params = vec![0.0];
+        opt.step(&mut params, &[1.0]);
+        opt.reset();
+        let mut opt2 = Sgd::with_momentum(0.1, 0.9);
+        let mut params2 = vec![params[0]];
+        opt.step(&mut params, &[1.0]);
+        opt2.step(&mut params2, &[1.0]);
+        assert!((params[0] - params2[0]).abs() < 1e-12, "reset must behave like a fresh optimizer");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Sgd::new(0.1).step(&mut [0.0, 1.0], &[1.0]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Construction of parser instances by kind.
+
+use crate::grobid::GrobidParser;
+use crate::marker::MarkerParser;
+use crate::nougat::NougatParser;
+use crate::pymupdf::PyMuPdfParser;
+use crate::pypdf::PypdfParser;
+use crate::tesseract::TesseractParser;
+use crate::traits::{Parser, ParserKind};
+
+/// Instantiate the parser simulator for a kind.
+pub fn parser_for(kind: ParserKind) -> Box<dyn Parser> {
+    match kind {
+        ParserKind::PyMuPdf => Box::new(PyMuPdfParser::new()),
+        ParserKind::Pypdf => Box::new(PypdfParser::new()),
+        ParserKind::Tesseract => Box::new(TesseractParser::new()),
+        ParserKind::Grobid => Box::new(GrobidParser::new()),
+        ParserKind::Nougat => Box::new(NougatParser::new()),
+        ParserKind::Marker => Box::new(MarkerParser::new()),
+    }
+}
+
+/// Instantiate the full parser zoo, in the paper's table order.
+pub fn all_parsers() -> Vec<Box<dyn Parser>> {
+    ParserKind::ALL.iter().map(|&kind| parser_for(kind)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_kinds() {
+        let parsers = all_parsers();
+        assert_eq!(parsers.len(), ParserKind::ALL.len());
+        for (parser, kind) in parsers.iter().zip(ParserKind::ALL) {
+            assert_eq!(parser.kind(), kind);
+            assert_eq!(parser.name(), kind.name());
+            assert_eq!(parser.requires_gpu(), kind.requires_gpu());
+        }
+    }
+
+    #[test]
+    fn parsers_are_object_safe_and_sendable() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Parser>();
+        let boxed: Box<dyn Parser> = parser_for(ParserKind::Nougat);
+        assert_eq!(boxed.kind(), ParserKind::Nougat);
+    }
+
+    #[test]
+    fn estimates_are_positive_for_nonempty_documents() {
+        for parser in all_parsers() {
+            let cost = parser.estimate_cost(10);
+            assert!(cost.wall_seconds() > 0.0, "{} estimate must be positive", parser.name());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Tesseract simulator: LSTM-based optical character recognition.
+//!
+//! Tesseract recognizes text line-by-line from page images, so it does not
+//! care whether a text layer exists — but its accuracy tracks raster
+//! legibility, it cannot reconstruct LaTeX, and it is orders of magnitude
+//! slower than extraction (CPU-bound, roughly seconds per page).
+
+use docmodel::corrupt;
+use docmodel::spdf::SpdfFile;
+use rand::RngCore;
+
+use crate::cost::{content_difficulty, CostModel, ResourceCost};
+use crate::traits::{ParseError, ParseOutput, Parser, ParserKind};
+
+/// Tesseract OCR simulator.
+#[derive(Debug, Clone)]
+pub struct TesseractParser {
+    cost: CostModel,
+}
+
+impl Default for TesseractParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TesseractParser {
+    /// Create the simulator with the calibrated cost model.
+    pub fn new() -> Self {
+        TesseractParser { cost: CostModel::for_parser(ParserKind::Tesseract) }
+    }
+}
+
+impl Parser for TesseractParser {
+    fn kind(&self) -> ParserKind {
+        ParserKind::Tesseract
+    }
+
+    fn parse_file(&self, file: &SpdfFile, rng: &mut dyn RngCore) -> Result<ParseOutput, ParseError> {
+        if file.pages.is_empty() {
+            return Err(ParseError::EmptyDocument);
+        }
+        let mut pages_parsed = 0usize;
+        let mut out_pages = Vec::with_capacity(file.pages.len());
+        let mut difficulty_sum = 0.0;
+        let mut legibility_sum = 0.0;
+        for page in &file.pages {
+            let glyphs = page.glyph_text.as_str();
+            difficulty_sum += content_difficulty(glyphs);
+            let legibility = page.image.legibility();
+            legibility_sum += legibility;
+            if glyphs.trim().is_empty() {
+                out_pages.push(String::new());
+                continue;
+            }
+            // OCR flattens math into character soup before misreading it.
+            let text = corrupt::mangle_latex(glyphs);
+            // Classic OCR engines read character by character; recognition
+            // error scales with how degraded the render is.
+            let text = corrupt::ocr_noise(&text, 0.35 + 0.65 * legibility, rng);
+            // Severely degraded pages sometimes come back empty.
+            if text.trim().is_empty() {
+                out_pages.push(String::new());
+                continue;
+            }
+            pages_parsed += 1;
+            out_pages.push(text);
+        }
+        let pages = file.pages.len() as f64;
+        let mean_difficulty = difficulty_sum / pages;
+        let mean_legibility = legibility_sum / pages;
+        // Degraded scans cost more OCR passes (binarization retries etc.).
+        let cost = self
+            .cost
+            .document_cost(file.pages.len(), mean_difficulty)
+            .scaled(1.0 + 0.5 * (1.0 - mean_legibility));
+        Ok(ParseOutput {
+            parser: self.kind(),
+            text: out_pages.join("\u{c}"),
+            pages_parsed,
+            pages_total: file.pages.len(),
+            cost,
+        })
+    }
+
+    fn estimate_cost(&self, pages: usize) -> ResourceCost {
+        self.cost.document_cost(pages, 0.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pymupdf::PyMuPdfParser;
+    use crate::testutil::{doc_with_quality, parse_doc, scanned_doc};
+    use docmodel::textlayer::TextLayerQuality;
+    use textmetrics::bleu::sentence_bleu;
+
+    #[test]
+    fn ocr_ignores_the_text_layer() {
+        // Even with a missing text layer, OCR recovers most of the content.
+        let (doc, file) = doc_with_quality(TextLayerQuality::Missing, 3);
+        let out = parse_doc(&TesseractParser::new(), &file);
+        assert!(out.pages_parsed > 0);
+        let bleu = sentence_bleu(&out.text, &doc.ground_truth());
+        let extraction = parse_doc(&PyMuPdfParser::new(), &file);
+        let extraction_bleu = sentence_bleu(&extraction.text, &doc.ground_truth());
+        assert!(bleu > extraction_bleu, "OCR {bleu} must beat extraction {extraction_bleu} on scans");
+    }
+
+    #[test]
+    fn accuracy_tracks_image_legibility() {
+        let (doc_good, file_good) = scanned_doc(3, false);
+        let (doc_bad, file_bad) = scanned_doc(3, true);
+        let good = parse_doc(&TesseractParser::new(), &file_good);
+        let bad = parse_doc(&TesseractParser::new(), &file_bad);
+        let bleu_good = sentence_bleu(&good.text, &doc_good.ground_truth());
+        let bleu_bad = sentence_bleu(&bad.text, &doc_bad.ground_truth());
+        assert!(bleu_good > bleu_bad, "legible {bleu_good} must beat degraded {bleu_bad}");
+        // Degraded scans also cost more.
+        assert!(bad.cost.cpu_seconds > good.cost.cpu_seconds * 0.9);
+    }
+
+    #[test]
+    fn ocr_is_much_slower_than_extraction() {
+        let (_doc, file) = doc_with_quality(TextLayerQuality::Clean, 5);
+        let ocr = parse_doc(&TesseractParser::new(), &file);
+        let extraction = parse_doc(&PyMuPdfParser::new(), &file);
+        assert!(ocr.cost.cpu_seconds > extraction.cost.cpu_seconds * 20.0);
+        assert_eq!(ocr.cost.gpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn no_latex_in_ocr_output() {
+        let (_doc, file) = doc_with_quality(TextLayerQuality::Clean, 3);
+        let out = parse_doc(&TesseractParser::new(), &file);
+        assert!(!out.text.contains("\\frac"));
+        assert!(!out.text.contains("$$"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The [`Parser`] trait and its supporting types.
+
+use docmodel::spdf::{SpdfError, SpdfFile};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::ResourceCost;
+
+/// Identity of a concrete parser implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ParserKind {
+    /// MuPDF-based text extraction (the fast default).
+    PyMuPdf,
+    /// Pure-Python `pypdf` text extraction.
+    Pypdf,
+    /// Tesseract LSTM OCR.
+    Tesseract,
+    /// GROBID structured extraction.
+    Grobid,
+    /// Nougat Vision-Transformer recognition.
+    Nougat,
+    /// Marker layout-detection + texify recognition.
+    Marker,
+}
+
+impl ParserKind {
+    /// All parser kinds, in the order the paper's tables list them.
+    pub const ALL: [ParserKind; 6] = [
+        ParserKind::Marker,
+        ParserKind::Nougat,
+        ParserKind::PyMuPdf,
+        ParserKind::Pypdf,
+        ParserKind::Grobid,
+        ParserKind::Tesseract,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParserKind::PyMuPdf => "PyMuPDF",
+            ParserKind::Pypdf => "pypdf",
+            ParserKind::Tesseract => "Tesseract",
+            ParserKind::Grobid => "GROBID",
+            ParserKind::Nougat => "Nougat",
+            ParserKind::Marker => "Marker",
+        }
+    }
+
+    /// Parse a kind from its display name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ParserKind> {
+        ParserKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Whether this parser needs a GPU to run at a useful speed.
+    pub fn requires_gpu(&self) -> bool {
+        matches!(self, ParserKind::Nougat | ParserKind::Marker)
+    }
+
+    /// Whether this parser only reads the embedded text layer (as opposed to
+    /// recognizing text from page images).
+    pub fn is_extraction(&self) -> bool {
+        matches!(self, ParserKind::PyMuPdf | ParserKind::Pypdf)
+    }
+
+    /// Dense index (stable across runs) used for model output heads.
+    pub fn index(&self) -> usize {
+        ParserKind::ALL.iter().position(|k| k == self).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for ParserKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors produced when a parser cannot handle its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The SPDF container itself was malformed.
+    Container(SpdfError),
+    /// The document has no content this parser can operate on (e.g. an
+    /// extraction parser on a document without a text layer is *not* an
+    /// error — it returns empty text — but a zero-page document is).
+    EmptyDocument,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Container(e) => write!(f, "malformed container: {e}"),
+            ParseError::EmptyDocument => write!(f, "document has no pages"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Container(e) => Some(e),
+            ParseError::EmptyDocument => None,
+        }
+    }
+}
+
+impl From<SpdfError> for ParseError {
+    fn from(value: SpdfError) -> Self {
+        ParseError::Container(value)
+    }
+}
+
+/// The result of parsing one document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParseOutput {
+    /// Which parser produced the output.
+    pub parser: ParserKind,
+    /// Extracted/recognized text, pages separated by form feeds.
+    pub text: String,
+    /// Number of pages for which output was produced.
+    pub pages_parsed: usize,
+    /// Number of pages in the document.
+    pub pages_total: usize,
+    /// Resources consumed by this parse.
+    pub cost: ResourceCost,
+}
+
+impl ParseOutput {
+    /// Page coverage in `[0, 1]` (the paper's "coverage" column).
+    pub fn coverage(&self) -> f64 {
+        if self.pages_total == 0 {
+            0.0
+        } else {
+            (self.pages_parsed as f64 / self.pages_total as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Number of word tokens in the output text.
+    pub fn token_count(&self) -> usize {
+        textmetrics::tokenize::count_words(&self.text)
+    }
+}
+
+/// A PDF parser simulator.
+///
+/// Implementations are deterministic given the input bytes and the caller's
+/// RNG, which models the run-to-run variation of real OCR/ViT inference.
+pub trait Parser: Send + Sync {
+    /// Which parser this is.
+    fn kind(&self) -> ParserKind;
+
+    /// Display name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Whether this parser needs a GPU.
+    fn requires_gpu(&self) -> bool {
+        self.kind().requires_gpu()
+    }
+
+    /// Parse an already-decoded SPDF file.
+    fn parse_file(&self, file: &SpdfFile, rng: &mut dyn RngCore) -> Result<ParseOutput, ParseError>;
+
+    /// Parse raw SPDF bytes (decodes the container first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Container`] when the bytes are not valid SPDF and
+    /// [`ParseError::EmptyDocument`] for zero-page documents.
+    fn parse_bytes(&self, bytes: &[u8], rng: &mut dyn RngCore) -> Result<ParseOutput, ParseError> {
+        let file = SpdfFile::parse(bytes)?;
+        self.parse_file(&file, rng)
+    }
+
+    /// Expected resource cost of parsing a document with the given page count
+    /// without actually parsing it (used by the scheduler).
+    fn estimate_cost(&self, pages: usize) -> ResourceCost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in ParserKind::ALL {
+            assert_eq!(ParserKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ParserKind::from_name("nougat"), Some(ParserKind::Nougat));
+        assert_eq!(ParserKind::from_name("unknown"), None);
+    }
+
+    #[test]
+    fn gpu_and_extraction_flags() {
+        assert!(ParserKind::Nougat.requires_gpu());
+        assert!(ParserKind::Marker.requires_gpu());
+        assert!(!ParserKind::PyMuPdf.requires_gpu());
+        assert!(ParserKind::PyMuPdf.is_extraction());
+        assert!(ParserKind::Pypdf.is_extraction());
+        assert!(!ParserKind::Tesseract.is_extraction());
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut idx: Vec<usize> = ParserKind::ALL.iter().map(|k| k.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coverage_and_token_count() {
+        let out = ParseOutput {
+            parser: ParserKind::PyMuPdf,
+            text: "three word output".to_string(),
+            pages_parsed: 3,
+            pages_total: 4,
+            cost: ResourceCost::default(),
+        };
+        assert!((out.coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(out.token_count(), 3);
+        let empty = ParseOutput { pages_total: 0, pages_parsed: 0, ..out };
+        assert_eq!(empty.coverage(), 0.0);
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::EmptyDocument;
+        assert!(!e.to_string().is_empty());
+        let c: ParseError = docmodel::spdf::SpdfError::BadHeader.into();
+        assert!(c.to_string().contains("malformed container"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Corpus container, deterministic splits and difficulty ranking.
+
+use docmodel::document::{DocId, Document};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::{DocumentGenerator, GeneratorConfig};
+
+/// Sizes of a train/validation/test split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitSizes {
+    /// Number of training documents.
+    pub train: usize,
+    /// Number of validation documents.
+    pub validation: usize,
+    /// Number of test documents.
+    pub test: usize,
+}
+
+impl SplitSizes {
+    /// Total number of documents covered by the split.
+    pub fn total(&self) -> usize {
+        self.train + self.validation + self.test
+    }
+
+    /// Proportional split of `n` documents using the canonical 70/10/20 ratio.
+    pub fn proportional(n: usize) -> SplitSizes {
+        let train = (n as f64 * 0.7).floor() as usize;
+        let validation = (n as f64 * 0.1).floor() as usize;
+        let test = n.saturating_sub(train + validation);
+        SplitSizes { train, validation, test }
+    }
+}
+
+/// A generated corpus with split bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    documents: Vec<Document>,
+    split: SplitSizes,
+    /// Permutation applied before splitting (indices into `documents`).
+    order: Vec<usize>,
+}
+
+impl Corpus {
+    /// Generate a corpus from a configuration. The result (including the
+    /// split permutation) is a pure function of the configuration.
+    pub fn generate(config: &GeneratorConfig) -> Corpus {
+        let mut generator = DocumentGenerator::new(config.clone());
+        let documents = generator.generate_many(config.n_documents);
+        Corpus::from_documents(documents, config.seed)
+    }
+
+    /// Wrap an existing document collection, shuffling with `seed` to define
+    /// the split order.
+    pub fn from_documents(documents: Vec<Document>, seed: u64) -> Corpus {
+        let mut order: Vec<usize> = (0..documents.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        order.shuffle(&mut rng);
+        let split = SplitSizes::proportional(documents.len());
+        Corpus { documents, split, order }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// All documents in generation order.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// Mutable access to all documents (for augmentation passes).
+    pub fn documents_mut(&mut self) -> &mut [Document] {
+        &mut self.documents
+    }
+
+    /// Look up a document by id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.documents.iter().find(|d| d.id == id)
+    }
+
+    /// Override the split sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split covers more documents than the corpus holds.
+    pub fn set_split(&mut self, split: SplitSizes) {
+        assert!(
+            split.total() <= self.documents.len(),
+            "split covers {} documents but corpus has {}",
+            split.total(),
+            self.documents.len()
+        );
+        self.split = split;
+    }
+
+    /// Current split sizes.
+    pub fn split(&self) -> SplitSizes {
+        self.split
+    }
+
+    /// Training subset (in split order).
+    pub fn train(&self) -> Vec<&Document> {
+        self.slice(0, self.split.train)
+    }
+
+    /// Validation subset.
+    pub fn validation(&self) -> Vec<&Document> {
+        self.slice(self.split.train, self.split.validation)
+    }
+
+    /// Test subset.
+    pub fn test(&self) -> Vec<&Document> {
+        self.slice(self.split.train + self.split.validation, self.split.test)
+    }
+
+    fn slice(&self, start: usize, len: usize) -> Vec<&Document> {
+        self.order
+            .iter()
+            .skip(start)
+            .take(len)
+            .filter_map(|&i| self.documents.get(i))
+            .collect()
+    }
+
+    /// Documents sorted by descending intrinsic difficulty, together with the
+    /// difficulty values — the ranking used for Figure 3's x-axis.
+    pub fn difficulty_ranking(&self) -> Vec<(&Document, f64)> {
+        let mut ranked: Vec<(&Document, f64)> =
+            self.documents.iter().map(|d| (d, d.intrinsic_difficulty())).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked
+    }
+
+    /// Only the born-digital documents (the Table 1 population).
+    pub fn born_digital(&self) -> Vec<&Document> {
+        self.documents.iter().filter(|d| d.is_born_digital()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(&GeneratorConfig {
+            n_documents: 40,
+            seed: 17,
+            min_pages: 1,
+            max_pages: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GeneratorConfig { n_documents: 10, seed: 4, min_pages: 1, max_pages: 2, ..Default::default() };
+        assert_eq!(Corpus::generate(&config), Corpus::generate(&config));
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover_expected_sizes() {
+        let corpus = small_corpus();
+        let split = corpus.split();
+        assert_eq!(split.total(), corpus.len());
+        let train = corpus.train();
+        let val = corpus.validation();
+        let test = corpus.test();
+        assert_eq!(train.len(), split.train);
+        assert_eq!(val.len(), split.validation);
+        assert_eq!(test.len(), split.test);
+        let mut ids: Vec<u64> = train.iter().chain(val.iter()).chain(test.iter()).map(|d| d.id.0).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "splits must be disjoint");
+    }
+
+    #[test]
+    fn custom_split_sizes_are_respected() {
+        let mut corpus = small_corpus();
+        corpus.set_split(SplitSizes { train: 5, validation: 3, test: 10 });
+        assert_eq!(corpus.train().len(), 5);
+        assert_eq!(corpus.validation().len(), 3);
+        assert_eq!(corpus.test().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "split covers")]
+    fn oversized_split_panics() {
+        let mut corpus = small_corpus();
+        corpus.set_split(SplitSizes { train: 100, validation: 0, test: 0 });
+    }
+
+    #[test]
+    fn difficulty_ranking_is_descending() {
+        let corpus = small_corpus();
+        let ranking = corpus.difficulty_ranking();
+        assert_eq!(ranking.len(), corpus.len());
+        for pair in ranking.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn get_by_id_and_born_digital_filter() {
+        let corpus = small_corpus();
+        let first = &corpus.documents()[0];
+        assert_eq!(corpus.get(first.id), Some(first));
+        assert!(corpus.get(DocId(999_999)).is_none());
+        for doc in corpus.born_digital() {
+            assert!(doc.is_born_digital());
+        }
+    }
+
+    #[test]
+    fn proportional_split_adds_up() {
+        for n in [0usize, 1, 7, 100, 1234] {
+            let s = SplitSizes::proportional(n);
+            assert_eq!(s.total(), n);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_behaves() {
+        let corpus = Corpus::from_documents(vec![], 1);
+        assert!(corpus.is_empty());
+        assert!(corpus.train().is_empty());
+        assert!(corpus.difficulty_ranking().is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Synthetic LaTeX equation generation.
+//!
+//! Equations are the single biggest driver of extraction difficulty in the
+//! paper's failure analysis (LaTeX-to-plaintext conversion, Figure 1f), so
+//! the generator produces equations with realistic structural variety:
+//! fractions, sub/superscripts, Greek letters, sums/integrals and operators.
+
+use rand::Rng;
+
+const GREEK: &[&str] = &[
+    "\\alpha", "\\beta", "\\gamma", "\\delta", "\\epsilon", "\\lambda", "\\mu", "\\sigma",
+    "\\theta", "\\phi", "\\omega", "\\nabla", "\\partial",
+];
+
+const VARIABLES: &[&str] = &["x", "y", "z", "t", "u", "v", "n", "k", "p", "q", "E", "F", "H", "T"];
+
+const OPERATORS: &[&str] = &["+", "-", "\\cdot", "\\times", "\\le", "\\ge", "=", "\\approx", "\\propto"];
+
+const BIG_OPS: &[&str] = &["\\sum_{i=1}^{n}", "\\int_{0}^{T}", "\\prod_{j=1}^{m}", "\\max_{\\theta}", "\\min_{x}"];
+
+fn atom<R: Rng + ?Sized>(rng: &mut R) -> String {
+    match rng.gen_range(0..4) {
+        0 => GREEK[rng.gen_range(0..GREEK.len())].to_string(),
+        1 => VARIABLES[rng.gen_range(0..VARIABLES.len())].to_string(),
+        2 => format!("{}_{{{}}}", VARIABLES[rng.gen_range(0..VARIABLES.len())], rng.gen_range(0..10)),
+        _ => format!("{}^{{{}}}", VARIABLES[rng.gen_range(0..VARIABLES.len())], rng.gen_range(2..5)),
+    }
+}
+
+fn term<R: Rng + ?Sized>(rng: &mut R, depth: usize) -> String {
+    if depth == 0 || rng.gen_bool(0.5) {
+        return atom(rng);
+    }
+    match rng.gen_range(0..3) {
+        0 => format!("\\frac{{{}}}{{{}}}", term(rng, depth - 1), term(rng, depth - 1)),
+        1 => format!("{} {}", BIG_OPS[rng.gen_range(0..BIG_OPS.len())], term(rng, depth - 1)),
+        _ => format!("\\sqrt{{{}}}", term(rng, depth - 1)),
+    }
+}
+
+/// Generate one LaTeX equation of bounded depth.
+///
+/// The result is a plausible display-math body, e.g.
+/// `\frac{\partial u}{\partial t} = \alpha \cdot \nabla^{2}`.
+pub fn equation<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let lhs = term(rng, 2);
+    let op = OPERATORS[rng.gen_range(0..OPERATORS.len())];
+    let n_rhs_terms = rng.gen_range(1..4);
+    let rhs: Vec<String> = (0..n_rhs_terms).map(|_| term(rng, 2)).collect();
+    format!("{lhs} {op} {}", rhs.join(" + "))
+}
+
+/// Generate a short inline math fragment (single term).
+pub fn inline_fragment<R: Rng + ?Sized>(rng: &mut R) -> String {
+    term(rng, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equations_contain_latex_markup() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_backslash = 0;
+        for _ in 0..50 {
+            let eq = equation(&mut rng);
+            assert!(!eq.is_empty());
+            if eq.contains('\\') {
+                saw_backslash += 1;
+            }
+            // Braces must be balanced.
+            let open = eq.matches('{').count();
+            let close = eq.matches('}').count();
+            assert_eq!(open, close, "unbalanced braces in {eq}");
+        }
+        assert!(saw_backslash > 30, "most equations should contain control sequences");
+    }
+
+    #[test]
+    fn inline_fragments_are_short() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let frag = inline_fragment(&mut rng);
+            assert!(frag.len() < 60);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(equation(&mut a), equation(&mut b));
+    }
+}

@@ -1,0 +1,356 @@
+//! CLS III: text-driven accuracy prediction and parser selection.
+//!
+//! The third stage embeds the first-page extraction with a frozen
+//! "pretrained" encoder, regresses the BLEU every parser would achieve on the
+//! document (the paper's m = 6 output head), and selects the argmax —
+//! optionally restricted to the parsers AdaParse actually deploys. Human
+//! preference data enters through DPO: a scalar quality scorer is post-trained
+//! on (preferred output, rejected output) pairs and distilled into a
+//! per-parser alignment bias added to the predicted accuracies.
+
+use mlcore::dpo::{DpoConfig, DpoTrainer, PreferencePair};
+use mlcore::encoder::{EncoderProfile, PretrainedEncoder};
+use mlcore::eval::r_squared;
+use mlcore::linear::LinearRegression;
+use parsersim::ParserKind;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::AccuracySample;
+
+/// A human preference between two parser outputs for the same document page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParserPreference {
+    /// Parser whose output was preferred.
+    pub preferred: ParserKind,
+    /// Text of the preferred output (a page-sized excerpt).
+    pub preferred_text: String,
+    /// Parser whose output was rejected.
+    pub rejected: ParserKind,
+    /// Text of the rejected output.
+    pub rejected_text: String,
+}
+
+/// Configuration of the CLS III predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Which frozen encoder to build on.
+    pub encoder: EncoderProfile,
+    /// Supervised fine-tuning epochs.
+    pub epochs: usize,
+    /// Supervised learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization of the regression head.
+    pub l2: f64,
+    /// Weight of the DPO-derived per-parser alignment bias.
+    pub dpo_weight: f64,
+    /// DPO hyperparameters.
+    pub dpo: DpoConfig,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            encoder: EncoderProfile::SciBert,
+            epochs: 250,
+            learning_rate: 0.4,
+            l2: 1e-4,
+            dpo_weight: 0.05,
+            dpo: DpoConfig::default(),
+        }
+    }
+}
+
+/// The CLS III accuracy predictor.
+#[derive(Debug, Clone)]
+pub struct AccuracyPredictor {
+    encoder: PretrainedEncoder,
+    head: LinearRegression,
+    parser_bias: Vec<f64>,
+    config: PredictorConfig,
+    dpo_pair_accuracy: Option<f64>,
+}
+
+impl AccuracyPredictor {
+    /// Untrained predictor with the given configuration.
+    pub fn new(config: PredictorConfig) -> Self {
+        let encoder = PretrainedEncoder::new(config.encoder);
+        let head = LinearRegression::new(encoder.embedding_dim(), ParserKind::ALL.len());
+        AccuracyPredictor {
+            encoder,
+            head,
+            parser_bias: vec![0.0; ParserKind::ALL.len()],
+            config,
+            dpo_pair_accuracy: None,
+        }
+    }
+
+    /// The encoder profile in use.
+    pub fn encoder_profile(&self) -> EncoderProfile {
+        self.encoder.profile()
+    }
+
+    /// Supervised fine-tuning: regress per-parser BLEU from first-page text.
+    pub fn fit_regression(&mut self, samples: &[AccuracySample]) {
+        if samples.is_empty() {
+            return;
+        }
+        let xs: Vec<Vec<f64>> = samples.iter().map(|s| self.encoder.encode(&s.first_page_text)).collect();
+        let ys: Vec<Vec<f64>> = samples.iter().map(|s| s.targets.clone()).collect();
+        self.head.fit(&xs, &ys, self.config.epochs, self.config.learning_rate, self.config.l2);
+    }
+
+    /// DPO post-training on human preference pairs. A scalar quality scorer is
+    /// trained with the DPO objective on output-text embeddings; the mean
+    /// score each parser's outputs receive becomes a per-parser alignment
+    /// bias. Returns the trainer's pairwise accuracy after training.
+    pub fn fit_preferences(&mut self, preferences: &[ParserPreference]) -> f64 {
+        if preferences.is_empty() {
+            return 0.0;
+        }
+        let pairs: Vec<PreferencePair> = preferences
+            .iter()
+            .map(|p| PreferencePair {
+                preferred: self.encoder.encode(&p.preferred_text),
+                rejected: self.encoder.encode(&p.rejected_text),
+            })
+            .collect();
+        let dim = self.encoder.embedding_dim();
+        let mut trainer = DpoTrainer::from_reference(vec![0.0; dim], 0.0, self.config.dpo);
+        trainer.train(&pairs);
+        let accuracy = trainer.pairwise_accuracy(&pairs);
+        self.dpo_pair_accuracy = Some(accuracy);
+
+        // Distil the scorer into a per-parser bias: average the quality score
+        // of each parser's outputs seen during the study, then centre it.
+        let mut sums = vec![0.0; ParserKind::ALL.len()];
+        let mut counts = vec![0usize; ParserKind::ALL.len()];
+        for (preference, pair) in preferences.iter().zip(&pairs) {
+            sums[preference.preferred.index()] += trainer.score(&pair.preferred);
+            counts[preference.preferred.index()] += 1;
+            sums[preference.rejected.index()] += trainer.score(&pair.rejected);
+            counts[preference.rejected.index()] += 1;
+        }
+        let means: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        self.parser_bias = means.iter().map(|m| self.config.dpo_weight * (m - grand)).collect();
+        accuracy
+    }
+
+    /// Pairwise preference accuracy achieved during DPO training, if run.
+    pub fn dpo_pair_accuracy(&self) -> Option<f64> {
+        self.dpo_pair_accuracy
+    }
+
+    /// Per-parser alignment bias (zero before [`Self::fit_preferences`]).
+    pub fn parser_bias(&self) -> &[f64] {
+        &self.parser_bias
+    }
+
+    /// Predicted BLEU for every parser, in [`ParserKind::ALL`] order, clamped
+    /// to `[0, 1]` before the alignment bias is added.
+    pub fn predict_accuracies(&self, first_page_text: &str) -> Vec<f64> {
+        let embedding = self.encoder.encode(first_page_text);
+        self.head
+            .predict(&embedding)
+            .iter()
+            .zip(&self.parser_bias)
+            .map(|(p, b)| p.clamp(0.0, 1.0) + b)
+            .collect()
+    }
+
+    /// Select the parser with the highest predicted accuracy.
+    pub fn select(&self, first_page_text: &str) -> ParserKind {
+        self.select_restricted(first_page_text, &ParserKind::ALL)
+    }
+
+    /// Select the best parser among an allowed subset (AdaParse restricts
+    /// itself to PyMuPDF and Nougat for scalability, Appendix C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty.
+    pub fn select_restricted(&self, first_page_text: &str, allowed: &[ParserKind]) -> ParserKind {
+        assert!(!allowed.is_empty(), "allowed parser set must not be empty");
+        let predictions = self.predict_accuracies(first_page_text);
+        *allowed
+            .iter()
+            .max_by(|a, b| {
+                predictions[a.index()]
+                    .partial_cmp(&predictions[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty allowed set")
+    }
+
+    /// Predicted BLEU improvement of `candidate` over `baseline` for a
+    /// document (used by the budget optimizer's ranking).
+    pub fn predicted_improvement(
+        &self,
+        first_page_text: &str,
+        candidate: ParserKind,
+        baseline: ParserKind,
+    ) -> f64 {
+        let predictions = self.predict_accuracies(first_page_text);
+        predictions[candidate.index()] - predictions[baseline.index()]
+    }
+
+    /// R² of the predicted accuracy of one parser over a sample set (the
+    /// paper reports ≈40 % for PyMuPDF and ≈46.5 % for Nougat).
+    pub fn r_squared_for(&self, kind: ParserKind, samples: &[AccuracySample]) -> f64 {
+        let predicted: Vec<f64> = samples
+            .iter()
+            .map(|s| self.predict_accuracies(&s.first_page_text)[kind.index()])
+            .collect();
+        let observed: Vec<f64> = samples.iter().map(|s| s.target_for(kind)).collect();
+        r_squared(&predicted, &observed)
+    }
+
+    /// Fraction of samples where the selected parser equals the BLEU-maximal
+    /// parser (Table 4's "ACC" column).
+    pub fn selection_accuracy(&self, samples: &[AccuracySample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.select(&s.first_page_text) == s.best_parser())
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Mean BLEU achieved on `samples` when parsing each document with the
+    /// parser this predictor selects.
+    pub fn achieved_bleu(&self, samples: &[AccuracySample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples
+            .iter()
+            .map(|s| s.target_for(self.select(&s.first_page_text)))
+            .sum::<f64>()
+            / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic samples with a learnable rule: pages mentioning "scan"
+    /// favour Nougat, pages mentioning "clean" favour PyMuPDF.
+    fn synthetic_samples(n: usize) -> Vec<AccuracySample> {
+        (0..n)
+            .map(|i| {
+                let scanned = i % 2 == 0;
+                let text = if scanned {
+                    format!("scan artifact garbled {} fragment noise blur", i)
+                } else {
+                    format!("clean prose with ordinary scientific sentences number {}", i)
+                };
+                let mut targets = vec![0.2; ParserKind::ALL.len()];
+                if scanned {
+                    targets[ParserKind::Nougat.index()] = 0.7;
+                    targets[ParserKind::PyMuPdf.index()] = 0.1;
+                } else {
+                    targets[ParserKind::Nougat.index()] = 0.55;
+                    targets[ParserKind::PyMuPdf.index()] = 0.75;
+                }
+                AccuracySample {
+                    doc_id: i as u64,
+                    first_page_text: text,
+                    title: String::new(),
+                    metadata_features: vec![0.0; 27],
+                    targets,
+                    pages: 4,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn regression_learns_to_route_by_text() {
+        let samples = synthetic_samples(80);
+        let mut predictor = AccuracyPredictor::new(PredictorConfig::default());
+        predictor.fit_regression(&samples);
+        let acc = predictor.selection_accuracy(&samples);
+        assert!(acc > 0.8, "selection accuracy = {acc}");
+        let achieved = predictor.achieved_bleu(&samples);
+        let random_ish = 0.35;
+        assert!(achieved > random_ish);
+        // Restricted selection only ever returns allowed parsers.
+        let restricted = predictor.select_restricted(
+            &samples[0].first_page_text,
+            &[ParserKind::PyMuPdf, ParserKind::Nougat],
+        );
+        assert!(matches!(restricted, ParserKind::PyMuPdf | ParserKind::Nougat));
+    }
+
+    #[test]
+    fn r_squared_is_meaningful_after_training() {
+        let samples = synthetic_samples(60);
+        let mut predictor = AccuracyPredictor::new(PredictorConfig::default());
+        let before = predictor.r_squared_for(ParserKind::Nougat, &samples);
+        predictor.fit_regression(&samples);
+        let after = predictor.r_squared_for(ParserKind::Nougat, &samples);
+        assert!(after > before, "r2 {before} -> {after}");
+        assert!(after > 0.3);
+    }
+
+    #[test]
+    fn dpo_biases_selection_toward_preferred_parser() {
+        let samples = synthetic_samples(40);
+        let mut predictor = AccuracyPredictor::new(PredictorConfig {
+            dpo_weight: 0.2,
+            ..PredictorConfig::default()
+        });
+        predictor.fit_regression(&samples);
+        // Humans systematically prefer Nougat's output over pypdf's.
+        let preferences: Vec<ParserPreference> = (0..30)
+            .map(|i| ParserPreference {
+                preferred: ParserKind::Nougat,
+                preferred_text: format!("well formed faithful text with equations preserved {i}"),
+                rejected: ParserKind::Pypdf,
+                rejected_text: format!("g arbled wh itespace r i d d l e d te xt {i}"),
+            })
+            .collect();
+        let pair_accuracy = predictor.fit_preferences(&preferences);
+        assert!(pair_accuracy > 0.8, "dpo pair accuracy = {pair_accuracy}");
+        assert!(predictor.dpo_pair_accuracy().is_some());
+        let bias = predictor.parser_bias();
+        assert!(
+            bias[ParserKind::Nougat.index()] > bias[ParserKind::Pypdf.index()],
+            "nougat bias {} must exceed pypdf bias {}",
+            bias[ParserKind::Nougat.index()],
+            bias[ParserKind::Pypdf.index()]
+        );
+    }
+
+    #[test]
+    fn untrained_predictor_is_usable_and_bounded() {
+        let predictor = AccuracyPredictor::new(PredictorConfig::default());
+        let preds = predictor.predict_accuracies("any text at all");
+        assert_eq!(preds.len(), ParserKind::ALL.len());
+        assert!(preds.iter().all(|p| p.is_finite()));
+        assert_eq!(predictor.dpo_pair_accuracy(), None);
+        assert_eq!(predictor.selection_accuracy(&[]), 0.0);
+        assert_eq!(predictor.achieved_bleu(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "allowed parser set")]
+    fn empty_allowed_set_panics() {
+        AccuracyPredictor::new(PredictorConfig::default()).select_restricted("text", &[]);
+    }
+
+    #[test]
+    fn predicted_improvement_is_antisymmetric() {
+        let predictor = AccuracyPredictor::new(PredictorConfig::default());
+        let a = predictor.predicted_improvement("text", ParserKind::Nougat, ParserKind::PyMuPdf);
+        let b = predictor.predicted_improvement("text", ParserKind::PyMuPdf, ParserKind::Nougat);
+        assert!((a + b).abs() < 1e-12);
+    }
+}

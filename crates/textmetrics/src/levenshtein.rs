@@ -1,0 +1,201 @@
+//! Character-level edit distance and the character accuracy rate (CAR).
+//!
+//! The paper reports CAR as one of its accuracy columns in Tables 1–3. CAR is
+//! defined here as `1 − d(candidate, reference) / max(|candidate|, |reference|)`
+//! where `d` is the Levenshtein distance over whitespace-normalized character
+//! sequences, clamped to `[0, 1]`.
+//!
+//! Full Levenshtein over multi-page documents is quadratic and, as the paper
+//! notes, "computationally prohibitive for ultra-long text sequences". We
+//! therefore provide a banded variant ([`edit_distance_banded`]) that bounds
+//! the work per character pair and is what [`char_accuracy_rate`] uses for
+//! long inputs.
+
+use crate::tokenize::normalize_whitespace;
+
+/// Threshold (in characters) above which [`char_accuracy_rate`] switches from
+/// the exact distance to the banded approximation.
+pub const BANDED_THRESHOLD: usize = 4_000;
+
+/// Exact Levenshtein distance between two character slices.
+///
+/// Memory usage is `O(min(|a|, |b|))`.
+pub fn edit_distance_chars(a: &[char], b: &[char]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Exact Levenshtein distance between two strings (raw characters, no
+/// normalization).
+///
+/// ```
+/// use textmetrics::levenshtein::edit_distance;
+/// assert_eq!(edit_distance("kitten", "sitting"), 3);
+/// assert_eq!(edit_distance("hyperthyroidism", "hypothyroidism"), 2);
+/// ```
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    edit_distance_chars(&ac, &bc)
+}
+
+/// Banded (Ukkonen-style) edit distance: only cells within `band` of the
+/// diagonal are computed; the result is an upper bound on the true distance
+/// and exact whenever the true distance is at most `band`.
+pub fn edit_distance_banded(a: &[char], b: &[char], band: usize) -> usize {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    if n.abs_diff(m) > band {
+        // The distance is at least the length difference; the band cannot
+        // capture it exactly, so return the pessimistic bound.
+        return n.max(m);
+    }
+    let inf = n + m + 1;
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    for (j, slot) in prev.iter_mut().enumerate().take(band.min(m) + 1) {
+        *slot = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        curr.iter_mut().for_each(|x| *x = inf);
+        if lo == 1 {
+            curr[0] = i;
+        }
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = prev[j - 1].saturating_add(cost);
+            best = best.min(prev[j].saturating_add(1));
+            best = best.min(curr[j - 1].saturating_add(1));
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].min(n.max(m))
+}
+
+/// Normalized similarity in `[0, 1]`: `1 − d / max(|a|, |b|)` over raw
+/// characters. Two empty strings are considered identical (similarity 1).
+pub fn normalized_similarity(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let denom = ac.len().max(bc.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    let d = edit_distance_chars(&ac, &bc);
+    1.0 - d as f64 / denom as f64
+}
+
+/// Character accuracy rate between parser output and ground truth.
+///
+/// Both inputs are whitespace-normalized first. For inputs longer than
+/// [`BANDED_THRESHOLD`] characters, a banded distance with a band of 20 % of
+/// the reference length is used; this matches how OCR evaluation toolkits
+/// bound their alignment cost, and errs on the pessimistic side for heavily
+/// shuffled text.
+///
+/// Returns a value in `[0, 1]`.
+pub fn char_accuracy_rate(candidate: &str, reference: &str) -> f64 {
+    let cand: Vec<char> = normalize_whitespace(candidate).chars().collect();
+    let refr: Vec<char> = normalize_whitespace(reference).chars().collect();
+    let denom = cand.len().max(refr.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    let d = if denom > BANDED_THRESHOLD {
+        let band = (refr.len() / 5).max(64);
+        edit_distance_banded(&cand, &refr, band)
+    } else {
+        edit_distance_chars(&cand, &refr)
+    };
+    (1.0 - d as f64 / denom as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn paper_example_hyperthyroidism() {
+        // The paper's motivating example: distance 2, similarity ~86.7%.
+        let d = edit_distance("hyperthyroidism", "hypothyroidism");
+        assert_eq!(d, 2);
+        let sim = normalized_similarity("hyperthyroidism", "hypothyroidism");
+        assert!((sim - (1.0 - 2.0 / 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        for (a, b) in [("abcdef", "azced"), ("xy", "yx"), ("", "q")] {
+            assert_eq!(edit_distance(a, b), edit_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn banded_matches_exact_when_band_large() {
+        let a: Vec<char> = "the quick brown fox jumps".chars().collect();
+        let b: Vec<char> = "the quikc brown fox jmps over".chars().collect();
+        let exact = edit_distance_chars(&a, &b);
+        let banded = edit_distance_banded(&a, &b, a.len() + b.len());
+        assert_eq!(exact, banded);
+    }
+
+    #[test]
+    fn banded_is_upper_bound() {
+        let a: Vec<char> = "abcdefghijabcdefghij".chars().collect();
+        let b: Vec<char> = "abcdefghijzzzzefghij".chars().collect();
+        let exact = edit_distance_chars(&a, &b);
+        for band in [1usize, 2, 4, 8, 40] {
+            assert!(edit_distance_banded(&a, &b, band) >= exact);
+        }
+    }
+
+    #[test]
+    fn car_identical_is_one_and_disjoint_low() {
+        assert_eq!(char_accuracy_rate("same text", "same  text"), 1.0);
+        assert!(char_accuracy_rate("aaaaaaa", "zzzzzzz") < 0.01);
+        assert_eq!(char_accuracy_rate("", ""), 1.0);
+        assert_eq!(char_accuracy_rate("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn car_long_input_uses_banded_and_stays_bounded() {
+        let reference: String = "scientific text about proteins and enzymes ".repeat(200);
+        let mut candidate = reference.clone();
+        candidate.insert_str(100, "XYZ");
+        let car = char_accuracy_rate(&candidate, &reference);
+        assert!(car > 0.99, "car = {car}");
+        assert!(car <= 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Text-quality metrics for evaluating PDF parser output.
+//!
+//! This crate implements every metric the AdaParse paper relies on to compare
+//! parser output against ground-truth text:
+//!
+//! * word-level metrics: [`bleu`] (Bilingual Evaluation Understudy) and
+//!   [`rouge`] (Recall-Oriented Understudy for Gisting Evaluation),
+//! * character-level metrics: [`levenshtein`] edit distance and the derived
+//!   character accuracy rate (CAR),
+//! * preference-derived metrics: [`winrate`] (normalized win rate from
+//!   pairwise human preferences) and [`accepted`] tokens (fraction of tokens
+//!   coming from documents whose score clears an acceptance threshold),
+//! * summary [`stats`] used throughout the evaluation (Pearson correlation,
+//!   coefficient of determination, simple significance tests).
+//!
+//! # Example
+//!
+//! ```
+//! use textmetrics::{bleu::sentence_bleu, rouge::rouge_l, levenshtein::char_accuracy_rate};
+//!
+//! let reference = "the gravitational force between two masses is proportional to their product";
+//! let candidate = "the gravitational force between two masses is proportional to their product";
+//! assert!(sentence_bleu(candidate, reference) > 0.99);
+//! assert!(rouge_l(candidate, reference).f1 > 0.99);
+//! assert!(char_accuracy_rate(candidate, reference) > 0.99);
+//! ```
+
+pub mod accepted;
+pub mod bleu;
+pub mod levenshtein;
+pub mod ngram;
+pub mod rouge;
+pub mod stats;
+pub mod tokenize;
+pub mod winrate;
+
+pub use accepted::{accepted_token_rate, AcceptedTokens};
+pub use bleu::{corpus_bleu, sentence_bleu, BleuConfig, BleuScore};
+pub use levenshtein::{char_accuracy_rate, edit_distance, normalized_similarity};
+pub use rouge::{rouge_l, rouge_n, RougeScore};
+pub use stats::{mean, pearson, r_squared, std_dev, Summary};
+pub use tokenize::{normalize_whitespace, tokenize_chars, tokenize_words};
+pub use winrate::{PreferenceOutcome, WinRateTable};
+
+/// A bundle of the document-level quality metrics reported in the paper's
+/// Tables 1–3 for a single (candidate, reference) pair.
+///
+/// All values are fractions in `[0, 1]`; the bench harness multiplies by 100
+/// to report percentages like the paper.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QualityReport {
+    /// Smoothed BLEU-4 of the candidate against the reference.
+    pub bleu: f64,
+    /// ROUGE-L F1 of the candidate against the reference.
+    pub rouge: f64,
+    /// Character accuracy rate (1 − normalized edit distance).
+    pub car: f64,
+    /// Fraction of reference pages covered by the candidate (provided by the
+    /// caller; metrics in this crate operate on flat text).
+    pub coverage: f64,
+}
+
+impl QualityReport {
+    /// Compute BLEU, ROUGE-L and CAR for a candidate/reference pair.
+    ///
+    /// `coverage` is supplied by the caller because page attribution is a
+    /// property of the document model, not of flat text.
+    pub fn compute(candidate: &str, reference: &str, coverage: f64) -> Self {
+        QualityReport {
+            bleu: bleu::sentence_bleu(candidate, reference),
+            rouge: rouge::rouge_l(candidate, reference).f1,
+            car: levenshtein::char_accuracy_rate(candidate, reference),
+            coverage: coverage.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Average two reports element-wise (used when aggregating pages).
+    pub fn merge(&self, other: &QualityReport) -> QualityReport {
+        QualityReport {
+            bleu: 0.5 * (self.bleu + other.bleu),
+            rouge: 0.5 * (self.rouge + other.rouge),
+            car: 0.5 * (self.car + other.car),
+            coverage: 0.5 * (self.coverage + other.coverage),
+        }
+    }
+}
+
+/// Aggregate a slice of [`QualityReport`]s by arithmetic mean.
+///
+/// Returns `None` for an empty slice.
+pub fn aggregate_reports(reports: &[QualityReport]) -> Option<QualityReport> {
+    if reports.is_empty() {
+        return None;
+    }
+    let n = reports.len() as f64;
+    Some(QualityReport {
+        bleu: reports.iter().map(|r| r.bleu).sum::<f64>() / n,
+        rouge: reports.iter().map(|r| r.rouge).sum::<f64>() / n,
+        car: reports.iter().map(|r| r.car).sum::<f64>() / n,
+        coverage: reports.iter().map(|r| r.coverage).sum::<f64>() / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_report_identical_text_is_near_one() {
+        let text = "parsing scientific documents is a systems problem with many moving parts";
+        let r = QualityReport::compute(text, text, 1.0);
+        assert!(r.bleu > 0.99, "bleu = {}", r.bleu);
+        assert!(r.rouge > 0.99, "rouge = {}", r.rouge);
+        assert!(r.car > 0.99, "car = {}", r.car);
+        assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn quality_report_disjoint_text_is_near_zero() {
+        let a = "alpha beta gamma delta epsilon zeta";
+        let b = "one two three four five six seven";
+        let r = QualityReport::compute(a, b, 0.5);
+        assert!(r.bleu < 0.05);
+        assert!(r.rouge < 0.05);
+        assert!(r.car < 0.6);
+    }
+
+    #[test]
+    fn aggregate_reports_means_fields() {
+        let a = QualityReport { bleu: 0.2, rouge: 0.4, car: 0.6, coverage: 0.8 };
+        let b = QualityReport { bleu: 0.4, rouge: 0.6, car: 0.8, coverage: 1.0 };
+        let m = aggregate_reports(&[a, b]).unwrap();
+        assert!((m.bleu - 0.3).abs() < 1e-12);
+        assert!((m.rouge - 0.5).abs() < 1e-12);
+        assert!((m.car - 0.7).abs() < 1e-12);
+        assert!((m.coverage - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_reports_empty_is_none() {
+        assert!(aggregate_reports(&[]).is_none());
+    }
+
+    #[test]
+    fn coverage_is_clamped() {
+        let r = QualityReport::compute("a", "a", 1.7);
+        assert_eq!(r.coverage, 1.0);
+        let r = QualityReport::compute("a", "a", -0.3);
+        assert_eq!(r.coverage, 0.0);
+    }
+
+    #[test]
+    fn merge_averages() {
+        let a = QualityReport { bleu: 1.0, rouge: 1.0, car: 1.0, coverage: 1.0 };
+        let b = QualityReport { bleu: 0.0, rouge: 0.0, car: 0.0, coverage: 0.0 };
+        let m = a.merge(&b);
+        assert!((m.bleu - 0.5).abs() < 1e-12);
+    }
+}

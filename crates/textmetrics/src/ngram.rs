@@ -1,0 +1,124 @@
+//! N-gram counting utilities shared by BLEU and ROUGE.
+
+use std::collections::HashMap;
+
+/// A multiset of n-grams of a fixed order over word tokens.
+///
+/// N-grams are stored as joined strings (tokens separated by `'\u{1}'`, a
+/// character that cannot appear in a token) to avoid nested allocations.
+#[derive(Debug, Clone, Default)]
+pub struct NgramCounts {
+    order: usize,
+    counts: HashMap<String, usize>,
+    total: usize,
+}
+
+impl NgramCounts {
+    /// Count the n-grams of the given `order` in `tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn from_tokens(tokens: &[String], order: usize) -> Self {
+        assert!(order > 0, "n-gram order must be positive");
+        let mut counts = HashMap::new();
+        let mut total = 0usize;
+        if tokens.len() >= order {
+            for window in tokens.windows(order) {
+                let key = window.join("\u{1}");
+                *counts.entry(key).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        NgramCounts { order, counts, total }
+    }
+
+    /// The n-gram order of this multiset.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Total number of n-grams counted (with multiplicity).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct n-grams.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of a specific n-gram key.
+    pub fn count(&self, key: &str) -> usize {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Clipped overlap with another multiset: `sum_g min(self[g], other[g])`.
+    ///
+    /// This is the numerator of BLEU's modified n-gram precision and of
+    /// ROUGE-N recall.
+    pub fn clipped_overlap(&self, other: &NgramCounts) -> usize {
+        // Iterate over the smaller map for efficiency.
+        let (small, large) = if self.counts.len() <= other.counts.len() {
+            (&self.counts, &other.counts)
+        } else {
+            (&other.counts, &self.counts)
+        };
+        small
+            .iter()
+            .map(|(k, &c)| c.min(large.get(k).copied().unwrap_or(0)))
+            .sum()
+    }
+
+    /// Iterate over `(ngram, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn unigram_counts() {
+        let c = NgramCounts::from_tokens(&toks("a b a c"), 1);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.distinct(), 3);
+        assert_eq!(c.count("a"), 2);
+        assert_eq!(c.count("z"), 0);
+    }
+
+    #[test]
+    fn bigram_counts() {
+        let c = NgramCounts::from_tokens(&toks("a b a b"), 2);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.count(&format!("a\u{1}b")), 2);
+        assert_eq!(c.count(&format!("b\u{1}a")), 1);
+    }
+
+    #[test]
+    fn order_longer_than_sequence_is_empty() {
+        let c = NgramCounts::from_tokens(&toks("a b"), 3);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.distinct(), 0);
+    }
+
+    #[test]
+    fn clipped_overlap_is_symmetric_and_clipped() {
+        let a = NgramCounts::from_tokens(&toks("the the the cat"), 1);
+        let b = NgramCounts::from_tokens(&toks("the cat sat"), 1);
+        assert_eq!(a.clipped_overlap(&b), 2); // min(3,1) for "the" + min(1,1) for "cat"
+        assert_eq!(b.clipped_overlap(&a), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_panics() {
+        let _ = NgramCounts::from_tokens(&toks("a"), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! ROUGE (Recall-Oriented Understudy for Gisting Evaluation).
+//!
+//! We implement ROUGE-N (n-gram recall/precision/F1) and ROUGE-L (longest
+//! common subsequence). The paper reports a single "ROUGE" column in its
+//! tables; we follow the common convention of reporting ROUGE-L F1 there and
+//! expose ROUGE-1/2 for completeness.
+
+use crate::ngram::NgramCounts;
+use crate::tokenize::tokenize_words;
+
+/// Precision / recall / F1 triple produced by every ROUGE variant.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RougeScore {
+    /// Fraction of candidate units that appear in the reference.
+    pub precision: f64,
+    /// Fraction of reference units that appear in the candidate.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl RougeScore {
+    fn from_counts(overlap: f64, candidate_total: f64, reference_total: f64) -> Self {
+        let precision = if candidate_total > 0.0 { overlap / candidate_total } else { 0.0 };
+        let recall = if reference_total > 0.0 { overlap / reference_total } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        RougeScore { precision, recall, f1 }
+    }
+
+    /// Score for two empty texts (conventionally perfect).
+    fn perfect() -> Self {
+        RougeScore { precision: 1.0, recall: 1.0, f1: 1.0 }
+    }
+}
+
+/// ROUGE-N over word tokens.
+///
+/// ```
+/// use textmetrics::rouge::rouge_n;
+/// let s = rouge_n("the cat sat", "the cat sat on the mat", 1);
+/// assert!(s.recall < 1.0 && s.precision > 0.99);
+/// ```
+pub fn rouge_n(candidate: &str, reference: &str, order: usize) -> RougeScore {
+    let cand = tokenize_words(candidate);
+    let refr = tokenize_words(reference);
+    if cand.is_empty() && refr.is_empty() {
+        return RougeScore::perfect();
+    }
+    let c = NgramCounts::from_tokens(&cand, order.max(1));
+    let r = NgramCounts::from_tokens(&refr, order.max(1));
+    let overlap = c.clipped_overlap(&r) as f64;
+    RougeScore::from_counts(overlap, c.total() as f64, r.total() as f64)
+}
+
+/// ROUGE-L over word tokens, based on the longest common subsequence.
+///
+/// For very long documents the quadratic LCS table is too large, so token
+/// sequences are truncated to the first [`ROUGE_L_MAX_TOKENS`] tokens — the
+/// same windowing approach used by summarization toolkits for long inputs.
+pub fn rouge_l(candidate: &str, reference: &str) -> RougeScore {
+    let mut cand = tokenize_words(candidate);
+    let mut refr = tokenize_words(reference);
+    if cand.is_empty() && refr.is_empty() {
+        return RougeScore::perfect();
+    }
+    cand.truncate(ROUGE_L_MAX_TOKENS);
+    refr.truncate(ROUGE_L_MAX_TOKENS);
+    let lcs = lcs_length(&cand, &refr) as f64;
+    RougeScore::from_counts(lcs, cand.len() as f64, refr.len() as f64)
+}
+
+/// Maximum number of tokens considered by [`rouge_l`] on each side.
+pub const ROUGE_L_MAX_TOKENS: usize = 3_000;
+
+/// Length of the longest common subsequence of two token slices.
+///
+/// Memory usage is `O(min(n, m))`.
+pub fn lcs_length(a: &[String], b: &[String]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut curr = vec![0usize; short.len() + 1];
+    for lc in long {
+        for (j, sc) in short.iter().enumerate() {
+            curr[j + 1] = if lc == sc {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr[0] = 0;
+    }
+    prev[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn lcs_basic() {
+        assert_eq!(lcs_length(&toks("a b c d"), &toks("a c d")), 3);
+        assert_eq!(lcs_length(&toks(""), &toks("a b")), 0);
+        assert_eq!(lcs_length(&toks("a b"), &toks("b a")), 1);
+        assert_eq!(lcs_length(&toks("x y z"), &toks("x y z")), 3);
+    }
+
+    #[test]
+    fn rouge_identical_is_one() {
+        let t = "recall oriented understudy for gisting evaluation";
+        let s = rouge_l(t, t);
+        assert!((s.f1 - 1.0).abs() < 1e-9);
+        let s1 = rouge_n(t, t, 1);
+        assert!((s1.f1 - 1.0).abs() < 1e-9);
+        let s2 = rouge_n(t, t, 2);
+        assert!((s2.f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rouge_disjoint_is_zero() {
+        let s = rouge_l("alpha beta gamma", "one two three");
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(rouge_n("alpha beta", "one two", 1).f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(rouge_l("", "").f1, 1.0);
+        assert_eq!(rouge_l("", "text").f1, 0.0);
+        assert_eq!(rouge_l("text", "").f1, 0.0);
+        assert_eq!(rouge_n("", "", 2).f1, 1.0);
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        // Candidate is a strict prefix of the reference: perfect precision,
+        // partial recall.
+        let s = rouge_n("the cat sat", "the cat sat on the mat", 1);
+        assert!(s.precision > 0.99);
+        assert!(s.recall < 0.99);
+        // And swapping the arguments swaps precision and recall.
+        let swapped = rouge_n("the cat sat on the mat", "the cat sat", 1);
+        assert!((s.precision - swapped.recall).abs() < 1e-9);
+        assert!((s.recall - swapped.precision).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rouge_scores_bounded() {
+        let cases = [
+            ("a b c", "c b a"),
+            ("a a a a", "a"),
+            ("longer candidate text with many words", "short ref"),
+        ];
+        for (c, r) in cases {
+            for s in [rouge_l(c, r), rouge_n(c, r, 1), rouge_n(c, r, 2)] {
+                assert!((0.0..=1.0).contains(&s.precision));
+                assert!((0.0..=1.0).contains(&s.recall));
+                assert!((0.0..=1.0).contains(&s.f1));
+            }
+        }
+    }
+
+    #[test]
+    fn scrambled_text_scores_high_rouge1_lower_rougel() {
+        // Mirrors the paper's observation that ROUGE can over-reward
+        // incoherent candidates: unigram overlap stays high but ROUGE-L drops.
+        let reference = "the gravitational force between two masses is directly proportional \
+                         to the product of their masses";
+        let scrambled = "the gravitational force masses directly two the between proportional \
+                         product is of to their masses";
+        let r1 = rouge_n(scrambled, reference, 1);
+        let rl = rouge_l(scrambled, reference);
+        assert!(r1.f1 > 0.9, "rouge-1 stays high: {}", r1.f1);
+        assert!(rl.f1 < r1.f1, "rouge-l must be lower than rouge-1");
+    }
+
+    #[test]
+    fn long_input_is_truncated_not_panicking() {
+        let reference = "word ".repeat(10_000);
+        let candidate = "word ".repeat(9_000);
+        let s = rouge_l(&candidate, &reference);
+        assert!(s.f1 > 0.99);
+    }
+}

@@ -1,0 +1,202 @@
+//! Tokenization and text normalization primitives shared by all metrics.
+//!
+//! The paper's metrics (BLEU, ROUGE) operate on whitespace-delimited,
+//! lower-cased word tokens; character-level metrics (CAR) operate on the raw
+//! character sequence after whitespace normalization.
+
+/// Collapse any run of whitespace into a single ASCII space and trim the ends.
+///
+/// Parser output frequently contains injected whitespace (one of the failure
+/// modes in the paper's Figure 1); normalizing before character-level
+/// comparison keeps CAR from being dominated by layout artifacts.
+///
+/// ```
+/// use textmetrics::tokenize::normalize_whitespace;
+/// assert_eq!(normalize_whitespace("a  b\n\nc\t d "), "a b c d");
+/// ```
+pub fn normalize_whitespace(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_was_space = true; // also trims leading whitespace
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            out.push(ch);
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Split text into lower-cased word tokens.
+///
+/// A token is a maximal run of alphanumeric characters; punctuation is
+/// dropped. This mirrors the simple tokenizers used by BLEU/ROUGE reference
+/// implementations and keeps the metric insensitive to markdown artifacts
+/// (`#`, `*`) that differ between parsers.
+///
+/// ```
+/// use textmetrics::tokenize::tokenize_words;
+/// assert_eq!(tokenize_words("The pH value, 7.4!"), vec!["the", "ph", "value", "7", "4"]);
+/// ```
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Split text into case-preserving word tokens (used by the win-rate and
+/// accepted-token accounting where capitalization is meaningful, e.g. pH vs Ph).
+pub fn tokenize_words_cased(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.push(ch);
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Return the character sequence after whitespace normalization.
+///
+/// This is the unit of comparison for the character accuracy rate.
+pub fn tokenize_chars(text: &str) -> Vec<char> {
+    normalize_whitespace(text).chars().collect()
+}
+
+/// Count word tokens (cheap; avoids allocating the token vector).
+pub fn count_words(text: &str) -> usize {
+    let mut count = 0usize;
+    let mut in_token = false;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            if !in_token {
+                count += 1;
+                in_token = true;
+            }
+        } else {
+            in_token = false;
+        }
+    }
+    count
+}
+
+/// Fraction of characters (excluding whitespace) that are alphanumeric.
+///
+/// Heavily garbled parser output has a low alphanumeric ratio; the CLS I
+/// validity rules in the `selector` crate use this as a feature.
+pub fn alphanumeric_ratio(text: &str) -> f64 {
+    let mut alnum = 0usize;
+    let mut total = 0usize;
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            continue;
+        }
+        total += 1;
+        if ch.is_alphanumeric() {
+            alnum += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        alnum as f64 / total as f64
+    }
+}
+
+/// Fraction of word tokens that appear to be "word-like": at least two
+/// characters and composed mostly of alphabetic characters.
+pub fn wordlike_ratio(text: &str) -> f64 {
+    let tokens = tokenize_words(text);
+    if tokens.is_empty() {
+        return 0.0;
+    }
+    let wordlike = tokens
+        .iter()
+        .filter(|t| t.chars().count() >= 2 && t.chars().filter(|c| c.is_alphabetic()).count() * 2 > t.chars().count())
+        .count();
+    wordlike as f64 / tokens.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_runs() {
+        assert_eq!(normalize_whitespace("  a \t\n b  "), "a b");
+        assert_eq!(normalize_whitespace(""), "");
+        assert_eq!(normalize_whitespace("   "), "");
+        assert_eq!(normalize_whitespace("x"), "x");
+    }
+
+    #[test]
+    fn tokenize_words_lowercases_and_drops_punctuation() {
+        assert_eq!(tokenize_words("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize_words("E = mc^2"), vec!["e", "mc", "2"]);
+        assert!(tokenize_words("  \t ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_words_cased_preserves_case() {
+        assert_eq!(tokenize_words_cased("pH and Ph"), vec!["pH", "and", "Ph"]);
+    }
+
+    #[test]
+    fn tokenize_chars_normalizes_first() {
+        assert_eq!(tokenize_chars("a  b"), vec!['a', ' ', 'b']);
+    }
+
+    #[test]
+    fn count_words_matches_tokenizer() {
+        for text in ["", "one", "one two three", "a--b  c;;d", "αβγ δεζ"] {
+            assert_eq!(count_words(text), tokenize_words(text).len(), "text = {text:?}");
+        }
+    }
+
+    #[test]
+    fn alphanumeric_ratio_bounds() {
+        assert_eq!(alphanumeric_ratio(""), 0.0);
+        assert_eq!(alphanumeric_ratio("abc"), 1.0);
+        assert!(alphanumeric_ratio("a#b#") < 1.0);
+        assert!(alphanumeric_ratio("####") < 1e-12);
+    }
+
+    #[test]
+    fn wordlike_ratio_detects_garbled_text() {
+        let clean = "this text looks like normal scientific prose about enzymes";
+        let garbled = "x1 9z 3q 7w 0p 2m 8k 4j";
+        assert!(wordlike_ratio(clean) > 0.8);
+        assert!(wordlike_ratio(garbled) < 0.6);
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        let toks = tokenize_words("Schrödinger café naïve");
+        assert_eq!(toks, vec!["schrödinger", "café", "naïve"]);
+    }
+}

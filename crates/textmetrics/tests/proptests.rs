@@ -1,0 +1,143 @@
+//! Property-based tests for the metric invariants the rest of the system
+//! relies on (boundedness, identity, symmetry, triangle inequality).
+
+use proptest::prelude::*;
+use textmetrics::bleu::{sentence_bleu, sentence_bleu_with, BleuConfig};
+use textmetrics::levenshtein::{char_accuracy_rate, edit_distance, normalized_similarity};
+use textmetrics::rouge::{rouge_l, rouge_n};
+use textmetrics::stats::{pearson, percentile, r_squared};
+use textmetrics::tokenize::{count_words, normalize_whitespace, tokenize_words};
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn sentence() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 0..40).prop_map(|ws| ws.join(" "))
+}
+
+fn short_text() -> impl Strategy<Value = String> {
+    "[ -~]{0,120}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn edit_distance_identity(a in short_text()) {
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn edit_distance_symmetry(a in short_text(), b in short_text()) {
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn edit_distance_triangle(a in "[a-c]{0,25}", b in "[a-c]{0,25}", c in "[a-c]{0,25}") {
+        let ab = edit_distance(&a, &b);
+        let bc = edit_distance(&b, &c);
+        let ac = edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_longer_length(a in short_text(), b in short_text()) {
+        let d = edit_distance(&a, &b);
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+    }
+
+    #[test]
+    fn normalized_similarity_bounded(a in short_text(), b in short_text()) {
+        let s = normalized_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn car_bounded_and_identity(a in sentence(), b in sentence()) {
+        let c = char_accuracy_rate(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(char_accuracy_rate(&a, &a) > 0.999);
+    }
+
+    #[test]
+    fn bleu_bounded(a in sentence(), b in sentence()) {
+        let s = sentence_bleu(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "bleu out of range: {}", s);
+    }
+
+    #[test]
+    fn bleu_identity_is_one(a in prop::collection::vec(word(), 4..40).prop_map(|ws| ws.join(" "))) {
+        prop_assert!(sentence_bleu(&a, &a) > 0.999);
+    }
+
+    #[test]
+    fn bleu_custom_orders_bounded(a in sentence(), b in sentence(), order in 1usize..6) {
+        let cfg = BleuConfig { max_order: order, smoothing: 0.01 };
+        let s = sentence_bleu_with(&a, &b, cfg);
+        prop_assert!((0.0..=1.0).contains(&s.score));
+        prop_assert!((0.0..=1.0).contains(&s.brevity_penalty));
+    }
+
+    #[test]
+    fn rouge_bounded_and_symmetric_f1(a in sentence(), b in sentence()) {
+        let rl = rouge_l(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&rl.f1));
+        // F1 is symmetric because precision and recall swap roles.
+        let rl_swapped = rouge_l(&b, &a);
+        prop_assert!((rl.f1 - rl_swapped.f1).abs() < 1e-9);
+        let r1 = rouge_n(&a, &b, 1);
+        prop_assert!((0.0..=1.0).contains(&r1.f1));
+    }
+
+    #[test]
+    fn rouge1_f1_at_least_rouge2_f1(a in sentence(), b in sentence()) {
+        // Higher-order n-gram overlap can never exceed unigram overlap rate by
+        // much; in particular ROUGE-2 == 0 whenever ROUGE-1 == 0.
+        let r1 = rouge_n(&a, &b, 1);
+        let r2 = rouge_n(&a, &b, 2);
+        if r1.f1 == 0.0 {
+            prop_assert!(r2.f1 == 0.0);
+        }
+    }
+
+    #[test]
+    fn normalize_whitespace_idempotent(a in short_text()) {
+        let once = normalize_whitespace(&a);
+        prop_assert_eq!(normalize_whitespace(&once), once.clone());
+        prop_assert!(!once.contains("  "));
+    }
+
+    #[test]
+    fn count_words_equals_tokenizer_len(a in short_text()) {
+        prop_assert_eq!(count_words(&a), tokenize_words(&a).len());
+    }
+
+    #[test]
+    fn pearson_bounded(pairs in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..60)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn r_squared_of_perfect_prediction_is_one(values in prop::collection::vec(0.0f64..1.0, 3..50)) {
+        // Skip degenerate constant vectors.
+        let spread = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-9);
+        prop_assert!((r_squared(&values, &values) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_min_max(values in prop::collection::vec(-100.0f64..100.0, 1..50), p in 0.0f64..100.0) {
+        let v = percentile(&values, p).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulate a large parallel parsing campaign on an HPC system: route a
+//! workload with AdaParse, build the corresponding task graph, and run it on
+//! 1–64 Polaris-like nodes with the Parsl-style executor — the Figure 4/5
+//! view of the system.
+//!
+//! Run with: `cargo run --example parsing_campaign --release`
+
+use adaparse::hpc::{adaparse_throughput_at_scale, parser_throughput_at_scale, tasks_for_alpha, WorkloadSpec};
+use adaparse::AdaParseConfig;
+use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+use parsersim::ParserKind;
+
+fn main() {
+    let workload = WorkloadSpec { documents: 3_000, pages_per_doc: 10, mb_per_doc: 1.5 };
+    let config = AdaParseConfig { alpha: 0.05, ..Default::default() };
+    let executor = ExecutorConfig::default();
+
+    println!("Throughput scaling (PDFs/s) — {} documents per point", workload.documents);
+    println!("{:>6} {:>10} {:>10} {:>12}", "nodes", "PyMuPDF", "Nougat", "AdaParse");
+    for nodes in [1usize, 4, 16, 64] {
+        let pymupdf = parser_throughput_at_scale(ParserKind::PyMuPdf, &workload, nodes, &executor);
+        let nougat = parser_throughput_at_scale(ParserKind::Nougat, &workload, nodes, &executor);
+        let ada = adaparse_throughput_at_scale(&config, &workload, nodes, &executor);
+        println!("{nodes:>6} {pymupdf:>10.1} {nougat:>10.1} {ada:>12.1}");
+    }
+
+    // Zoom into one node: GPU utilization with and without warm starts.
+    println!();
+    println!("Single-node GPU utilization for the AdaParse workload:");
+    let tasks = tasks_for_alpha(&config, &workload);
+    for (label, warm) in [("warm-start", true), ("cold-start", false)] {
+        let report = WorkflowExecutor::new(ExecutorConfig { warm_start: warm, ..executor })
+            .run(&tasks, &ClusterConfig::polaris(1), &LustreModel::default());
+        println!(
+            "  {label:<11} makespan {:>8.1} s  mean GPU util {:>5.1} %  cold starts {}",
+            report.makespan_seconds,
+            100.0 * report.mean_gpu_utilization(),
+            report.cold_starts
+        );
+    }
+}

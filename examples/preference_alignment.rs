@@ -1,0 +1,64 @@
+//! Run the simulated user-preference study and align the parser-selection
+//! model with it via DPO — the paper's §6.3/§7.1 pipeline in miniature.
+//!
+//! Run with: `cargo run --example preference_alignment --release`
+
+use parsersim::evaluate::evaluate_corpus;
+use prefstudy::{PreferenceStudy, StudyAnalysis, StudyConfig};
+use scicorpus::{Corpus, GeneratorConfig};
+use selector::cls3::{AccuracyPredictor, ParserPreference, PredictorConfig};
+use selector::dataset::AccuracyDataset;
+
+fn main() {
+    let corpus = Corpus::generate(&GeneratorConfig {
+        n_documents: 40,
+        seed: 29,
+        min_pages: 1,
+        max_pages: 2,
+        scanned_fraction: 0.25,
+        ..Default::default()
+    });
+    let evaluations = evaluate_corpus(corpus.documents(), 31);
+
+    // 1. Collect preferences from the simulated annotators.
+    let study = PreferenceStudy::collect(
+        &evaluations,
+        &StudyConfig { annotators: 23, target_preferences: 800, ..Default::default() },
+    );
+    let analysis = StudyAnalysis::compute(&study, &evaluations);
+    println!("study: {} preferences, decisiveness {:.1} %, consensus {:.1} %, BLEU↔WR correlation {:.2}",
+        analysis.n_preferences,
+        100.0 * analysis.decisiveness,
+        100.0 * analysis.consensus,
+        analysis.bleu_winrate_correlation,
+    );
+
+    // 2. Supervised fine-tuning of the accuracy predictor.
+    let dataset = AccuracyDataset::from_evaluations(corpus.documents(), &evaluations, 0.75);
+    let mut predictor = AccuracyPredictor::new(PredictorConfig::default());
+    predictor.fit_regression(dataset.train());
+    let before = predictor.selection_accuracy(dataset.test());
+
+    // 3. DPO post-training on the study's training split.
+    let preferences: Vec<ParserPreference> = study
+        .train()
+        .iter()
+        .filter_map(|record| {
+            let preferred = record.preferred()?;
+            let rejected = record.rejected()?;
+            let eval = evaluations.iter().find(|e| e.doc_id.0 == record.doc_id)?;
+            Some(ParserPreference {
+                preferred,
+                preferred_text: eval.for_parser(preferred)?.output.text.clone(),
+                rejected,
+                rejected_text: eval.for_parser(rejected)?.output.text.clone(),
+            })
+        })
+        .collect();
+    let pair_accuracy = predictor.fit_preferences(&preferences);
+    let after = predictor.selection_accuracy(dataset.test());
+
+    println!("DPO: {} pairs, pairwise accuracy {:.1} %", preferences.len(), 100.0 * pair_accuracy);
+    println!("selection accuracy on the test split: {:.1} % -> {:.1} %", 100.0 * before, 100.0 * after);
+    println!("per-parser alignment bias: {:?}", predictor.parser_bias());
+}
