@@ -67,9 +67,8 @@ pub fn select_global(improvements: &[f64], alpha: f64) -> Vec<bool> {
         return mask;
     }
     let mut order: Vec<usize> = (0..improvements.len()).collect();
-    order.sort_by(|&a, &b| {
-        improvements[b].partial_cmp(&improvements[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order
+        .sort_by(|&a, &b| improvements[b].partial_cmp(&improvements[a]).unwrap_or(std::cmp::Ordering::Equal));
     for &index in order.iter().take(quota) {
         mask[index] = true;
     }

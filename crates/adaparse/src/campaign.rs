@@ -1,0 +1,489 @@
+//! The staged, parallel campaign pipeline.
+//!
+//! This module is the execution spine of the reproduction. A campaign runs
+//! in four explicit stages:
+//!
+//! 1. [`ExtractStage`] — serialize each document to SPDF, decode it, and run
+//!    the cheap default parser over the first page to produce the
+//!    [`RoutingInput`] the router consumes (no ground truth involved).
+//! 2. [`RouteStage`] — score every document's expected improvement under the
+//!    high-quality parser (CLS I → II/III) and apply the Appendix C per-batch
+//!    budget optimizer to pick the α-fraction that gets it.
+//! 3. [`ParseStage`] — parse each document with its assigned parser from the
+//!    shared [`ParserPool`].
+//! 4. [`ScoreStage`] — score output against ground truth and account
+//!    resource costs.
+//!
+//! Stages 1 and 3–4 are per-document pure functions and run data-parallel
+//! over shards of the input on a `rayon` thread pool ([`PipelineConfig`]
+//! controls worker count and shard size); stage 2 is a cheap sequential pass
+//! because the paper's batch optimizer ranks documents *within consecutive
+//! batches* of the input order. Per-document RNG streams are keyed by
+//! `seed ^ doc_id`, and the final reduction folds per-document outcomes in
+//! input order, so a campaign's [`CampaignResult`] is **bitwise identical for
+//! every worker count and shard size**.
+
+use docmodel::document::Document;
+use docmodel::spdf::{write_document, SpdfFile};
+use parsersim::cost::{CostModel, ResourceCost};
+use parsersim::registry::ParserPool;
+use parsersim::ParserKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selector::dataset::AccuracySample;
+use serde::{Deserialize, Serialize};
+use textmetrics::accepted::{AcceptedTokens, DEFAULT_ACCEPTANCE_THRESHOLD};
+use textmetrics::QualityReport;
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+use crate::config::AdaParseConfig;
+use crate::engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
+use crate::output::{MemorySink, ParsedRecord, RecordSink};
+
+/// Parallel-execution knobs of a campaign run.
+///
+/// Neither knob affects the campaign's *result* — only its wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Worker threads for the data-parallel stages (`0` = all available
+    /// cores).
+    pub workers: usize,
+    /// Documents per shard handed to a worker at a time.
+    pub shard_size: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { workers: 0, shard_size: 32 }
+    }
+}
+
+impl PipelineConfig {
+    /// Clamp degenerate values (a zero shard size would spin forever).
+    pub fn normalized(mut self) -> Self {
+        if self.shard_size == 0 {
+            self.shard_size = 1;
+        }
+        self
+    }
+}
+
+/// Per-document failure counts of a campaign (paper §5 failure analysis).
+///
+/// The simulated parsers can fail outright (malformed container, zero-page
+/// document); previously those errors were silently swallowed into empty
+/// strings. They still degrade into empty output — a campaign never aborts —
+/// but the counts are surfaced here so failure rates are observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CampaignFailures {
+    /// First-page extractions (stage 1) that returned a parser error.
+    pub extraction: usize,
+    /// Assigned-parser runs (stage 3) that returned a parser error.
+    pub parsing: usize,
+}
+
+impl CampaignFailures {
+    /// Total number of failed parser invocations.
+    pub fn total(&self) -> usize {
+        self.extraction + self.parsing
+    }
+}
+
+/// Everything the router needs for one document (no ground truth involved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingInput {
+    /// Document identifier.
+    pub doc_id: u64,
+    /// Cheap first-page extraction feeding CLS I–III.
+    pub first_page_text: String,
+    /// Metadata feature vector.
+    pub metadata_features: Vec<f64>,
+    /// Document title.
+    pub title: String,
+    /// Page count.
+    pub pages: usize,
+}
+
+impl RoutingInput {
+    pub(crate) fn as_sample(&self) -> AccuracySample {
+        AccuracySample {
+            doc_id: self.doc_id,
+            first_page_text: self.first_page_text.clone(),
+            title: self.title.clone(),
+            metadata_features: self.metadata_features.clone(),
+            targets: vec![0.0; ParserKind::ALL.len()],
+            pages: self.pages,
+        }
+    }
+}
+
+/// Stage 1 output for one document.
+///
+/// The decoded SPDF container is *not* retained: each stage re-derives it
+/// from the document (the stand-in for re-reading the PDF from storage), so
+/// campaign memory stays bounded by the input corpus plus one wave of
+/// output.
+pub struct Extracted {
+    /// Router inputs.
+    pub input: RoutingInput,
+    /// Whether the first-page extraction failed (empty text was substituted).
+    pub failed: bool,
+}
+
+/// Stage 1: SPDF round-trip plus cheap first-page extraction.
+pub struct ExtractStage<'a> {
+    config: &'a AdaParseConfig,
+    pool: &'a ParserPool,
+}
+
+impl<'a> ExtractStage<'a> {
+    /// Create the stage over a shared parser pool.
+    pub fn new(config: &'a AdaParseConfig, pool: &'a ParserPool) -> Self {
+        ExtractStage { config, pool }
+    }
+
+    /// Run the stage for one document.
+    pub fn run(&self, doc: &Document, seed: u64) -> Extracted {
+        let bytes = write_document(doc);
+        let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
+        let parser = self.pool.get(self.config.default_parser);
+        let mut rng = StdRng::seed_from_u64(seed ^ doc.id.0 ^ 0xEAF1);
+        let (first_page_text, failed) = match parser.parse_file(&file, &mut rng) {
+            Ok(out) => (out.text.split('\u{c}').next().unwrap_or("").to_string(), false),
+            Err(_) => (String::new(), true),
+        };
+        Extracted {
+            input: RoutingInput {
+                doc_id: doc.id.0,
+                first_page_text,
+                metadata_features: doc.metadata.feature_vector(),
+                title: doc.metadata.title.clone(),
+                pages: doc.page_count(),
+            },
+            failed,
+        }
+    }
+}
+
+/// Stage 2: hierarchical routing (CLS I → II/III) plus the per-batch budget
+/// optimizer.
+pub struct RouteStage<'a> {
+    engine: &'a AdaParseEngine,
+}
+
+impl<'a> RouteStage<'a> {
+    /// Create the stage over a trained (or untrained) engine.
+    pub fn new(engine: &'a AdaParseEngine) -> Self {
+        RouteStage { engine }
+    }
+
+    /// Score one document's expected improvement (parallel-safe).
+    pub fn improvement(&self, input: &RoutingInput) -> (f64, bool) {
+        self.engine.routing_improvement(input)
+    }
+
+    /// Apply the batch budget optimizer over all scored documents. Must see
+    /// the whole campaign in input order (the optimizer's batches are
+    /// consecutive runs of the input), hence sequential.
+    pub fn select(&self, inputs: &[RoutingInput], scores: &[(f64, bool)]) -> Vec<RoutedDocument> {
+        self.engine.assemble_routes(inputs, scores)
+    }
+}
+
+/// Stage 3 output for one document.
+pub struct Parsed {
+    /// The assigned parser's output (empty text on failure).
+    pub output: parsersim::ParseOutput,
+    /// Whether the assigned parser failed.
+    pub failed: bool,
+}
+
+/// Stage 3: parse with the assigned parser from the shared pool.
+pub struct ParseStage<'a> {
+    config: &'a AdaParseConfig,
+    pool: &'a ParserPool,
+}
+
+impl<'a> ParseStage<'a> {
+    /// Create the stage over a shared parser pool.
+    pub fn new(config: &'a AdaParseConfig, pool: &'a ParserPool) -> Self {
+        ParseStage { config, pool }
+    }
+
+    /// Run the stage for one document. The SPDF container is re-derived
+    /// from the document (modelling a re-read from storage) rather than
+    /// carried over from extraction, keeping campaign memory wave-bounded.
+    pub fn run(&self, doc: &Document, decision: &RoutedDocument, seed: u64) -> Parsed {
+        let bytes = write_document(doc);
+        let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
+        let parser = self.pool.get(decision.parser);
+        let mut rng = StdRng::seed_from_u64(seed ^ doc.id.0.wrapping_mul(0x2545F491));
+        match parser.parse_file(&file, &mut rng) {
+            Ok(output) => Parsed { output, failed: false },
+            Err(_) => Parsed {
+                output: parsersim::ParseOutput {
+                    parser: parser.kind(),
+                    text: String::new(),
+                    pages_parsed: 0,
+                    pages_total: doc.page_count(),
+                    cost: ResourceCost::default(),
+                },
+                failed: true,
+            },
+        }
+    }
+
+    /// The cheap extraction every document pays regardless of routing.
+    fn extraction_cost(&self, pages: usize) -> ResourceCost {
+        CostModel::for_parser(self.config.default_parser).document_cost(pages, 0.3)
+    }
+}
+
+/// Per-document outcome produced by stage 4 and folded into the campaign
+/// aggregate.
+pub struct DocOutcome {
+    /// JSONL-ready record.
+    pub record: ParsedRecord,
+    /// Quality against ground truth.
+    pub report: QualityReport,
+    /// Word tokens in the output (feeds accepted-token accounting).
+    pub tokens: usize,
+    /// Resources consumed by this document (extraction + assigned parser).
+    pub cost: ResourceCost,
+    /// Whether the document went to the high-quality parser.
+    pub high_quality: bool,
+    /// Whether the assigned parser failed.
+    pub parse_failed: bool,
+}
+
+/// Stage 4: score parsed output against ground truth and account costs.
+pub struct ScoreStage<'a> {
+    config: &'a AdaParseConfig,
+}
+
+impl<'a> ScoreStage<'a> {
+    /// Create the stage.
+    pub fn new(config: &'a AdaParseConfig) -> Self {
+        ScoreStage { config }
+    }
+
+    /// Run the stage for one document.
+    pub fn run(
+        &self,
+        doc: &Document,
+        decision: &RoutedDocument,
+        parsed: Parsed,
+        extraction_cost: ResourceCost,
+    ) -> DocOutcome {
+        let output = parsed.output;
+        // The cheap extraction is always paid (it feeds the router); the
+        // assigned parser is paid on top unless it *is* the extraction.
+        let mut cost = extraction_cost;
+        if decision.parser != self.config.default_parser {
+            cost = cost + output.cost;
+        }
+        let report = QualityReport::compute(&output.text, &doc.ground_truth(), output.coverage());
+        let tokens = output.token_count();
+        DocOutcome {
+            record: ParsedRecord {
+                doc_id: doc.id.0,
+                parser: decision.parser,
+                text: output.text,
+                coverage: report.coverage,
+                bleu: report.bleu,
+            },
+            report,
+            tokens,
+            cost,
+            high_quality: decision.parser == self.config.high_quality_parser,
+            parse_failed: parsed.failed,
+        }
+    }
+}
+
+/// The staged campaign executor.
+///
+/// Owns a [`ParserPool`] (each parser constructed once, shared across all
+/// workers), the rayon thread pool (built once per pipeline), and a
+/// [`PipelineConfig`]. Results are independent of both knobs; see the module
+/// docs for why.
+pub struct CampaignPipeline {
+    config: PipelineConfig,
+    pool: ParserPool,
+    threads: rayon::ThreadPool,
+}
+
+impl Default for CampaignPipeline {
+    fn default() -> Self {
+        CampaignPipeline::new(PipelineConfig::default())
+    }
+}
+
+impl CampaignPipeline {
+    /// Create a pipeline with explicit parallelism knobs.
+    pub fn new(config: PipelineConfig) -> Self {
+        let config = config.normalized();
+        let threads = ThreadPoolBuilder::new()
+            .num_threads(config.workers)
+            .build()
+            .expect("thread pool construction cannot fail");
+        CampaignPipeline { config, pool: ParserPool::new(), threads }
+    }
+
+    /// The pipeline's parallelism configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run stages 1–2 only: routing decisions for a document collection, in
+    /// input order, without parsing or scoring.
+    pub fn route(&self, engine: &AdaParseEngine, documents: &[Document], seed: u64) -> Vec<RoutedDocument> {
+        let (inputs, _) = self.extract_all(engine, documents, seed);
+        let route = RouteStage::new(engine);
+        let scores = self.score_improvements(&route, &inputs);
+        route.select(&inputs, &scores)
+    }
+
+    /// Run the full campaign, buffering records in memory (the classic
+    /// [`CampaignResult::records`] shape).
+    pub fn run(&self, engine: &AdaParseEngine, documents: &[Document], seed: u64) -> CampaignResult {
+        let mut sink = MemorySink::new();
+        let mut result =
+            self.run_with_sink(engine, documents, seed, &mut sink).expect("memory sink cannot fail");
+        result.records = sink.into_records();
+        result
+    }
+
+    /// Run the full campaign, streaming each [`ParsedRecord`] to `sink` in
+    /// input order instead of buffering (`CampaignResult::records` stays
+    /// empty). Stages 3–4 run wave by wave — a wave is `workers × shard_size`
+    /// documents — and each wave is folded and sunk before the next starts.
+    /// Decoded SPDF containers are per-stage temporaries and routing inputs
+    /// are dropped once decisions exist, so resident memory beyond the
+    /// caller's own corpus is one wave of parsed output plus the (small)
+    /// per-document routing decisions.
+    pub fn run_with_sink(
+        &self,
+        engine: &AdaParseEngine,
+        documents: &[Document],
+        seed: u64,
+        sink: &mut dyn RecordSink,
+    ) -> std::io::Result<CampaignResult> {
+        let config = engine.config();
+
+        // Stages 1–2: extract in parallel, route sequentially.
+        let (inputs, extraction_failures) = self.extract_all(engine, documents, seed);
+        let route = RouteStage::new(engine);
+        let scores = self.score_improvements(&route, &inputs);
+        let routed = route.select(&inputs, &scores);
+        drop(scores);
+        drop(inputs);
+
+        // Stages 3–4: parse and score wave by wave. Within a wave, shards run
+        // in parallel and come back in input order; the fold then consumes
+        // the wave before the next one is produced, bounding resident output
+        // text to one wave.
+        let parse = ParseStage::new(config, &self.pool);
+        let score = ScoreStage::new(config);
+        let wave_size = self.config.shard_size * self.threads.current_num_threads().max(1);
+
+        let mut total_cost = ResourceCost::default();
+        let mut accepted = AcceptedTokens::new();
+        let mut coverage = 0.0;
+        let mut bleu = 0.0;
+        let mut rouge = 0.0;
+        let mut car = 0.0;
+        let mut high_quality = 0usize;
+        let mut parse_failures = 0usize;
+
+        for (wave_index, wave) in documents.chunks(wave_size).enumerate() {
+            let offset = wave_index * wave_size;
+            let jobs: Vec<(usize, &Document)> =
+                wave.iter().enumerate().map(|(k, doc)| (offset + k, doc)).collect();
+            let outcomes: Vec<Vec<DocOutcome>> = self.threads.install(|| {
+                jobs.par_chunks(self.config.shard_size)
+                    .map(|shard| {
+                        shard
+                            .iter()
+                            .map(|&(i, doc)| {
+                                let parsed = parse.run(doc, &routed[i], seed);
+                                let extraction_cost = parse.extraction_cost(doc.page_count());
+                                score.run(doc, &routed[i], parsed, extraction_cost)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            });
+
+            // Fold strictly in input order so float accumulation (and the
+            // result as a whole) is identical for every worker count, shard
+            // size, and wave boundary.
+            for outcome in outcomes.into_iter().flatten() {
+                coverage += outcome.report.coverage;
+                bleu += outcome.report.bleu;
+                rouge += outcome.report.rouge;
+                car += outcome.report.car;
+                accepted.record(outcome.tokens, outcome.report.bleu, DEFAULT_ACCEPTANCE_THRESHOLD);
+                total_cost = total_cost + outcome.cost;
+                high_quality += outcome.high_quality as usize;
+                parse_failures += outcome.parse_failed as usize;
+                sink.accept(outcome.record)?;
+            }
+        }
+
+        let n = documents.len().max(1) as f64;
+        Ok(CampaignResult {
+            quality: CampaignQuality {
+                coverage: coverage / n,
+                bleu: bleu / n,
+                rouge: rouge / n,
+                car: car / n,
+                accepted_tokens: accepted.rate(),
+                documents: documents.len(),
+            },
+            routed,
+            high_quality_fraction: high_quality as f64 / n,
+            total_cost,
+            records: Vec::new(),
+            failures: CampaignFailures { extraction: extraction_failures, parsing: parse_failures },
+        })
+    }
+
+    /// Stage 1 over the whole collection, sharded across the pool. Returns
+    /// the routing inputs plus the extraction failure count.
+    fn extract_all(
+        &self,
+        engine: &AdaParseEngine,
+        documents: &[Document],
+        seed: u64,
+    ) -> (Vec<RoutingInput>, usize) {
+        let stage = ExtractStage::new(engine.config(), &self.pool);
+        let shards: Vec<Vec<Extracted>> = self.threads.install(|| {
+            documents
+                .par_chunks(self.config.shard_size)
+                .map(|shard| shard.iter().map(|doc| stage.run(doc, seed)).collect())
+                .collect()
+        });
+        let mut inputs = Vec::with_capacity(documents.len());
+        let mut failures = 0usize;
+        for extracted in shards.into_iter().flatten() {
+            inputs.push(extracted.input);
+            failures += extracted.failed as usize;
+        }
+        (inputs, failures)
+    }
+
+    /// CLS inference for stage 2, sharded across the pool (pure per-document
+    /// work; the sequential budget selection happens afterwards).
+    fn score_improvements(&self, route: &RouteStage<'_>, inputs: &[RoutingInput]) -> Vec<(f64, bool)> {
+        let shards: Vec<Vec<(f64, bool)>> = self.threads.install(|| {
+            inputs
+                .par_chunks(self.config.shard_size)
+                .map(|shard| shard.iter().map(|input| route.improvement(input)).collect())
+                .collect()
+        });
+        shards.into_iter().flatten().collect()
+    }
+}

@@ -1,22 +1,20 @@
-//! The AdaParse engine: hierarchical routing plus the campaign driver.
+//! The AdaParse engine: configuration, training, and hierarchical routing.
+//!
+//! Campaign *execution* lives in [`crate::campaign`]; the engine's
+//! `parse_documents` / `route_documents` are thin delegates over a
+//! default-configured [`CampaignPipeline`].
 
 use docmodel::document::Document;
-use docmodel::spdf::{write_document, SpdfFile};
 use parsersim::cost::{CostModel, NodeSpec, ResourceCost};
-use parsersim::registry::parser_for;
-use parsersim::traits::Parser;
 use parsersim::ParserKind;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use selector::cls1::Cls1Decision;
 use selector::cls2::ImprovementClassifier;
 use selector::cls3::{AccuracyPredictor, ParserPreference, PredictorConfig};
-use selector::dataset::{AccuracyDataset, AccuracySample};
+use selector::dataset::AccuracyDataset;
 use serde::{Deserialize, Serialize};
-use textmetrics::accepted::{AcceptedTokens, DEFAULT_ACCEPTANCE_THRESHOLD};
-use textmetrics::QualityReport;
 
 use crate::budget::select_batch;
+use crate::campaign::{CampaignFailures, CampaignPipeline, RoutingInput};
 use crate::config::{AdaParseConfig, Variant};
 use crate::output::ParsedRecord;
 
@@ -62,31 +60,11 @@ pub struct CampaignResult {
     pub high_quality_fraction: f64,
     /// Total resources consumed (extraction + assigned parsers).
     pub total_cost: ResourceCost,
-    /// Per-document output records (JSONL-ready).
+    /// Per-document output records (JSONL-ready). Empty when the campaign
+    /// streamed records to a [`crate::output::RecordSink`] instead.
     pub records: Vec<ParsedRecord>,
-}
-
-/// Inputs the router needs for one document (no ground truth involved).
-#[derive(Debug, Clone, PartialEq)]
-struct RoutingInput {
-    doc_id: u64,
-    first_page_text: String,
-    metadata_features: Vec<f64>,
-    title: String,
-    pages: usize,
-}
-
-impl RoutingInput {
-    fn as_sample(&self) -> AccuracySample {
-        AccuracySample {
-            doc_id: self.doc_id,
-            first_page_text: self.first_page_text.clone(),
-            title: self.title.clone(),
-            metadata_features: self.metadata_features.clone(),
-            targets: vec![0.0; ParserKind::ALL.len()],
-            pages: self.pages,
-        }
-    }
+    /// Per-document parser failure counts (paper §5 failure analysis).
+    pub failures: CampaignFailures,
 }
 
 /// The AdaParse engine.
@@ -147,50 +125,57 @@ impl AdaParseEngine {
         &self.cls3
     }
 
-    fn route_inputs(&self, inputs: &[RoutingInput]) -> Vec<RoutedDocument> {
-        // Stage decisions: candidate improvements for the budget optimizer.
-        let mut improvements = Vec::with_capacity(inputs.len());
-        let mut cls1_flags = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            let decision = self.config.validity.decide(&input.first_page_text, 1);
-            let invalid = decision == Cls1Decision::Invalid;
-            cls1_flags.push(invalid);
-            let improvement = if invalid {
-                // CLS I failures always deserve the high-quality parser.
-                f64::MAX / 4.0
-            } else {
-                match self.config.variant {
-                    Variant::FastText => {
-                        let p = self.cls2.improvement_probability(&input.as_sample());
-                        if p >= 0.5 {
-                            p
-                        } else {
-                            f64::MIN / 4.0
-                        }
-                    }
-                    Variant::Llm => {
-                        let gain = self.cls3.predicted_improvement(
-                            &input.first_page_text,
-                            self.config.high_quality_parser,
-                            self.config.default_parser,
-                        );
-                        if gain > 0.0 {
-                            gain
-                        } else {
-                            f64::MIN / 4.0
-                        }
+    /// CLS I → II/III scoring for one document: the predicted improvement of
+    /// the high-quality parser (the budget optimizer's ranking key) and the
+    /// CLS I invalid flag. Pure per-document work — the campaign pipeline
+    /// calls this from its parallel routing stage.
+    pub(crate) fn routing_improvement(&self, input: &RoutingInput) -> (f64, bool) {
+        let decision = self.config.validity.decide(&input.first_page_text, 1);
+        let invalid = decision == Cls1Decision::Invalid;
+        let improvement = if invalid {
+            // CLS I failures always deserve the high-quality parser.
+            f64::MAX / 4.0
+        } else {
+            match self.config.variant {
+                Variant::FastText => {
+                    let p = self.cls2.improvement_probability(&input.as_sample());
+                    if p >= 0.5 {
+                        p
+                    } else {
+                        f64::MIN / 4.0
                     }
                 }
-            };
-            improvements.push(improvement);
-        }
+                Variant::Llm => {
+                    let gain = self.cls3.predicted_improvement(
+                        &input.first_page_text,
+                        self.config.high_quality_parser,
+                        self.config.default_parser,
+                    );
+                    if gain > 0.0 {
+                        gain
+                    } else {
+                        f64::MIN / 4.0
+                    }
+                }
+            }
+        };
+        (improvement, invalid)
+    }
+
+    /// Apply the per-batch budget optimizer to already-scored documents and
+    /// produce the final routing decisions, in input order.
+    pub(crate) fn assemble_routes(
+        &self,
+        inputs: &[RoutingInput],
+        scores: &[(f64, bool)],
+    ) -> Vec<RoutedDocument> {
+        let improvements: Vec<f64> = scores.iter().map(|&(improvement, _)| improvement).collect();
         let mask = select_batch(&improvements, self.config.alpha, self.config.batch_size);
         inputs
             .iter()
-            .zip(improvements.iter())
+            .zip(scores.iter())
             .zip(mask.iter())
-            .zip(cls1_flags.iter())
-            .map(|(((input, &improvement), &selected), &invalid)| {
+            .map(|((input, &(improvement, invalid)), &selected)| {
                 let is_candidate = improvement > f64::MIN / 8.0;
                 let parser = if selected && is_candidate {
                     self.config.high_quality_parser
@@ -208,123 +193,21 @@ impl AdaParseEngine {
     }
 
     /// Route a document collection without parsing it (returns one decision
-    /// per document, in order).
+    /// per document, in order). Runs stages 1–2 of a default-configured
+    /// [`CampaignPipeline`].
     pub fn route_documents(&self, documents: &[Document], seed: u64) -> Vec<RoutedDocument> {
-        let inputs: Vec<RoutingInput> =
-            documents.iter().map(|doc| self.build_input(doc, seed)).collect();
-        self.route_inputs(&inputs)
-    }
-
-    fn build_input(&self, doc: &Document, seed: u64) -> RoutingInput {
-        let bytes = write_document(doc);
-        let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
-        let extraction = self.extract_first_page(&file, seed ^ doc.id.0);
-        RoutingInput {
-            doc_id: doc.id.0,
-            first_page_text: extraction,
-            metadata_features: doc.metadata.feature_vector(),
-            title: doc.metadata.title.clone(),
-            pages: doc.page_count(),
-        }
-    }
-
-    fn extract_first_page(&self, file: &SpdfFile, seed: u64) -> String {
-        let parser = parser_for(self.config.default_parser);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xEAF1);
-        match parser.parse_file(file, &mut rng) {
-            Ok(out) => out.text.split('\u{c}').next().unwrap_or("").to_string(),
-            Err(_) => String::new(),
-        }
+        CampaignPipeline::default().route(self, documents, seed)
     }
 
     /// Parse a document collection end-to-end: extract, route, parse with the
     /// assigned parser, and score against ground truth.
+    ///
+    /// Delegates to a default-configured [`CampaignPipeline`]; use the
+    /// pipeline directly to control worker count, shard size, or to stream
+    /// records to a [`crate::output::RecordSink`]. The result is identical
+    /// for every worker count.
     pub fn parse_documents(&self, documents: &[Document], seed: u64) -> CampaignResult {
-        let mut files = Vec::with_capacity(documents.len());
-        let mut inputs = Vec::with_capacity(documents.len());
-        for doc in documents {
-            let bytes = write_document(doc);
-            let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
-            let extraction = self.extract_first_page(&file, seed ^ doc.id.0);
-            inputs.push(RoutingInput {
-                doc_id: doc.id.0,
-                first_page_text: extraction,
-                metadata_features: doc.metadata.feature_vector(),
-                title: doc.metadata.title.clone(),
-                pages: doc.page_count(),
-            });
-            files.push(file);
-        }
-        let routed = self.route_inputs(&inputs);
-
-        let default_parser = parser_for(self.config.default_parser);
-        let high_quality_parser = parser_for(self.config.high_quality_parser);
-
-        let mut total_cost = ResourceCost::default();
-        let mut accepted = AcceptedTokens::new();
-        let mut coverage = 0.0;
-        let mut bleu = 0.0;
-        let mut rouge = 0.0;
-        let mut car = 0.0;
-        let mut records = Vec::with_capacity(documents.len());
-        let mut high_quality = 0usize;
-
-        for ((doc, file), decision) in documents.iter().zip(&files).zip(&routed) {
-            let parser: &dyn Parser = if decision.parser == self.config.high_quality_parser {
-                high_quality += 1;
-                high_quality_parser.as_ref()
-            } else {
-                default_parser.as_ref()
-            };
-            let mut rng = StdRng::seed_from_u64(seed ^ doc.id.0.wrapping_mul(0x2545F491));
-            let output = match parser.parse_file(file, &mut rng) {
-                Ok(out) => out,
-                Err(_) => parsersim::ParseOutput {
-                    parser: parser.kind(),
-                    text: String::new(),
-                    pages_parsed: 0,
-                    pages_total: doc.page_count(),
-                    cost: ResourceCost::default(),
-                },
-            };
-            // The cheap extraction is always paid (it feeds the router); the
-            // assigned parser is paid on top unless it *is* the extraction.
-            let extraction_cost =
-                CostModel::for_parser(self.config.default_parser).document_cost(doc.page_count(), 0.3);
-            total_cost = total_cost + extraction_cost;
-            if decision.parser != self.config.default_parser {
-                total_cost = total_cost + output.cost;
-            }
-            let report = QualityReport::compute(&output.text, &doc.ground_truth(), output.coverage());
-            coverage += report.coverage;
-            bleu += report.bleu;
-            rouge += report.rouge;
-            car += report.car;
-            accepted.record(output.token_count(), report.bleu, DEFAULT_ACCEPTANCE_THRESHOLD);
-            records.push(ParsedRecord {
-                doc_id: doc.id.0,
-                parser: decision.parser,
-                text: output.text,
-                coverage: report.coverage,
-                bleu: report.bleu,
-            });
-        }
-
-        let n = documents.len().max(1) as f64;
-        CampaignResult {
-            quality: CampaignQuality {
-                coverage: coverage / n,
-                bleu: bleu / n,
-                rouge: rouge / n,
-                car: car / n,
-                accepted_tokens: accepted.rate(),
-                documents: documents.len(),
-            },
-            routed,
-            high_quality_fraction: high_quality as f64 / n,
-            total_cost,
-            records,
-        }
+        CampaignPipeline::default().run(self, documents, seed)
     }
 
     /// Steady-state single-node throughput of this engine configuration in
@@ -340,8 +223,7 @@ impl AdaParseEngine {
             Variant::FastText => 0.002,
             Variant::Llm => 0.03,
         };
-        let cpu_per_doc =
-            cheap.cpu_seconds + inference_cpu + self.config.alpha * expensive.cpu_seconds;
+        let cpu_per_doc = cheap.cpu_seconds + inference_cpu + self.config.alpha * expensive.cpu_seconds;
         let gpu_per_doc = self.config.alpha * expensive.gpu_seconds;
         let cpu_rate = if cpu_per_doc > 0.0 { node.cpu_cores as f64 / cpu_per_doc } else { f64::INFINITY };
         let gpu_rate = if gpu_per_doc > 0.0 { node.gpus as f64 / gpu_per_doc } else { f64::INFINITY };
@@ -382,11 +264,7 @@ mod tests {
         let engine = trained_engine(AdaParseConfig { alpha: 0.10, batch_size: 10, ..Default::default() });
         let docs = corpus(40, 0.4, 222);
         let result = engine.parse_documents(&docs, 9);
-        assert!(
-            result.high_quality_fraction <= 0.10 + 1e-9,
-            "fraction = {}",
-            result.high_quality_fraction
-        );
+        assert!(result.high_quality_fraction <= 0.10 + 1e-9, "fraction = {}", result.high_quality_fraction);
         assert_eq!(result.routed.len(), 40);
         assert_eq!(result.records.len(), 40);
         assert_eq!(result.quality.documents, 40);

@@ -6,13 +6,15 @@
 //! compute seconds from the parser cost model, and model-load cold-start
 //! costs) and runs the Parsl-like executor over an arbitrary node count.
 
+use docmodel::document::Document;
 use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, SlotKind, Task, WorkflowExecutor};
 use parsersim::cost::CostModel;
 use parsersim::ParserKind;
 use serde::{Deserialize, Serialize};
 
+use crate::campaign::CampaignPipeline;
 use crate::config::AdaParseConfig;
-use crate::engine::RoutedDocument;
+use crate::engine::{AdaParseEngine, RoutedDocument};
 
 /// A lightweight description of a document workload for scaling studies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,8 +70,7 @@ pub fn tasks_for_routing(
                 .with_label(config.default_parser.name()),
         );
         if decision.parser == config.high_quality_parser {
-            let slot =
-                if config.high_quality_parser.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
+            let slot = if config.high_quality_parser.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
             let compute = if config.high_quality_parser.requires_gpu() {
                 expensive.gpu_seconds
             } else {
@@ -84,6 +85,20 @@ pub fn tasks_for_routing(
         }
     }
     tasks
+}
+
+/// Build tasks for an AdaParse campaign by actually routing `documents`
+/// through stages 1–2 of the given [`CampaignPipeline`] — the faithful
+/// (rather than α-quota-approximated) Figure 5 construction.
+pub fn tasks_for_campaign(
+    engine: &AdaParseEngine,
+    pipeline: &CampaignPipeline,
+    documents: &[Document],
+    seed: u64,
+    workload: &WorkloadSpec,
+) -> Vec<Task> {
+    let routed = pipeline.route(engine, documents, seed);
+    tasks_for_routing(engine.config(), &routed, workload)
 }
 
 /// Build tasks for an AdaParse campaign by *assuming* an α-fraction goes to
@@ -110,11 +125,8 @@ pub fn parser_throughput_at_scale(
     executor: &ExecutorConfig,
 ) -> f64 {
     let tasks = tasks_for_parser(kind, workload);
-    let report = WorkflowExecutor::new(*executor).run(
-        &tasks,
-        &ClusterConfig::polaris(nodes),
-        &LustreModel::default(),
-    );
+    let report =
+        WorkflowExecutor::new(*executor).run(&tasks, &ClusterConfig::polaris(nodes), &LustreModel::default());
     // One task per document for fixed parsers.
     report.throughput_per_second
 }
@@ -128,11 +140,8 @@ pub fn adaparse_throughput_at_scale(
     executor: &ExecutorConfig,
 ) -> f64 {
     let tasks = tasks_for_alpha(config, workload);
-    let report = WorkflowExecutor::new(*executor).run(
-        &tasks,
-        &ClusterConfig::polaris(nodes),
-        &LustreModel::default(),
-    );
+    let report =
+        WorkflowExecutor::new(*executor).run(&tasks, &ClusterConfig::polaris(nodes), &LustreModel::default());
     if report.makespan_seconds > 0.0 {
         workload.documents as f64 / report.makespan_seconds
     } else {

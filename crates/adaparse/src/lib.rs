@@ -2,40 +2,89 @@
 //!
 //! This crate is the paper's primary contribution: a meta-parser that routes
 //! every document to the parser most likely to produce accurate text, subject
-//! to a compute budget, and the machinery to run that routing as a large
-//! parallel campaign.
+//! to a compute budget, and a staged parallel pipeline that runs that routing
+//! as a large campaign.
+//!
+//! # Architecture: the staged campaign pipeline
+//!
+//! A campaign flows through four explicit stages (see [`campaign`]):
+//!
+//! ```text
+//!             ┌────────────┐   ┌───────────┐   ┌────────────┐   ┌────────────┐
+//!  documents ─► ExtractStage├──►│RouteStage ├──►│ ParseStage ├──►│ ScoreStage ├─► CampaignResult
+//!             │ (parallel)  │   │(sequential│   │ (parallel) │   │ (parallel) │      + RecordSink
+//!             └────────────┘   │  budget)  │   └────────────┘   └────────────┘
+//!                              └───────────┘
+//! ```
+//!
+//! * **Extract** — SPDF round-trip plus a cheap first-page extraction with
+//!   the default parser; produces the router's per-document features.
+//! * **Route** — CLS I validity, then CLS II (FastText variant) or CLS III
+//!   (LLM variant) improvement prediction, then the Appendix C per-batch
+//!   budget optimizer caps the high-quality fraction at α.
+//! * **Parse** — each document runs its assigned parser, drawn from a shared
+//!   immutable [`parsersim::ParserPool`] (each parser constructed once).
+//! * **Score** — BLEU/ROUGE/CAR/coverage against ground truth plus resource
+//!   accounting; records stream to a [`RecordSink`] in document order.
+//!
+//! The parallel stages run over shards of the input on a `rayon` thread pool
+//! ([`PipelineConfig`] sets worker count and shard size). Per-document RNG
+//! streams are keyed by `seed ^ doc_id` and the final fold is in input order,
+//! so the result is **bitwise identical for every worker count** — the
+//! pipeline scales without changing a single output bit. Parser errors are
+//! never silently swallowed: [`CampaignFailures`] counts them per stage.
+//!
+//! Module map:
 //!
 //! * [`config`] — the engine configuration (variant, α budget, batch size),
 //! * [`budget`] — the Appendix C constrained-budget optimizer (per-batch and
 //!   global),
-//! * [`engine`] — the hierarchical routing pipeline (CLS I → II → III) plus
-//!   the campaign driver that parses corpora and scores the result,
-//! * [`output`] — JSONL output records for parsed documents,
+//! * [`engine`] — configuration + training + the hierarchical router
+//!   (CLS I → II → III); campaign entry points delegate to the pipeline,
+//! * [`campaign`] — the staged parallel pipeline described above,
+//! * [`output`] — JSONL records, [`RecordSink`], in-memory and streaming
+//!   JSONL sinks,
 //! * [`hpc`] — the bridge turning routed documents into `hpcsim` tasks so
 //!   multi-node throughput (Figure 5) and GPU utilization (Figure 4) can be
 //!   simulated.
 //!
 //! # Example
 //!
-//! ```no_run
-//! use adaparse::{AdaParseConfig, AdaParseEngine};
+//! ```
+//! use adaparse::{AdaParseConfig, AdaParseEngine, CampaignPipeline, PipelineConfig};
 //! use scicorpus::{Corpus, GeneratorConfig};
 //!
-//! let corpus = Corpus::generate(&GeneratorConfig { n_documents: 50, seed: 3, ..Default::default() });
+//! // A small corpus with a train/test split.
+//! let corpus = Corpus::generate(&GeneratorConfig {
+//!     n_documents: 12,
+//!     seed: 3,
+//!     min_pages: 1,
+//!     max_pages: 2,
+//!     ..Default::default()
+//! });
+//! let train: Vec<_> = corpus.train().into_iter().cloned().collect();
+//! let test: Vec<_> = corpus.test().into_iter().cloned().collect();
+//!
+//! // Train the router and run a campaign through the parallel pipeline.
 //! let mut engine = AdaParseEngine::new(AdaParseConfig::default());
-//! engine.train_on_corpus(corpus.train().into_iter().cloned().collect::<Vec<_>>().as_slice(), 7);
-//! let result = engine.parse_documents(&corpus.test().into_iter().cloned().collect::<Vec<_>>(), 11);
-//! println!("BLEU = {:.3}", result.quality.bleu);
+//! engine.train_on_corpus(&train, 7);
+//! let pipeline = CampaignPipeline::new(PipelineConfig { workers: 2, shard_size: 4 });
+//! let result = pipeline.run(&engine, &test, 11);
+//! assert_eq!(result.quality.documents, test.len());
+//! // Identical to the engine's default (sequential-equivalent) entry point.
+//! assert_eq!(result, engine.parse_documents(&test, 11));
 //! ```
 
 pub mod budget;
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod hpc;
 pub mod output;
 
 pub use budget::{max_affordable_alpha, select_batch, select_global};
+pub use campaign::{CampaignFailures, CampaignPipeline, PipelineConfig, RoutingInput};
 pub use config::{AdaParseConfig, Variant};
 pub use engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
 pub use hpc::{adaparse_throughput_at_scale, parser_throughput_at_scale, WorkloadSpec};
-pub use output::ParsedRecord;
+pub use output::{JsonlSink, MemorySink, ParsedRecord, RecordSink};

@@ -1,9 +1,17 @@
-//! JSONL output records.
+//! JSONL output records and the campaign's [`RecordSink`] abstraction.
 //!
 //! Large parsing campaigns write one JSON object per document to line-
 //! delimited files (the paper's pipeline emits JSONL for LLM data curation).
 //! Serialization is hand-rolled to keep the dependency set to the approved
 //! crates; only the small, flat record type below needs it.
+//!
+//! The campaign pipeline hands each finished [`ParsedRecord`] to a
+//! [`RecordSink`] in document order. [`MemorySink`] buffers them (the classic
+//! `CampaignResult::records` shape); [`JsonlSink`] streams them to any
+//! writer, so a million-document campaign keeps at most one wave
+//! (workers × shard size documents) of parsed output text in memory.
+
+use std::io::Write;
 
 use parsersim::ParserKind;
 use serde::{Deserialize, Serialize};
@@ -45,6 +53,74 @@ pub fn to_jsonl(records: &[ParsedRecord]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Destination for the stream of per-document campaign records.
+///
+/// Implementations receive records **in input (document) order**, one per
+/// parsed document, regardless of how many workers the pipeline ran with.
+pub trait RecordSink {
+    /// Consume one record. Errors abort the campaign's final fold.
+    fn accept(&mut self, record: ParsedRecord) -> std::io::Result<()>;
+}
+
+/// Buffers records in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<ParsedRecord>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The buffered records, in document order.
+    pub fn into_records(self) -> Vec<ParsedRecord> {
+        self.records
+    }
+}
+
+impl RecordSink for MemorySink {
+    fn accept(&mut self, record: ParsedRecord) -> std::io::Result<()> {
+        self.records.push(record);
+        Ok(())
+    }
+}
+
+/// Streams records as JSONL to a writer (file, socket, `Vec<u8>`, …).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: usize,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, written: 0 }
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> RecordSink for JsonlSink<W> {
+    fn accept(&mut self, record: ParsedRecord) -> std::io::Result<()> {
+        self.writer.write_all(record.to_json_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
 }
 
 fn escape_json(text: &str) -> String {
@@ -98,6 +174,46 @@ mod tests {
         let jsonl = to_jsonl(&records);
         assert_eq!(jsonl.lines().count(), 3);
         assert!(to_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let mut sink = MemorySink::new();
+        for i in 0..5 {
+            sink.accept(ParsedRecord {
+                doc_id: i,
+                parser: ParserKind::PyMuPdf,
+                text: String::new(),
+                coverage: 1.0,
+                bleu: 0.0,
+            })
+            .unwrap();
+        }
+        let ids: Vec<u64> = sink.into_records().iter().map(|r| r.doc_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for i in 0..3 {
+            sink.accept(ParsedRecord {
+                doc_id: i,
+                parser: ParserKind::Nougat,
+                text: format!("text {i}\nsecond line"),
+                coverage: 0.5,
+                bleu: 0.25,
+            })
+            .unwrap();
+        }
+        assert_eq!(sink.written(), 3);
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.ends_with('\n'));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
     }
 
     #[test]

@@ -20,9 +20,7 @@ fn bench_budget(c: &mut Criterion) {
         });
     }
     group.bench_function("global", |b| b.iter(|| select_global(black_box(&values), 0.05)));
-    group.bench_function("optimality_gap_k256", |b| {
-        b.iter(|| optimality_gap(black_box(&values), 0.05, 256))
-    });
+    group.bench_function("optimality_gap_k256", |b| b.iter(|| optimality_gap(black_box(&values), 0.05, 256)));
     group.finish();
 }
 

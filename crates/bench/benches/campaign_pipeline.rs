@@ -1,0 +1,37 @@
+//! The campaign pipeline's parallel-scaling kernel: the same end-to-end
+//! campaign (extract → route → parse → score) at 1 worker vs N workers.
+//!
+//! On a multi-core host the N-worker rows should show a ≥2× lower wall time
+//! for the ≥200-document campaign; on a single-core host all rows collapse
+//! to the sequential time (the pipeline's *results* are identical either
+//! way — see the `pipeline_determinism` tests).
+
+use adaparse::{AdaParseConfig, AdaParseEngine, CampaignPipeline, PipelineConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+fn bench_pipeline_scaling(c: &mut Criterion) {
+    let docs = DocumentGenerator::new(GeneratorConfig {
+        n_documents: 200,
+        seed: 42,
+        min_pages: 1,
+        max_pages: 3,
+        scanned_fraction: 0.3,
+        ..Default::default()
+    })
+    .generate_many(200);
+    let mut engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.1, ..Default::default() });
+    engine.train_on_corpus(&docs[..20], 5);
+
+    let mut group = c.benchmark_group("campaign_pipeline");
+    for &workers in &[1usize, 2, 4, 8] {
+        let pipeline = CampaignPipeline::new(PipelineConfig { workers, shard_size: 16 });
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| pipeline.run(black_box(&engine), black_box(&docs), 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_scaling);
+criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Figure 5 kernel: simulating a multi-node campaign with the Parsl-like
-//! executor for the extreme parsers and for AdaParse.
+//! executor for the extreme parsers and for AdaParse — with the AdaParse
+//! task graph built both by the α-quota shortcut and by actually routing a
+//! corpus through the campaign pipeline's extract + route stages.
 
-use adaparse::hpc::{tasks_for_alpha, tasks_for_parser, WorkloadSpec};
-use adaparse::AdaParseConfig;
+use adaparse::hpc::{tasks_for_alpha, tasks_for_campaign, tasks_for_parser, WorkloadSpec};
+use adaparse::{AdaParseConfig, AdaParseEngine, CampaignPipeline, PipelineConfig};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
 use parsersim::ParserKind;
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
 
 fn bench_scaling(c: &mut Criterion) {
     let workload = WorkloadSpec { documents: 2_000, pages_per_doc: 10, mb_per_doc: 1.5 };
@@ -26,5 +29,33 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+fn bench_pipeline_routing(c: &mut Criterion) {
+    // The faithful Figure 5 construction: a real (small) corpus routed
+    // through pipeline stages 1–2, then the task graph executed at scale.
+    let docs = DocumentGenerator::new(GeneratorConfig {
+        n_documents: 300,
+        seed: 11,
+        min_pages: 1,
+        max_pages: 2,
+        scanned_fraction: 0.3,
+        ..Default::default()
+    })
+    .generate_many(300);
+    let mut engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.05, ..Default::default() });
+    engine.train_on_corpus(&docs[..20], 5);
+    let pipeline = CampaignPipeline::new(PipelineConfig::default());
+    let workload = WorkloadSpec { documents: docs.len(), pages_per_doc: 10, mb_per_doc: 1.5 };
+    let executor = WorkflowExecutor::new(ExecutorConfig::default());
+    let fs = LustreModel::default();
+    let cluster = ClusterConfig::polaris(8);
+
+    c.bench_function("fig5/pipeline_routed_campaign/8", |b| {
+        b.iter(|| {
+            let tasks = tasks_for_campaign(&engine, &pipeline, black_box(&docs), 7, &workload);
+            executor.run(&tasks, &cluster, &fs)
+        })
+    });
+}
+
+criterion_group!(benches, bench_scaling, bench_pipeline_routing);
 criterion_main!(benches);

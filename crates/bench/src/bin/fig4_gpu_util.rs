@@ -8,16 +8,15 @@ use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
 use parsersim::ParserKind;
 
 fn main() {
-    let workload = WorkloadSpec {
-        documents: bench::bench_doc_count(200),
-        pages_per_doc: 10,
-        mb_per_doc: 1.5,
-    };
+    let workload =
+        WorkloadSpec { documents: bench::bench_doc_count(200), pages_per_doc: 10, mb_per_doc: 1.5 };
     let tasks = tasks_for_parser(ParserKind::Nougat, &workload);
     let cluster = ClusterConfig::polaris(1);
     let fs = LustreModel::default();
 
-    for (label, warm) in [("warm-start workers (paper configuration)", true), ("cold start per task (ablation)", false)] {
+    for (label, warm) in
+        [("warm-start workers (paper configuration)", true), ("cold start per task (ablation)", false)]
+    {
         let report = WorkflowExecutor::new(ExecutorConfig { warm_start: warm, ..Default::default() })
             .run(&tasks, &cluster, &fs);
         println!("Figure 4 — GPU utilization, {label}");

@@ -11,11 +11,8 @@ use parsersim::ParserKind;
 fn main() {
     let no_staging = std::env::args().any(|a| a == "--no-staging");
     let executor = ExecutorConfig { node_local_staging: !no_staging, ..Default::default() };
-    let workload = WorkloadSpec {
-        documents: bench::bench_doc_count(4_000),
-        pages_per_doc: 10,
-        mb_per_doc: 1.5,
-    };
+    let workload =
+        WorkloadSpec { documents: bench::bench_doc_count(4_000), pages_per_doc: 10, mb_per_doc: 1.5 };
     let node_counts = [1usize, 2, 4, 8, 16, 32, 64, 128];
 
     println!(

@@ -1,0 +1,60 @@
+//! Wall-clock scaling of the campaign pipeline: one identical ≥200-document
+//! campaign at 1, 2, 4, and 8 workers, with the speedup over the 1-worker
+//! run and a bitwise determinism check across all runs.
+//!
+//! Run with: `cargo run --release --bin pipeline_scaling`
+//! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
+
+use std::time::Instant;
+
+use adaparse::{AdaParseConfig, AdaParseEngine, CampaignPipeline, PipelineConfig};
+use bench::bench_doc_count;
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+fn main() {
+    let n_docs = bench_doc_count(240).max(200);
+    let docs = DocumentGenerator::new(GeneratorConfig {
+        n_documents: n_docs,
+        seed: 42,
+        min_pages: 1,
+        max_pages: 3,
+        scanned_fraction: 0.3,
+        ..Default::default()
+    })
+    .generate_many(n_docs);
+    let mut engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.1, ..Default::default() });
+    engine.train_on_corpus(&docs[..20.min(n_docs)], 5);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Campaign pipeline wall-clock scaling — {n_docs} documents, {cores} core(s) available");
+    println!("{:>8} {:>12} {:>9}  result", "workers", "wall-clock", "speedup");
+
+    let mut baseline_seconds = None;
+    let mut baseline_result = None;
+    for workers in [1usize, 2, 4, 8] {
+        let pipeline = CampaignPipeline::new(PipelineConfig { workers, shard_size: 16 });
+        let start = Instant::now();
+        let result = pipeline.run(&engine, &docs, 7);
+        let elapsed = start.elapsed().as_secs_f64();
+        let baseline = *baseline_seconds.get_or_insert(elapsed);
+        let identical = match &baseline_result {
+            None => {
+                baseline_result = Some(result);
+                true
+            }
+            Some(expected) => *expected == result,
+        };
+        println!(
+            "{workers:>8} {:>10.3} s {:>8.2}x  {}",
+            elapsed,
+            baseline / elapsed,
+            if identical { "identical to 1-worker run" } else { "DIVERGED (bug!)" }
+        );
+        assert!(identical, "pipeline output diverged at {workers} workers");
+    }
+
+    if cores == 1 {
+        println!("\nnote: single-core host — speedups ≈1x here; run on a multi-core");
+        println!("      machine to observe the ≥2x 8-worker speedup.");
+    }
+}

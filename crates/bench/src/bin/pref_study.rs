@@ -29,5 +29,10 @@ fn main() {
     for (name, rate) in &analysis.win_rates {
         println!("    {:<10} {:>5.1} %", name, 100.0 * rate);
     }
-    println!("  splits: train = {}, validation = {}, test = {}", study.train().len(), study.validation().len(), study.test().len());
+    println!(
+        "  splits: train = {}, validation = {}, test = {}",
+        study.train().len(),
+        study.validation().len(),
+        study.test().len()
+    );
 }

@@ -56,15 +56,7 @@ pub fn scramble_characters<R: Rng + ?Sized>(text: &str, rate: f64, rng: &mut R) 
 /// scans. `rate` is the per-character substitution probability.
 pub fn substitute_confusable_chars<R: Rng + ?Sized>(text: &str, rate: f64, rng: &mut R) -> String {
     let rate = rate.clamp(0.0, 1.0);
-    text.chars()
-        .map(|c| {
-            if rng.gen_bool(rate) {
-                confuse(c, rng)
-            } else {
-                c
-            }
-        })
-        .collect()
+    text.chars().map(|c| if rng.gen_bool(rate) { confuse(c, rng) } else { c }).collect()
 }
 
 fn confuse<R: Rng + ?Sized>(c: char, rng: &mut R) -> char {

@@ -33,11 +33,7 @@ impl Page {
 
     /// Ground-truth text of the page (elements joined by newlines).
     pub fn ground_truth_text(&self) -> String {
-        self.elements
-            .iter()
-            .map(|e| e.ground_truth_text())
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.elements.iter().map(|e| e.ground_truth_text()).collect::<Vec<_>>().join("\n")
     }
 
     /// Number of ground-truth words on the page.
@@ -55,8 +51,7 @@ impl Page {
         if self.elements.is_empty() {
             return 0.0;
         }
-        self.elements.iter().map(|e| e.extraction_difficulty()).sum::<f64>()
-            / self.elements.len() as f64
+        self.elements.iter().map(|e| e.extraction_difficulty()).sum::<f64>() / self.elements.len() as f64
     }
 }
 
@@ -91,11 +86,7 @@ impl Document {
         text_layer: TextLayer,
         image_layer: ImageLayer,
     ) -> Self {
-        assert_eq!(
-            pages.len(),
-            text_layer.page_count(),
-            "text layer page count must match structured pages"
-        );
+        assert_eq!(pages.len(), text_layer.page_count(), "text layer page count must match structured pages");
         assert_eq!(
             pages.len(),
             image_layer.page_count(),
@@ -111,11 +102,7 @@ impl Document {
 
     /// Ground-truth text of the whole document; pages separated by form feeds.
     pub fn ground_truth(&self) -> String {
-        self.pages
-            .iter()
-            .map(|p| p.ground_truth_text())
-            .collect::<Vec<_>>()
-            .join("\u{c}")
+        self.pages.iter().map(|p| p.ground_truth_text()).collect::<Vec<_>>().join("\u{c}")
     }
 
     /// Ground-truth text per page.
@@ -147,8 +134,7 @@ impl Document {
         let structural = if self.pages.is_empty() {
             0.0
         } else {
-            self.pages.iter().map(|p| p.extraction_difficulty()).sum::<f64>()
-                / self.pages.len() as f64
+            self.pages.iter().map(|p| p.extraction_difficulty()).sum::<f64>() / self.pages.len() as f64
         };
         let text_penalty = 1.0 - self.text_layer.quality.expected_fidelity();
         let image_penalty = 1.0 - self.image_layer.mean_legibility();

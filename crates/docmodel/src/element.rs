@@ -217,7 +217,7 @@ mod tests {
 
     #[test]
     fn kind_discriminants_cover_all_variants() {
-        let elements = vec![
+        let elements = [
             Element::heading(1, "h"),
             Element::paragraph("p"),
             Element::equation("e"),

@@ -223,9 +223,7 @@ pub fn unescape_name(name: &str) -> String {
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'#' && i + 2 < bytes.len() {
-            if let Ok(v) =
-                u8::from_str_radix(std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""), 16)
-            {
+            if let Ok(v) = u8::from_str_radix(std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""), 16) {
                 out_bytes.push(v);
                 i += 3;
                 continue;
@@ -287,7 +285,8 @@ mod tests {
     #[test]
     fn serialization_shapes() {
         let mut out = Vec::new();
-        Object::Array(vec![Object::Int(1), Object::Name("X".into()), Object::Bool(false)]).serialize(&mut out);
+        Object::Array(vec![Object::Int(1), Object::Name("X".into()), Object::Bool(false)])
+            .serialize(&mut out);
         assert_eq!(String::from_utf8(out).unwrap(), "[1 /X false]");
 
         let mut out = Vec::new();

@@ -125,9 +125,9 @@ impl SpdfFile {
                     objects.insert(id, object);
                 }
                 other => {
-                    return Err(lexer.syntax_error(&format!(
-                        "expected object definition or xref, found {other:?}"
-                    )));
+                    return Err(
+                        lexer.syntax_error(&format!("expected object definition or xref, found {other:?}"))
+                    );
                 }
             }
         }
@@ -159,13 +159,10 @@ impl SpdfFile {
     ) -> Result<SpdfFile, SpdfError> {
         let catalog = dict_of(objects.get(&root_id).ok_or(SpdfError::MissingObject(root_id))?)
             .ok_or_else(|| SpdfError::MissingKey("Catalog".into()))?;
-        let page_count = catalog
-            .get_int("PageCount")
-            .ok_or_else(|| SpdfError::MissingKey("PageCount".into()))? as usize;
-        let doc_id =
-            catalog.get_int("DocId").ok_or_else(|| SpdfError::MissingKey("DocId".into()))? as u64;
-        let info_id =
-            catalog.get_ref("Info").ok_or_else(|| SpdfError::MissingKey("Info".into()))?;
+        let page_count =
+            catalog.get_int("PageCount").ok_or_else(|| SpdfError::MissingKey("PageCount".into()))? as usize;
+        let doc_id = catalog.get_int("DocId").ok_or_else(|| SpdfError::MissingKey("DocId".into()))? as u64;
+        let info_id = catalog.get_ref("Info").ok_or_else(|| SpdfError::MissingKey("Info".into()))?;
         let info_dict = dict_of(objects.get(&info_id).ok_or(SpdfError::MissingObject(info_id))?)
             .ok_or_else(|| SpdfError::MissingKey("Info".into()))?;
 
@@ -200,15 +197,12 @@ impl SpdfFile {
 
         let mut pages = Vec::with_capacity(page_count);
         for (index, page_dict) in page_dicts {
-            let content_id = page_dict
-                .get_ref("Contents")
-                .ok_or_else(|| SpdfError::MissingKey("Contents".into()))?;
-            let image_id =
-                page_dict.get_ref("Image").ok_or_else(|| SpdfError::MissingKey("Image".into()))?;
-            let (content_dict, content_data) = stream_of(
-                objects.get(&content_id).ok_or(SpdfError::MissingObject(content_id))?,
-            )
-            .ok_or_else(|| SpdfError::MissingKey("Content".into()))?;
+            let content_id =
+                page_dict.get_ref("Contents").ok_or_else(|| SpdfError::MissingKey("Contents".into()))?;
+            let image_id = page_dict.get_ref("Image").ok_or_else(|| SpdfError::MissingKey("Image".into()))?;
+            let (content_dict, content_data) =
+                stream_of(objects.get(&content_id).ok_or(SpdfError::MissingObject(content_id))?)
+                    .ok_or_else(|| SpdfError::MissingKey("Content".into()))?;
             let (image_dict, image_data) =
                 stream_of(objects.get(&image_id).ok_or(SpdfError::MissingObject(image_id))?)
                     .ok_or_else(|| SpdfError::MissingKey("PageImage".into()))?;
@@ -405,9 +399,7 @@ impl<'a> Lexer<'a> {
                         .map(Token::Real)
                         .map_err(|_| self.syntax_error("malformed real number"))
                 } else {
-                    raw.parse::<i64>()
-                        .map(Token::Int)
-                        .map_err(|_| self.syntax_error("malformed integer"))
+                    raw.parse::<i64>().map(Token::Int).map_err(|_| self.syntax_error("malformed integer"))
                 }
             }
             _ if b.is_ascii_alphabetic() || b == b'%' => {
@@ -441,9 +433,7 @@ impl<'a> Lexer<'a> {
         };
         match self.next_token()? {
             Token::Int(_) => {}
-            other => {
-                return Err(self.syntax_error(&format!("expected generation number, found {other:?}")))
-            }
+            other => return Err(self.syntax_error(&format!("expected generation number, found {other:?}"))),
         }
         self.expect_keyword("obj")?;
         let mut value = self.parse_value()?;
@@ -456,9 +446,7 @@ impl<'a> Lexer<'a> {
                     Object::Dict(d) => d,
                     _ => return Err(self.syntax_error("stream not preceded by dictionary")),
                 };
-                let length = dict
-                    .get_int("Length")
-                    .ok_or_else(|| SpdfError::MissingKey("Length".into()))?;
+                let length = dict.get_int("Length").ok_or_else(|| SpdfError::MissingKey("Length".into()))?;
                 if length < 0 {
                     return Err(self.syntax_error("negative stream length"));
                 }
@@ -496,9 +484,9 @@ impl<'a> Lexer<'a> {
                             dict.0.insert(key, value);
                         }
                         other => {
-                            return Err(self.syntax_error(&format!(
-                                "expected name key or '>>', found {other:?}"
-                            )))
+                            return Err(
+                                self.syntax_error(&format!("expected name key or '>>', found {other:?}"))
+                            )
                         }
                     }
                 }
@@ -557,16 +545,12 @@ impl<'a> Lexer<'a> {
             for _ in 0..2 {
                 match self.next_token()? {
                     Token::Int(_) => {}
-                    other => {
-                        return Err(self.syntax_error(&format!("malformed xref entry: {other:?}")))
-                    }
+                    other => return Err(self.syntax_error(&format!("malformed xref entry: {other:?}"))),
                 }
             }
             match self.next_token()? {
                 Token::Keyword(flag) if flag == "n" || flag == "f" => {}
-                other => {
-                    return Err(self.syntax_error(&format!("malformed xref flag: {other:?}")))
-                }
+                other => return Err(self.syntax_error(&format!("malformed xref flag: {other:?}"))),
             }
         }
         Ok(())

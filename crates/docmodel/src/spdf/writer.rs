@@ -71,12 +71,8 @@ pub fn write_document(doc: &Document) -> Vec<u8> {
         write_object(&mut out, &mut offsets, content_obj_id, &content);
 
         // Page-image stream: raster parameters + glyph source.
-        let img = doc
-            .image_layer
-            .pages
-            .get(i)
-            .copied()
-            .unwrap_or_else(crate::imagelayer::PageImage::born_digital);
+        let img =
+            doc.image_layer.pages.get(i).copied().unwrap_or_else(crate::imagelayer::PageImage::born_digital);
         let glyph_payload = doc.pages[i].ground_truth_text().into_bytes();
         let image = Object::Stream {
             dict: Dict::new()
@@ -105,9 +101,7 @@ pub fn write_document(doc: &Document) -> Vec<u8> {
     // Trailer.
     out.extend_from_slice(b"trailer\n");
     let trailer = Object::Dict(
-        Dict::new()
-            .with("Size", Object::Int((total_objects + 1) as i64))
-            .with("Root", Object::Ref(1)),
+        Dict::new().with("Size", Object::Int((total_objects + 1) as i64)).with("Root", Object::Ref(1)),
     );
     trailer.serialize(&mut out);
     out.extend_from_slice(b"\nstartxref\n");
@@ -168,13 +162,8 @@ mod tests {
 
     #[test]
     fn content_stream_round_trips() {
-        for text in [
-            "single line",
-            "two\nlines",
-            "with (parens) and \\ backslash",
-            "",
-            "trailing newline\n",
-        ] {
+        for text in ["single line", "two\nlines", "with (parens) and \\ backslash", "", "trailing newline\n"]
+        {
             let encoded = encode_content_stream(text);
             let decoded = decode_content_stream(&encoded);
             // A trailing newline produces a trailing empty segment that is

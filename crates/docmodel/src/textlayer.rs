@@ -155,9 +155,11 @@ mod tests {
     fn ocr_generated_layer_degrades_with_error_rate() {
         let gt = gt_pages();
         let mut rng = StdRng::seed_from_u64(7);
-        let mild = TextLayer::from_ground_truth(&gt, TextLayerQuality::OcrGenerated { error_rate: 0.05 }, &mut rng);
+        let mild =
+            TextLayer::from_ground_truth(&gt, TextLayerQuality::OcrGenerated { error_rate: 0.05 }, &mut rng);
         let mut rng = StdRng::seed_from_u64(7);
-        let severe = TextLayer::from_ground_truth(&gt, TextLayerQuality::OcrGenerated { error_rate: 0.6 }, &mut rng);
+        let severe =
+            TextLayer::from_ground_truth(&gt, TextLayerQuality::OcrGenerated { error_rate: 0.6 }, &mut rng);
         let dist = |a: &str, b: &str| a.chars().zip(b.chars()).filter(|(x, y)| x != y).count();
         assert!(dist(&gt[0], &severe.pages[0]) >= dist(&gt[0], &mild.pages[0]));
     }
@@ -183,8 +185,7 @@ mod tests {
     #[test]
     fn expected_fidelity_ordering() {
         assert!(
-            TextLayerQuality::Clean.expected_fidelity()
-                > TextLayerQuality::LatexMangled.expected_fidelity()
+            TextLayerQuality::Clean.expected_fidelity() > TextLayerQuality::LatexMangled.expected_fidelity()
         );
         assert!(
             TextLayerQuality::LatexMangled.expected_fidelity()

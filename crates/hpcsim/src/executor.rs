@@ -68,6 +68,9 @@ impl CampaignReport {
 #[derive(Debug, Clone)]
 struct Slot {
     kind: SlotKind,
+    /// Home node of the slot. Not consulted by the scheduler yet (slots are
+    /// interchangeable within a kind) but kept for node-affinity policies.
+    #[allow(dead_code)]
     node: usize,
     gpu_index: Option<usize>,
     warm: bool,

@@ -60,8 +60,7 @@ impl LustreModel {
         let effective_files = if aggregated { 1 } else { files.max(1) };
         // Metadata servers are shared too: under heavy concurrency each open
         // takes longer than its nominal latency.
-        let metadata_rate_share =
-            (self.metadata_ops_per_s / concurrent_nodes.max(1) as f64).max(1.0);
+        let metadata_rate_share = (self.metadata_ops_per_s / concurrent_nodes.max(1) as f64).max(1.0);
         let metadata = effective_files as f64 * self.metadata_latency_s.max(1.0 / metadata_rate_share);
         transfer + metadata
     }

@@ -31,10 +31,7 @@ impl GpuTrace {
 
     /// Total busy seconds of one GPU (compute + model load).
     pub fn busy_seconds(&self, gpu: usize) -> f64 {
-        self.intervals
-            .get(gpu)
-            .map(|spans| spans.iter().map(|(s, e, _)| e - s).sum())
-            .unwrap_or(0.0)
+        self.intervals.get(gpu).map(|spans| spans.iter().map(|(s, e, _)| e - s).sum()).unwrap_or(0.0)
     }
 
     /// Seconds one GPU spent loading models rather than computing.

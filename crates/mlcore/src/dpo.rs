@@ -60,13 +60,7 @@ impl DpoTrainer {
     /// Start from reference (e.g. supervised-fine-tuned) weights; the policy
     /// is initialized at the reference.
     pub fn from_reference(weights: Vec<f64>, bias: f64, config: DpoConfig) -> Self {
-        DpoTrainer {
-            reference_weights: weights.clone(),
-            reference_bias: bias,
-            weights,
-            bias,
-            config,
-        }
+        DpoTrainer { reference_weights: weights.clone(), reference_bias: bias, weights, bias, config }
     }
 
     /// Current policy score of a feature vector.
@@ -115,10 +109,7 @@ impl DpoTrainer {
         if pairs.is_empty() {
             return 0.0;
         }
-        let correct = pairs
-            .iter()
-            .filter(|p| self.score(&p.preferred) > self.score(&p.rejected))
-            .count();
+        let correct = pairs.iter().filter(|p| self.score(&p.preferred) > self.score(&p.rejected)).count();
         correct as f64 / pairs.len() as f64
     }
 
@@ -210,9 +201,8 @@ mod tests {
         let mut loose_trainer = DpoTrainer::from_reference(reference.clone(), 0.0, loose);
         tight_trainer.train(&pairs);
         loose_trainer.train(&pairs);
-        let drift = |t: &DpoTrainer| {
-            t.weights().iter().zip(&reference).map(|(w, r)| (w - r).abs()).sum::<f64>()
-        };
+        let drift =
+            |t: &DpoTrainer| t.weights().iter().zip(&reference).map(|(w, r)| (w - r).abs()).sum::<f64>();
         assert!(drift(&tight_trainer) < drift(&loose_trainer));
     }
 

@@ -115,7 +115,8 @@ impl PretrainedEncoder {
         } else {
             HashedNgramFeaturizer::words_only(feature_dim)
         };
-        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ profile.embedding_dim() as u64 ^ (feature_dim as u64) << 16);
+        let mut rng =
+            StdRng::seed_from_u64(0xC0FFEE ^ profile.embedding_dim() as u64 ^ (feature_dim as u64) << 16);
         // +8 columns for the aggregate-statistics side features.
         let projection = Matrix::random(
             profile.embedding_dim(),
@@ -221,12 +222,8 @@ mod tests {
         // The important property for Table 4 is simply that the *noise*
         // parameter ordering holds.
         assert!(
-            EncoderProfile::SciBert.representation_noise()
-                < EncoderProfile::MiniLm.representation_noise()
+            EncoderProfile::SciBert.representation_noise() < EncoderProfile::MiniLm.representation_noise()
         );
-        assert!(
-            EncoderProfile::Specter.representation_noise()
-                < EncoderProfile::Bert.representation_noise()
-        );
+        assert!(EncoderProfile::Specter.representation_noise() < EncoderProfile::Bert.representation_noise());
     }
 }

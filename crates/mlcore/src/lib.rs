@@ -1,3 +1,7 @@
+// The gradient kernels index several parallel buffers with one loop counter
+// (`grad_w[i] += g * x[i]`); clippy's iterator rewrite obscures that shape.
+#![allow(clippy::needless_range_loop)]
+
 //! Minimal machine-learning substrate for the AdaParse reproduction.
 //!
 //! The paper fine-tunes pretrained language models (SciBERT, BERT, MiniLM,

@@ -240,7 +240,8 @@ mod tests {
     #[test]
     fn linear_regression_recovers_a_linear_map() {
         let mut rng = StdRng::seed_from_u64(1);
-        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
+        let xs: Vec<Vec<f64>> =
+            (0..200).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![2.0 * x[0] - x[1] + 0.5]).collect();
         let mut model = LinearRegression::new(2, 1);
         model.fit(&xs, &ys, 800, 0.3, 0.0);

@@ -211,11 +211,8 @@ impl CostModel {
         } else {
             f64::INFINITY
         };
-        let gpu_rate = if per_doc.gpu_seconds > 0.0 {
-            node.gpus as f64 / per_doc.gpu_seconds
-        } else {
-            f64::INFINITY
-        };
+        let gpu_rate =
+            if per_doc.gpu_seconds > 0.0 { node.gpus as f64 / per_doc.gpu_seconds } else { f64::INFINITY };
         let rate = cpu_rate.min(gpu_rate);
         if rate.is_finite() {
             rate
@@ -264,7 +261,8 @@ mod tests {
 
     #[test]
     fn resource_cost_arithmetic() {
-        let a = ResourceCost { cpu_seconds: 1.0, gpu_seconds: 2.0, cpu_memory_mb: 100.0, gpu_memory_mb: 10.0 };
+        let a =
+            ResourceCost { cpu_seconds: 1.0, gpu_seconds: 2.0, cpu_memory_mb: 100.0, gpu_memory_mb: 10.0 };
         let b = ResourceCost { cpu_seconds: 0.5, gpu_seconds: 1.0, cpu_memory_mb: 300.0, gpu_memory_mb: 5.0 };
         let c = a + b;
         assert!((c.cpu_seconds - 1.5).abs() < 1e-12);

@@ -88,7 +88,8 @@ pub fn evaluate_document(doc: &Document, seed: u64) -> DocumentEvaluation {
     };
     let mut per_parser = Vec::with_capacity(ParserKind::ALL.len());
     for parser in all_parsers() {
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E3779B9u64.wrapping_mul(parser.kind().index() as u64 + 1)));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E3779B9u64.wrapping_mul(parser.kind().index() as u64 + 1)));
         let output = match parser.parse_file(&file, &mut rng) {
             Ok(out) => out,
             Err(_) => ParseOutput {
@@ -102,18 +103,16 @@ pub fn evaluate_document(doc: &Document, seed: u64) -> DocumentEvaluation {
         let report = QualityReport::compute(&output.text, &ground_truth, output.coverage());
         per_parser.push(ParserEvaluation { kind: parser.kind(), output, report });
     }
-    DocumentEvaluation {
-        doc_id: doc.id,
-        first_page_extraction,
-        pages: doc.page_count(),
-        per_parser,
-    }
+    DocumentEvaluation { doc_id: doc.id, first_page_extraction, pages: doc.page_count(), per_parser }
 }
 
 /// Evaluate a whole corpus. Seeds are derived per document so results are
 /// order-independent.
 pub fn evaluate_corpus(documents: &[Document], seed: u64) -> Vec<DocumentEvaluation> {
-    documents.iter().map(|doc| evaluate_document(doc, seed ^ doc.id.0.wrapping_mul(0x517c_c1b7_2722_0a95))).collect()
+    documents
+        .iter()
+        .map(|doc| evaluate_document(doc, seed ^ doc.id.0.wrapping_mul(0x517c_c1b7_2722_0a95)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -73,11 +73,7 @@ impl Parser for GrobidParser {
             // Sentence segmentation artifacts.
             let text = corrupt::inject_whitespace(&text, 0.05, rng);
             // Some body paragraphs are misclassified as front/back matter.
-            let text = text
-                .lines()
-                .filter(|_| !rng.gen_bool(0.10))
-                .collect::<Vec<_>>()
-                .join("\n");
+            let text = text.lines().filter(|_| !rng.gen_bool(0.10)).collect::<Vec<_>>().join("\n");
             if text.trim().is_empty() {
                 out_pages.push(String::new());
                 continue;

@@ -43,7 +43,7 @@ pub mod traits;
 
 pub use cost::{CostModel, NodeSpec, ResourceCost};
 pub use evaluate::{evaluate_corpus, evaluate_document, DocumentEvaluation, ParserEvaluation};
-pub use registry::{all_parsers, parser_for};
+pub use registry::{all_parsers, parser_for, ParserPool};
 pub use traits::{ParseError, ParseOutput, Parser, ParserKind};
 
 #[cfg(test)]

@@ -129,8 +129,14 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             marker_bleu += sentence_bleu(&MarkerParser::new().parse_file(&file, &mut rng).unwrap().text, &gt);
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            nougat_bleu +=
-                sentence_bleu(&NougatParser::new().with_page_drop_probability(0.0).parse_file(&file, &mut rng).unwrap().text, &gt);
+            nougat_bleu += sentence_bleu(
+                &NougatParser::new()
+                    .with_page_drop_probability(0.0)
+                    .parse_file(&file, &mut rng)
+                    .unwrap()
+                    .text,
+                &gt,
+            );
         }
         assert!(marker_bleu > 0.0);
         assert!(nougat_bleu > marker_bleu, "nougat {nougat_bleu} should beat marker {marker_bleu}");

@@ -1,4 +1,4 @@
-//! Construction of parser instances by kind.
+//! Construction of parser instances by kind, and the shared [`ParserPool`].
 
 use crate::grobid::GrobidParser;
 use crate::marker::MarkerParser;
@@ -25,6 +25,47 @@ pub fn all_parsers() -> Vec<Box<dyn Parser>> {
     ParserKind::ALL.iter().map(|&kind| parser_for(kind)).collect()
 }
 
+/// An immutable pool holding one instance of every parser.
+///
+/// Parsers are stateless simulators (all run-to-run variation flows through
+/// the caller's RNG), so a single instance of each can be shared freely
+/// across worker threads. The campaign pipeline constructs one pool per run
+/// instead of re-boxing a parser per document, which is both faster and what
+/// makes `&dyn Parser` borrows across a `rayon` scope possible.
+pub struct ParserPool {
+    // Indexed by `ParserKind::index()`.
+    parsers: Vec<Box<dyn Parser>>,
+}
+
+impl std::fmt::Debug for ParserPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParserPool").field("parsers", &ParserKind::ALL.map(|k| k.name())).finish()
+    }
+}
+
+impl ParserPool {
+    /// Build the pool (constructs each parser exactly once).
+    pub fn new() -> Self {
+        ParserPool { parsers: all_parsers() }
+    }
+
+    /// Borrow the shared instance for a kind.
+    pub fn get(&self, kind: ParserKind) -> &dyn Parser {
+        self.parsers[kind.index()].as_ref()
+    }
+
+    /// All pooled parsers, in the paper's table order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Parser> {
+        self.parsers.iter().map(|p| p.as_ref())
+    }
+}
+
+impl Default for ParserPool {
+    fn default() -> Self {
+        ParserPool::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,6 +87,22 @@ mod tests {
         assert_send_sync::<dyn Parser>();
         let boxed: Box<dyn Parser> = parser_for(ParserKind::Nougat);
         assert_eq!(boxed.kind(), ParserKind::Nougat);
+    }
+
+    #[test]
+    fn pool_shares_one_instance_per_kind_and_is_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParserPool>();
+        let pool = ParserPool::new();
+        for kind in ParserKind::ALL {
+            assert_eq!(pool.get(kind).kind(), kind);
+            // Two lookups hand back the same instance, not fresh boxes.
+            assert!(std::ptr::eq(
+                pool.get(kind) as *const dyn Parser as *const (),
+                pool.get(kind) as *const dyn Parser as *const ()
+            ));
+        }
+        assert_eq!(pool.iter().count(), ParserKind::ALL.len());
     }
 
     #[test]

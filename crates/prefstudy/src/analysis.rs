@@ -33,10 +33,8 @@ impl StudyAnalysis {
         for record in study.records() {
             table.record(record.first.name(), record.second.name(), record.outcome);
         }
-        let win_rates: Vec<(String, f64)> = ParserKind::ALL
-            .iter()
-            .map(|k| (k.name().to_string(), table.win_rate(k.name())))
-            .collect();
+        let win_rates: Vec<(String, f64)> =
+            ParserKind::ALL.iter().map(|k| (k.name().to_string(), table.win_rate(k.name()))).collect();
 
         // Consensus: among pairings judged more than once, how often do the
         // decisive judgements agree on the winner?
@@ -67,10 +65,8 @@ impl StudyAnalysis {
         let mean_bleus: Vec<f64> = ParserKind::ALL
             .iter()
             .map(|k| {
-                let scores: Vec<f64> = evaluations
-                    .iter()
-                    .filter_map(|e| e.for_parser(*k).map(|p| p.report.bleu))
-                    .collect();
+                let scores: Vec<f64> =
+                    evaluations.iter().filter_map(|e| e.for_parser(*k).map(|p| p.report.bleu)).collect();
                 if scores.is_empty() {
                     0.0
                 } else {
@@ -94,11 +90,7 @@ impl StudyAnalysis {
 
     /// Win rate of one parser (0.0 if unknown).
     pub fn win_rate(&self, kind: ParserKind) -> f64 {
-        self.win_rates
-            .iter()
-            .find(|(name, _)| name == kind.name())
-            .map(|(_, r)| *r)
-            .unwrap_or(0.0)
+        self.win_rates.iter().find(|(name, _)| name == kind.name()).map(|(_, r)| *r).unwrap_or(0.0)
     }
 }
 

@@ -142,9 +142,8 @@ mod tests {
         let markdowned = "## the | reaction | rate # depends | on # substrate | concentration ##";
         let mut plain_wins = 0;
         for _ in 0..60 {
-            match a.judge(plain, 0.5, markdowned, 0.5, &mut rng) {
-                PreferenceOutcome::FirstWins => plain_wins += 1,
-                _ => {}
+            if a.judge(plain, 0.5, markdowned, 0.5, &mut rng) == PreferenceOutcome::FirstWins {
+                plain_wins += 1;
             }
         }
         assert!(plain_wins > 40, "plain_wins = {plain_wins}");
@@ -156,20 +155,14 @@ mod tests {
         a.indifference_threshold = 0.2;
         a.noise = 0.0;
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(
-            a.judge("same text", 0.5, "same text", 0.5, &mut rng),
-            PreferenceOutcome::Neither
-        );
+        assert_eq!(a.judge("same text", 0.5, "same text", 0.5, &mut rng), PreferenceOutcome::Neither);
     }
 
     #[test]
     fn empty_output_is_strongly_penalized() {
         let a = annotator();
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(
-            a.judge("", 0.5, "substantial text output", 0.4, &mut rng),
-            PreferenceOutcome::SecondWins
-        );
+        assert_eq!(a.judge("", 0.5, "substantial text output", 0.4, &mut rng), PreferenceOutcome::SecondWins);
     }
 
     #[test]

@@ -123,12 +123,7 @@ impl Corpus {
     }
 
     fn slice(&self, start: usize, len: usize) -> Vec<&Document> {
-        self.order
-            .iter()
-            .skip(start)
-            .take(len)
-            .filter_map(|&i| self.documents.get(i))
-            .collect()
+        self.order.iter().skip(start).take(len).filter_map(|&i| self.documents.get(i)).collect()
     }
 
     /// Documents sorted by descending intrinsic difficulty, together with the
@@ -162,7 +157,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let config = GeneratorConfig { n_documents: 10, seed: 4, min_pages: 1, max_pages: 2, ..Default::default() };
+        let config =
+            GeneratorConfig { n_documents: 10, seed: 4, min_pages: 1, max_pages: 2, ..Default::default() };
         assert_eq!(Corpus::generate(&config), Corpus::generate(&config));
     }
 

@@ -112,9 +112,17 @@ impl DocumentGenerator {
         };
         // Older documents skew toward older format versions.
         let format = if year < 2008 {
-            if self.rng.gen_bool(0.6) { PdfFormat::V1_4 } else { PdfFormat::V1_5 }
+            if self.rng.gen_bool(0.6) {
+                PdfFormat::V1_4
+            } else {
+                PdfFormat::V1_5
+            }
         } else if year < 2016 {
-            if self.rng.gen_bool(0.5) { PdfFormat::V1_6 } else { PdfFormat::V1_7 }
+            if self.rng.gen_bool(0.5) {
+                PdfFormat::V1_6
+            } else {
+                PdfFormat::V1_7
+            }
         } else if self.rng.gen_bool(0.85) {
             PdfFormat::V1_7
         } else {
@@ -124,7 +132,8 @@ impl DocumentGenerator {
         let title = vocab::title(&mut self.rng, domain);
         let metadata = DocMetadata { title, publisher, domain, subcategory, year, producer, format };
 
-        let n_pages = self.rng.gen_range(self.config.min_pages..=self.config.max_pages.max(self.config.min_pages));
+        let n_pages =
+            self.rng.gen_range(self.config.min_pages..=self.config.max_pages.max(self.config.min_pages));
         let pages: Vec<Page> = (0..n_pages).map(|i| self.generate_page(domain, i, n_pages)).collect();
         let gt: Vec<String> = pages.iter().map(|p| p.ground_truth_text()).collect();
 
@@ -182,10 +191,8 @@ impl DocumentGenerator {
                 ),
             });
         } else {
-            elements.push(Element::heading(
-                (1 + page_index.min(3)) as u8,
-                &format!("Section {}", page_index),
-            ));
+            elements
+                .push(Element::heading((1 + page_index.min(3)) as u8, &format!("Section {}", page_index)));
         }
 
         let n_paragraphs = self.config.paragraphs_per_page.max(1)
@@ -221,10 +228,7 @@ impl DocumentGenerator {
                         .collect()
                 })
                 .collect();
-            elements.push(Element::Table {
-                caption: vocab::sentence(rng, domain),
-                rows: table_rows,
-            });
+            elements.push(Element::Table { caption: vocab::sentence(rng, domain), rows: table_rows });
         }
         if rng.gen_bool(0.4) {
             elements.push(Element::Figure { caption: vocab::sentence(rng, domain) });
@@ -255,8 +259,10 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let mut a = DocumentGenerator::new(GeneratorConfig { n_documents: 3, seed: 11, ..Default::default() });
-        let mut b = DocumentGenerator::new(GeneratorConfig { n_documents: 3, seed: 11, ..Default::default() });
+        let mut a =
+            DocumentGenerator::new(GeneratorConfig { n_documents: 3, seed: 11, ..Default::default() });
+        let mut b =
+            DocumentGenerator::new(GeneratorConfig { n_documents: 3, seed: 11, ..Default::default() });
         assert_eq!(a.generate(), b.generate());
         assert_eq!(a.generate(), b.generate());
     }
@@ -270,7 +276,8 @@ mod tests {
 
     #[test]
     fn documents_have_expected_shape() {
-        let config = GeneratorConfig { n_documents: 20, seed: 3, min_pages: 2, max_pages: 6, ..Default::default() };
+        let config =
+            GeneratorConfig { n_documents: 20, seed: 3, min_pages: 2, max_pages: 6, ..Default::default() };
         let mut generator = DocumentGenerator::new(config.clone());
         for _ in 0..20 {
             let doc = generator.generate();
@@ -317,7 +324,8 @@ mod tests {
 
     #[test]
     fn math_documents_have_more_equations_than_medicine() {
-        let config = GeneratorConfig { n_documents: 200, seed: 13, min_pages: 2, max_pages: 4, ..Default::default() };
+        let config =
+            GeneratorConfig { n_documents: 200, seed: 13, min_pages: 2, max_pages: 4, ..Default::default() };
         let mut generator = DocumentGenerator::new(config);
         let docs = generator.generate_many(200);
         let avg = |domain: Domain| {

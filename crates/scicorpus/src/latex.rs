@@ -8,15 +8,27 @@
 use rand::Rng;
 
 const GREEK: &[&str] = &[
-    "\\alpha", "\\beta", "\\gamma", "\\delta", "\\epsilon", "\\lambda", "\\mu", "\\sigma",
-    "\\theta", "\\phi", "\\omega", "\\nabla", "\\partial",
+    "\\alpha",
+    "\\beta",
+    "\\gamma",
+    "\\delta",
+    "\\epsilon",
+    "\\lambda",
+    "\\mu",
+    "\\sigma",
+    "\\theta",
+    "\\phi",
+    "\\omega",
+    "\\nabla",
+    "\\partial",
 ];
 
 const VARIABLES: &[&str] = &["x", "y", "z", "t", "u", "v", "n", "k", "p", "q", "E", "F", "H", "T"];
 
 const OPERATORS: &[&str] = &["+", "-", "\\cdot", "\\times", "\\le", "\\ge", "=", "\\approx", "\\propto"];
 
-const BIG_OPS: &[&str] = &["\\sum_{i=1}^{n}", "\\int_{0}^{T}", "\\prod_{j=1}^{m}", "\\max_{\\theta}", "\\min_{x}"];
+const BIG_OPS: &[&str] =
+    &["\\sum_{i=1}^{n}", "\\int_{0}^{T}", "\\prod_{j=1}^{m}", "\\max_{\\theta}", "\\min_{x}"];
 
 fn atom<R: Rng + ?Sized>(rng: &mut R) -> String {
     match rng.gen_range(0..4) {

@@ -8,8 +8,22 @@
 use rand::Rng;
 
 const FRAGMENTS: &[&str] = &[
-    "C", "CC", "C(C)", "c1ccccc1", "C(=O)O", "N", "O", "Cl", "CCO", "C(=O)N", "S(=O)(=O)", "F",
-    "C1CCCCC1", "n1ccccc1", "[Na+]", "[O-]",
+    "C",
+    "CC",
+    "C(C)",
+    "c1ccccc1",
+    "C(=O)O",
+    "N",
+    "O",
+    "Cl",
+    "CCO",
+    "C(=O)N",
+    "S(=O)(=O)",
+    "F",
+    "C1CCCCC1",
+    "n1ccccc1",
+    "[Na+]",
+    "[O-]",
 ];
 
 /// Generate a plausible SMILES string of `n_fragments` fragments.

@@ -316,14 +316,25 @@ pub fn title<R: Rng + ?Sized>(rng: &mut R, domain: Domain) -> String {
 /// Generate a bibliographic reference entry.
 pub fn reference<R: Rng + ?Sized>(rng: &mut R, domain: Domain) -> (String, String) {
     const SURNAMES: &[&str] = &[
-        "Smith", "Chen", "Garcia", "Kumar", "Okafor", "Novak", "Tanaka", "Mueller", "Rossi",
-        "Johansson", "Alvarez", "Haddad",
+        "Smith",
+        "Chen",
+        "Garcia",
+        "Kumar",
+        "Okafor",
+        "Novak",
+        "Tanaka",
+        "Mueller",
+        "Rossi",
+        "Johansson",
+        "Alvarez",
+        "Haddad",
     ];
     let year = rng.gen_range(1995..2025);
     let first = pick(rng, SURNAMES);
     let second = pick(rng, SURNAMES);
     let key = format!("{}{}", first.to_lowercase(), year);
-    let text = format!("{first}, {second} et al. ({year}). {}. Journal of {}.", title(rng, domain), domain.name());
+    let text =
+        format!("{first}, {second} et al. ({year}). {}. Journal of {}.", title(rng, domain), domain.name());
     (key, text)
 }
 

@@ -31,11 +31,7 @@ pub struct ValidityRules {
 
 impl Default for ValidityRules {
     fn default() -> Self {
-        ValidityRules {
-            min_words_per_page: 40.0,
-            min_wordlike_ratio: 0.55,
-            min_alphanumeric_ratio: 0.70,
-        }
+        ValidityRules { min_words_per_page: 40.0, min_wordlike_ratio: 0.55, min_alphanumeric_ratio: 0.70 }
     }
 }
 
@@ -138,7 +134,8 @@ mod tests {
 
     #[test]
     fn thresholds_are_tunable() {
-        let lenient = ValidityRules { min_words_per_page: 1.0, min_wordlike_ratio: 0.0, min_alphanumeric_ratio: 0.0 };
+        let lenient =
+            ValidityRules { min_words_per_page: 1.0, min_wordlike_ratio: 0.0, min_alphanumeric_ratio: 0.0 };
         assert_eq!(lenient.decide("two words", 1), Cls1Decision::Valid);
     }
 }

@@ -25,10 +25,7 @@ impl ImprovementClassifier {
     /// Untrained classifier for the standard 27+1-dimensional metadata
     /// feature vector (metadata one-hots plus normalized page count).
     pub fn new() -> Self {
-        ImprovementClassifier {
-            model: LogisticRegression::new(28),
-            threshold: DEFAULT_IMPROVEMENT_THRESHOLD,
-        }
+        ImprovementClassifier { model: LogisticRegression::new(28), threshold: DEFAULT_IMPROVEMENT_THRESHOLD }
     }
 
     /// Override the improvement threshold used to derive training labels.
@@ -72,10 +69,7 @@ impl ImprovementClassifier {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples
-            .iter()
-            .filter(|s| self.improvement_likely(s) == self.label(s))
-            .count();
+        let correct = samples.iter().filter(|s| self.improvement_likely(s) == self.label(s)).count();
         correct as f64 / samples.len() as f64
     }
 }

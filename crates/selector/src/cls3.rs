@@ -130,11 +130,8 @@ impl AccuracyPredictor {
             sums[preference.rejected.index()] += trainer.score(&pair.rejected);
             counts[preference.rejected.index()] += 1;
         }
-        let means: Vec<f64> = sums
-            .iter()
-            .zip(&counts)
-            .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-            .collect();
+        let means: Vec<f64> =
+            sums.iter().zip(&counts).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();
         let grand = means.iter().sum::<f64>() / means.len() as f64;
         self.parser_bias = means.iter().map(|m| self.config.dpo_weight * (m - grand)).collect();
         accuracy
@@ -201,10 +198,8 @@ impl AccuracyPredictor {
     /// R² of the predicted accuracy of one parser over a sample set (the
     /// paper reports ≈40 % for PyMuPDF and ≈46.5 % for Nougat).
     pub fn r_squared_for(&self, kind: ParserKind, samples: &[AccuracySample]) -> f64 {
-        let predicted: Vec<f64> = samples
-            .iter()
-            .map(|s| self.predict_accuracies(&s.first_page_text)[kind.index()])
-            .collect();
+        let predicted: Vec<f64> =
+            samples.iter().map(|s| self.predict_accuracies(&s.first_page_text)[kind.index()]).collect();
         let observed: Vec<f64> = samples.iter().map(|s| s.target_for(kind)).collect();
         r_squared(&predicted, &observed)
     }
@@ -215,10 +210,7 @@ impl AccuracyPredictor {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples
-            .iter()
-            .filter(|s| self.select(&s.first_page_text) == s.best_parser())
-            .count();
+        let correct = samples.iter().filter(|s| self.select(&s.first_page_text) == s.best_parser()).count();
         correct as f64 / samples.len() as f64
     }
 
@@ -228,10 +220,7 @@ impl AccuracyPredictor {
         if samples.is_empty() {
             return 0.0;
         }
-        samples
-            .iter()
-            .map(|s| s.target_for(self.select(&s.first_page_text)))
-            .sum::<f64>()
+        samples.iter().map(|s| s.target_for(self.select(&s.first_page_text))).sum::<f64>()
             / samples.len() as f64
     }
 }
@@ -282,10 +271,8 @@ mod tests {
         let random_ish = 0.35;
         assert!(achieved > random_ish);
         // Restricted selection only ever returns allowed parsers.
-        let restricted = predictor.select_restricted(
-            &samples[0].first_page_text,
-            &[ParserKind::PyMuPdf, ParserKind::Nougat],
-        );
+        let restricted = predictor
+            .select_restricted(&samples[0].first_page_text, &[ParserKind::PyMuPdf, ParserKind::Nougat]);
         assert!(matches!(restricted, ParserKind::PyMuPdf | ParserKind::Nougat));
     }
 
@@ -303,10 +290,8 @@ mod tests {
     #[test]
     fn dpo_biases_selection_toward_preferred_parser() {
         let samples = synthetic_samples(40);
-        let mut predictor = AccuracyPredictor::new(PredictorConfig {
-            dpo_weight: 0.2,
-            ..PredictorConfig::default()
-        });
+        let mut predictor =
+            AccuracyPredictor::new(PredictorConfig { dpo_weight: 0.2, ..PredictorConfig::default() });
         predictor.fit_regression(&samples);
         // Humans systematically prefer Nougat's output over pypdf's.
         let preferences: Vec<ParserPreference> = (0..30)

@@ -140,10 +140,7 @@ impl AccuracyDataset {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples
-            .iter()
-            .map(|s| s.targets.iter().cloned().fold(f64::INFINITY, f64::min))
-            .sum::<f64>()
+        self.samples.iter().map(|s| s.targets.iter().cloned().fold(f64::INFINITY, f64::min)).sum::<f64>()
             / self.samples.len() as f64
     }
 }

@@ -148,18 +148,12 @@ impl ModelZooEntry {
                 let project = |s: &AccuracySample| title_view(s, use_metadata);
                 let train: Vec<AccuracySample> = dataset.train().iter().map(project).collect();
                 predictor.fit_regression(&train);
-                dataset
-                    .test()
-                    .iter()
-                    .map(|s| predictor.select(&project(s).first_page_text))
-                    .collect()
+                dataset.test().iter().map(|s| predictor.select(&project(s).first_page_text)).collect()
             }
             ModelZooEntry::SvcFormatProducer
             | ModelZooEntry::SvcFormat
             | ModelZooEntry::SvcYearProducer
-            | ModelZooEntry::SvcPublisherCategory => {
-                self.evaluate_svc(dataset)
-            }
+            | ModelZooEntry::SvcPublisherCategory => self.evaluate_svc(dataset),
             ModelZooEntry::BleuMaximal => dataset.test().iter().map(|s| s.best_parser()).collect(),
             ModelZooEntry::BleuMinimal => dataset
                 .test()
@@ -275,10 +269,7 @@ pub fn evaluate_all(
     preferences: &[ParserPreference],
     seed: u64,
 ) -> Vec<Table4Row> {
-    ModelZooEntry::ALL
-        .iter()
-        .map(|entry| entry.evaluate(dataset, evaluations, preferences, seed))
-        .collect()
+    ModelZooEntry::ALL.iter().map(|entry| entry.evaluate(dataset, evaluations, preferences, seed)).collect()
 }
 
 #[cfg(test)]

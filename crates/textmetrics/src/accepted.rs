@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn one_shot_helper() {
-        let docs = vec![("good parse of the document text", 0.8), ("bad", 0.0)];
+        let docs = [("good parse of the document text", 0.8), ("bad", 0.0)];
         let rate = accepted_token_rate(docs.iter().map(|(t, s)| (*t, *s)));
         assert!(rate > 0.5 && rate < 1.0);
     }

@@ -148,11 +148,8 @@ fn finish_bleu(
         usable_orders += 1;
     }
     let geo_mean = if usable_orders == 0 { 0.0 } else { (log_sum / usable_orders as f64).exp() };
-    let brevity_penalty = if cand_len >= ref_len {
-        1.0
-    } else {
-        (1.0 - ref_len as f64 / cand_len as f64).exp()
-    };
+    let brevity_penalty =
+        if cand_len >= ref_len { 1.0 } else { (1.0 - ref_len as f64 / cand_len as f64).exp() };
     BleuScore {
         score: (geo_mean * brevity_penalty).clamp(0.0, 1.0),
         precisions,

@@ -64,10 +64,7 @@ impl NgramCounts {
         } else {
             (&other.counts, &self.counts)
         };
-        small
-            .iter()
-            .map(|(k, &c)| c.min(large.get(k).copied().unwrap_or(0)))
-            .sum()
+        small.iter().map(|(k, &c)| c.min(large.get(k).copied().unwrap_or(0))).sum()
     }
 
     /// Iterate over `(ngram, count)` pairs.
@@ -97,8 +94,8 @@ mod tests {
     fn bigram_counts() {
         let c = NgramCounts::from_tokens(&toks("a b a b"), 2);
         assert_eq!(c.total(), 3);
-        assert_eq!(c.count(&format!("a\u{1}b")), 2);
-        assert_eq!(c.count(&format!("b\u{1}a")), 1);
+        assert_eq!(c.count("a\u{1}b"), 2);
+        assert_eq!(c.count("b\u{1}a"), 1);
     }
 
     #[test]

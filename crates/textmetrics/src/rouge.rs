@@ -23,11 +23,7 @@ impl RougeScore {
     fn from_counts(overlap: f64, candidate_total: f64, reference_total: f64) -> Self {
         let precision = if candidate_total > 0.0 { overlap / candidate_total } else { 0.0 };
         let recall = if reference_total > 0.0 { overlap / reference_total } else { 0.0 };
-        let f1 = if precision + recall > 0.0 {
-            2.0 * precision * recall / (precision + recall)
-        } else {
-            0.0
-        };
+        let f1 = if precision + recall > 0.0 { 2.0 * precision * recall / (precision + recall) } else { 0.0 };
         RougeScore { precision, recall, f1 }
     }
 
@@ -88,11 +84,7 @@ pub fn lcs_length(a: &[String], b: &[String]) -> usize {
     let mut curr = vec![0usize; short.len() + 1];
     for lc in long {
         for (j, sc) in short.iter().enumerate() {
-            curr[j + 1] = if lc == sc {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(curr[j])
-            };
+            curr[j + 1] = if lc == sc { prev[j] + 1 } else { prev[j + 1].max(curr[j]) };
         }
         std::mem::swap(&mut prev, &mut curr);
         curr[0] = 0;
@@ -157,11 +149,8 @@ mod tests {
 
     #[test]
     fn rouge_scores_bounded() {
-        let cases = [
-            ("a b c", "c b a"),
-            ("a a a a", "a"),
-            ("longer candidate text with many words", "short ref"),
-        ];
+        let cases =
+            [("a b c", "c b a"), ("a a a a", "a"), ("longer candidate text with many words", "short ref")];
         for (c, r) in cases {
             for s in [rouge_l(c, r), rouge_n(c, r, 1), rouge_n(c, r, 2)] {
                 assert!((0.0..=1.0).contains(&s.precision));

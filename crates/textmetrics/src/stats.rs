@@ -65,11 +65,7 @@ pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
     if ss_tot <= 0.0 {
         return 0.0;
     }
-    let ss_res: f64 = predicted
-        .iter()
-        .zip(observed.iter())
-        .map(|(p, y)| (y - p) * (y - p))
-        .sum();
+    let ss_res: f64 = predicted.iter().zip(observed.iter()).map(|(p, y)| (y - p) * (y - p)).sum();
     1.0 - ss_res / ss_tot
 }
 

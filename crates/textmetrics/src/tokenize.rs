@@ -137,7 +137,9 @@ pub fn wordlike_ratio(text: &str) -> f64 {
     }
     let wordlike = tokens
         .iter()
-        .filter(|t| t.chars().count() >= 2 && t.chars().filter(|c| c.is_alphabetic()).count() * 2 > t.chars().count())
+        .filter(|t| {
+            t.chars().count() >= 2 && t.chars().filter(|c| c.is_alphabetic()).count() * 2 > t.chars().count()
+        })
         .count();
     wordlike as f64 / tokens.len() as f64
 }

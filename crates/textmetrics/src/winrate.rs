@@ -78,20 +78,12 @@ impl WinRateTable {
 
     /// Number of decisive comparisons a competitor participated in.
     pub fn decisive_comparisons(&self, name: &str) -> u64 {
-        self.comparisons
-            .iter()
-            .filter(|((a, b), _)| a == name || b == name)
-            .map(|(_, &c)| c)
-            .sum()
+        self.comparisons.iter().filter(|((a, b), _)| a == name || b == name).map(|(_, &c)| c).sum()
     }
 
     /// Total wins of a competitor across all opponents.
     pub fn total_wins(&self, name: &str) -> u64 {
-        self.wins
-            .iter()
-            .filter(|((winner, _), _)| winner == name)
-            .map(|(_, &c)| c)
-            .sum()
+        self.wins.iter().filter(|((winner, _), _)| winner == name).map(|(_, &c)| c).sum()
     }
 
     /// Normalized win rate: wins divided by decisive comparisons involving the
@@ -130,8 +122,7 @@ impl WinRateTable {
         if names.is_empty() {
             return Vec::new();
         }
-        let index: HashMap<&str, usize> =
-            names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
         let n = names.len();
         // wins_matrix[i][j] = wins of i over j
         let mut wins_matrix = vec![vec![0f64; n]; n];
@@ -169,8 +160,7 @@ impl WinRateTable {
             }
             strength = next;
         }
-        let mut out: Vec<(String, f64)> =
-            names.into_iter().zip(strength).collect();
+        let mut out: Vec<(String, f64)> = names.into_iter().zip(strength).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         out
     }

@@ -5,15 +5,45 @@
 //!
 //! Run with: `cargo run --example parsing_campaign --release`
 
-use adaparse::hpc::{adaparse_throughput_at_scale, parser_throughput_at_scale, tasks_for_alpha, WorkloadSpec};
-use adaparse::AdaParseConfig;
+use adaparse::hpc::{
+    adaparse_throughput_at_scale, parser_throughput_at_scale, tasks_for_alpha, WorkloadSpec,
+};
+use adaparse::{AdaParseConfig, AdaParseEngine, CampaignPipeline, JsonlSink, PipelineConfig};
 use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
 use parsersim::ParserKind;
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
 
 fn main() {
     let workload = WorkloadSpec { documents: 3_000, pages_per_doc: 10, mb_per_doc: 1.5 };
     let config = AdaParseConfig { alpha: 0.05, ..Default::default() };
     let executor = ExecutorConfig::default();
+
+    // A real (small) campaign through the staged parallel pipeline, streaming
+    // records to JSONL instead of buffering them.
+    let docs = DocumentGenerator::new(GeneratorConfig {
+        n_documents: 64,
+        seed: 17,
+        min_pages: 1,
+        max_pages: 2,
+        scanned_fraction: 0.3,
+        ..Default::default()
+    })
+    .generate_many(64);
+    let mut engine = AdaParseEngine::new(config.clone());
+    engine.train_on_corpus(&docs[..16], 5);
+    let pipeline = CampaignPipeline::new(PipelineConfig { workers: 0, shard_size: 16 });
+    let mut sink = JsonlSink::new(Vec::new());
+    let result = pipeline.run_with_sink(&engine, &docs, 7, &mut sink).expect("in-memory JSONL");
+    println!(
+        "Pipeline campaign: {} docs, BLEU {:.3}, {:.1} % to {}, {} parser failures, {} JSONL bytes",
+        result.quality.documents,
+        result.quality.bleu,
+        100.0 * result.high_quality_fraction,
+        config.high_quality_parser.name(),
+        result.failures.total(),
+        sink.into_inner().expect("flush").len(),
+    );
+    println!();
 
     println!("Throughput scaling (PDFs/s) — {} documents per point", workload.documents);
     println!("{:>6} {:>10} {:>10} {:>12}", "nodes", "PyMuPDF", "Nougat", "AdaParse");
@@ -29,8 +59,11 @@ fn main() {
     println!("Single-node GPU utilization for the AdaParse workload:");
     let tasks = tasks_for_alpha(&config, &workload);
     for (label, warm) in [("warm-start", true), ("cold-start", false)] {
-        let report = WorkflowExecutor::new(ExecutorConfig { warm_start: warm, ..executor })
-            .run(&tasks, &ClusterConfig::polaris(1), &LustreModel::default());
+        let report = WorkflowExecutor::new(ExecutorConfig { warm_start: warm, ..executor }).run(
+            &tasks,
+            &ClusterConfig::polaris(1),
+            &LustreModel::default(),
+        );
         println!(
             "  {label:<11} makespan {:>8.1} s  mean GPU util {:>5.1} %  cold starts {}",
             report.makespan_seconds,

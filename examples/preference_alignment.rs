@@ -26,7 +26,8 @@ fn main() {
         &StudyConfig { annotators: 23, target_preferences: 800, ..Default::default() },
     );
     let analysis = StudyAnalysis::compute(&study, &evaluations);
-    println!("study: {} preferences, decisiveness {:.1} %, consensus {:.1} %, BLEU↔WR correlation {:.2}",
+    println!(
+        "study: {} preferences, decisiveness {:.1} %, consensus {:.1} %, BLEU↔WR correlation {:.2}",
         analysis.n_preferences,
         100.0 * analysis.decisiveness,
         100.0 * analysis.consensus,

@@ -54,8 +54,10 @@ fn degrading_text_layers_hurts_extraction_more_than_recognition() {
         evals.iter().filter_map(|e| e.for_parser(kind)).map(|p| p.report.bleu).sum::<f64>()
             / evals.len() as f64
     };
-    let pymupdf_drop = mean_bleu(&clean_docs, ParserKind::PyMuPdf) - mean_bleu(&degraded_docs, ParserKind::PyMuPdf);
-    let nougat_drop = mean_bleu(&clean_docs, ParserKind::Nougat) - mean_bleu(&degraded_docs, ParserKind::Nougat);
+    let pymupdf_drop =
+        mean_bleu(&clean_docs, ParserKind::PyMuPdf) - mean_bleu(&degraded_docs, ParserKind::PyMuPdf);
+    let nougat_drop =
+        mean_bleu(&clean_docs, ParserKind::Nougat) - mean_bleu(&degraded_docs, ParserKind::Nougat);
     assert!(
         pymupdf_drop > nougat_drop,
         "text-layer degradation must hurt extraction ({pymupdf_drop}) more than recognition ({nougat_drop})"

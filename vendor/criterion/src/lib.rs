@@ -1,0 +1,185 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so this stub implements the
+//! pieces the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
+//! measured loop (warm-up, then enough iterations to fill a short measurement
+//! window) reporting the mean per-iteration wall time; there is no statistics
+//! engine, HTML report, or CLI filtering.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's display convention.
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId { name: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+    iters: u64,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then iterating until the measurement
+    /// window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: how many iterations fit the window?
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let once = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let target = (self.measurement_window.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = target;
+        self.mean = total / (target as u32).max(1);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window: benches must stay runnable in CI smoke runs.
+        Criterion { measurement_window: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut bencher =
+            Bencher { mean: Duration::ZERO, iters: 0, measurement_window: self.measurement_window };
+        f(&mut bencher);
+        println!("{label:<48} time: {:>12}   ({} iterations)", format_duration(bencher.mean), bencher.iters);
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine that takes an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_nonzero_mean() {
+        let mut c = Criterion { measurement_window: Duration::from_millis(5) };
+        let mut captured = Duration::ZERO;
+        c.run_one("smoke", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+            captured = b.mean;
+        });
+        assert!(captured > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("campaign", 8).to_string(), "campaign/8");
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion { measurement_window: Duration::from_millis(2) };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("x", 1), &3u32, |b, &n| b.iter(|| black_box(n) + 1));
+        group.finish();
+    }
+}

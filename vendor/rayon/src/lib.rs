@@ -1,0 +1,330 @@
+//! Offline subset of `rayon`: a scoped thread-pool with order-preserving
+//! parallel map over slices and chunks.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice-parallelism surface the campaign pipeline uses with plain
+//! `std::thread::scope` threads and an atomic work counter (dynamic
+//! scheduling, like rayon's work stealing but without the deques):
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — configure how many
+//!   worker threads parallel iterators below use,
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` — element parallelism,
+//! * `slice.par_chunks(n).map(f).collect::<Vec<_>>()` — shard parallelism.
+//!
+//! Results are always collected **in input order**, so any pipeline built on
+//! these primitives is deterministic regardless of the worker count.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel iterators will use on this thread:
+/// the installed pool's size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_POOL_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the stub never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the number of worker threads (0 = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: workers are spawned scoped per parallel call, so
+/// the pool itself is just the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's width governing any parallel iterators it
+    /// creates. The previous width is restored even if `op` panics.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(CURRENT_POOL_THREADS.with(|c| c.replace(self.num_threads)));
+        op()
+    }
+}
+
+/// Run `work(i)` for every `i in 0..n_items` on up to `current_num_threads()`
+/// scoped threads and return the results in index order.
+fn parallel_indexed<R, F>(n_items: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n_items.max(1));
+    if threads <= 1 || n_items <= 1 {
+        return (0..n_items).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n_items).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_items {
+                    break;
+                }
+                let value = work(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned").expect("worker completed"))
+        .collect()
+}
+
+/// Order-preserving parallel map: one work item per element of `items`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Evaluate the map on the current pool and collect in input order.
+    pub fn collect<C: FromOrderedResults<R>>(self) -> C {
+        let f = &self.f;
+        let items = self.items;
+        C::from_ordered(parallel_indexed(items.len(), move |i| f(&items[i])))
+    }
+}
+
+/// Parallel iterator over the elements of a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Order-preserving parallel map over chunks of a slice.
+pub struct ParChunksMap<'a, T, F> {
+    items: &'a [T],
+    chunk: usize,
+    f: F,
+}
+
+impl<'a, T, R, F> ParChunksMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    /// Evaluate the map on the current pool and collect in input order.
+    pub fn collect<C: FromOrderedResults<R>>(self) -> C {
+        let f = &self.f;
+        let items = self.items;
+        let chunk = self.chunk;
+        let n_chunks = items.len().div_ceil(chunk);
+        C::from_ordered(parallel_indexed(n_chunks, move |i| {
+            let start = i * chunk;
+            let end = (start + chunk).min(items.len());
+            f(&items[start..end])
+        }))
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Map each chunk.
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParChunksMap { items: self.items, chunk: self.chunk, f }
+    }
+}
+
+/// Collection types a parallel map can collect into.
+pub trait FromOrderedResults<R> {
+    /// Build the collection from per-index results (already in order).
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromOrderedResults<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+/// Entry points mirroring `rayon::prelude` — `par_iter` / `par_chunks` on
+/// slices and `Vec`s.
+pub mod prelude {
+    use super::{ParChunks, ParIter};
+
+    /// Parallel iteration over `&self`'s elements.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Parallel iterator over the elements.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Parallel iteration over fixed-size chunks.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `chunk_size`-element chunks (the last chunk
+        /// may be shorter).
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks { items: self, chunk: chunk_size }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let input: Vec<usize> = (0..100).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<usize> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let input: Vec<usize> = (0..103).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let sums: Vec<Vec<usize>> = pool.install(|| input.par_chunks(10).map(|c| c.to_vec()).collect());
+        let flat: Vec<usize> = sums.into_iter().flatten().collect();
+        assert_eq!(flat, input);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 1);
+        let out: Vec<i32> = pool.install(|| [1, 2, 3].par_iter().map(|&x| x + 1).collect());
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn install_restores_previous_width() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn install_restores_width_after_a_panic() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.install(|| panic!("boom"))));
+            assert!(caught.is_err());
+            assert_eq!(current_num_threads(), 2, "width must be restored after a panic");
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

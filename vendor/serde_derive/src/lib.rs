@@ -1,0 +1,48 @@
+//! Offline stub `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace cannot reach crates.io, so the vendored `serde` crate defines
+//! `Serialize` / `Deserialize` as marker traits (nothing in the reproduction
+//! serializes through serde — JSONL output is hand-rolled) and this crate
+//! derives empty impls for them. The token parsing is hand-written because
+//! `syn`/`quote` are equally unavailable; it only needs to find the type name
+//! after the `struct`/`enum` keyword, which covers every derived type in the
+//! workspace (none are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following the `struct` or `enum` keyword.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if text == "struct" || text == "enum" || text == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => {
+            format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap_or_else(|_| TokenStream::new())
+        }
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
