@@ -33,6 +33,38 @@ pub fn max_affordable_alpha(total_budget: f64, n: usize, cheap_cost: f64, expens
     alpha.clamp(0.0, 1.0)
 }
 
+/// Indices of `scores` sorted by descending score under a *total* order
+/// (`f64::total_cmp`), ties broken by ascending index.
+///
+/// `partial_cmp(..).unwrap_or(Equal)` would make NaN or tied improvements
+/// order-unstable (dependent on the sort's internal state); a total order
+/// with an index tiebreak keeps every routing mask a pure function of the
+/// score vector. NaN scores rank below every real score (under raw
+/// `total_cmp`, positive NaN would outrank +∞ — a NaN prediction must never
+/// win a routing slot).
+pub(crate) fn descending_order(scores: &[f64]) -> Vec<usize> {
+    fn key(v: f64) -> f64 {
+        if v.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            v
+        }
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| key(scores[b]).total_cmp(&key(scores[a])).then_with(|| a.cmp(&b)));
+    order
+}
+
+/// Mark the `quota` highest entries of `scores` in a fresh boolean mask,
+/// using the deterministic [`descending_order`] ranking.
+pub(crate) fn top_quota_mask(scores: &[f64], quota: usize) -> Vec<bool> {
+    let mut mask = vec![false; scores.len()];
+    for &index in descending_order(scores).iter().take(quota.min(scores.len())) {
+        mask[index] = true;
+    }
+    mask
+}
+
 /// Per-batch greedy selection: mark the ⌊α·k⌋ documents with the highest
 /// predicted improvement within each batch of size `batch_size`.
 ///
@@ -47,9 +79,7 @@ pub fn select_batch(improvements: &[f64], alpha: f64, batch_size: usize) -> Vec<
         if quota == 0 {
             continue;
         }
-        let mut order: Vec<usize> = (0..batch.len()).collect();
-        order.sort_by(|&a, &b| batch[b].partial_cmp(&batch[a]).unwrap_or(std::cmp::Ordering::Equal));
-        for &local in order.iter().take(quota) {
+        for &local in descending_order(batch).iter().take(quota) {
             mask[batch_index * batch_size + local] = true;
         }
     }
@@ -60,19 +90,8 @@ pub fn select_batch(improvements: &[f64], alpha: f64, batch_size: usize) -> Vec<
 /// improvement across the whole collection (the optimum of the relaxed
 /// problem).
 pub fn select_global(improvements: &[f64], alpha: f64) -> Vec<bool> {
-    let alpha = alpha.clamp(0.0, 1.0);
-    let quota = ((improvements.len() as f64) * alpha).floor() as usize;
-    let mut mask = vec![false; improvements.len()];
-    if quota == 0 {
-        return mask;
-    }
-    let mut order: Vec<usize> = (0..improvements.len()).collect();
-    order
-        .sort_by(|&a, &b| improvements[b].partial_cmp(&improvements[a]).unwrap_or(std::cmp::Ordering::Equal));
-    for &index in order.iter().take(quota) {
-        mask[index] = true;
-    }
-    mask
+    let quota = ((improvements.len() as f64) * alpha.clamp(0.0, 1.0)).floor() as usize;
+    top_quota_mask(improvements, quota)
 }
 
 /// Total improvement captured by a selection mask.
@@ -84,12 +103,35 @@ pub fn captured_improvement(improvements: &[f64], mask: &[bool]) -> f64 {
 /// optimum: `(global − batch) / global`, or `0.0` when the global optimum
 /// captures nothing.
 pub fn optimality_gap(improvements: &[f64], alpha: f64, batch_size: usize) -> f64 {
+    gap_against_global(improvements, alpha, &select_batch(improvements, alpha, batch_size))
+}
+
+/// Relative optimality gap of the *streaming windowed* selection (size-`window`
+/// windows against a running remaining-budget ledger, see
+/// [`crate::scaling::WindowedSelector`]) against the global optimum.
+///
+/// The paper's claim — the gap is negligible for large k — is testable here:
+/// with `window == improvements.len()` the gap is exactly zero, and for
+/// nonnegative improvements the ledger's quota carryover makes the windowed
+/// gap no worse than the independent per-batch gap of [`optimality_gap`] at
+/// the same size. With negative scores the carryover can *force* a
+/// loss-making pick that a quota-forfeiting batch would have skipped, so
+/// that ordering is not guaranteed there (the campaign itself is safe: a
+/// selected non-candidate still routes to the default parser).
+pub fn windowed_optimality_gap(improvements: &[f64], alpha: f64, window: usize) -> f64 {
+    let mask = crate::scaling::WindowedSelector::new(window, alpha).select_all(improvements);
+    gap_against_global(improvements, alpha, &mask)
+}
+
+/// Shared gap computation: `(global − captured(mask)) / global`, clamped to
+/// `[0, ∞)`, or `0.0` when the global optimum captures nothing.
+fn gap_against_global(improvements: &[f64], alpha: f64, mask: &[bool]) -> f64 {
     let global = captured_improvement(improvements, &select_global(improvements, alpha));
     if global <= 0.0 {
         return 0.0;
     }
-    let batch = captured_improvement(improvements, &select_batch(improvements, alpha, batch_size));
-    ((global - batch) / global).max(0.0)
+    let captured = captured_improvement(improvements, mask);
+    ((global - captured) / global).max(0.0)
 }
 
 #[cfg(test)]
@@ -163,6 +205,37 @@ mod tests {
         assert!(large_batch < 0.15, "gap = {large_batch}");
         // Global selection has zero gap by definition.
         assert!(optimality_gap(&improvements, 0.05, improvements.len()) < 1e-12);
+    }
+
+    #[test]
+    fn tied_and_nan_scores_break_ties_by_index() {
+        // All-tied scores: the mask must pick the *earliest* entries, and do
+        // so identically on every call (a total order with an index tiebreak,
+        // not whatever the sort happened to leave in place).
+        let tied = vec![0.5; 8];
+        let mask = select_batch(&tied, 0.5, 8);
+        assert_eq!(mask, vec![true, true, true, true, false, false, false, false]);
+        assert_eq!(mask, select_batch(&tied, 0.5, 8));
+        assert_eq!(mask, select_global(&tied, 0.5));
+
+        // NaN ranks below every real number under total_cmp, so it is never
+        // selected while finite candidates remain.
+        let with_nan = vec![f64::NAN, 0.1, f64::NAN, 0.2];
+        let mask = select_global(&with_nan, 0.5);
+        assert_eq!(mask, vec![false, true, false, true]);
+        assert_eq!(select_batch(&with_nan, 0.5, 2), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn windowed_gap_is_zero_at_full_window_and_no_worse_than_batch() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let improvements: Vec<f64> = (0..2048).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert!(windowed_optimality_gap(&improvements, 0.05, improvements.len()) < 1e-12);
+        for window in [8usize, 64, 512] {
+            let windowed = windowed_optimality_gap(&improvements, 0.05, window);
+            let batch = optimality_gap(&improvements, 0.05, window);
+            assert!(windowed <= batch + 1e-9, "window={window}: {windowed} vs batch {batch}");
+        }
     }
 
     #[test]

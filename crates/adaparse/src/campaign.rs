@@ -36,15 +36,43 @@ use textmetrics::accepted::{AcceptedTokens, DEFAULT_ACCEPTANCE_THRESHOLD};
 use textmetrics::QualityReport;
 
 use rayon::prelude::*;
-use rayon::ThreadPoolBuilder;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+use std::time::Instant;
 
 use crate::config::AdaParseConfig;
 use crate::engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
 use crate::output::{MemorySink, ParsedRecord, RecordSink};
+use crate::scaling::{ControllerConfig, ScalingController, StageSample, WaveStats, WindowedSelector};
+
+/// How routing decisions are produced and interleaved with parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Classic two-phase execution: extract and score the *whole* corpus,
+    /// run the Appendix C per-batch optimizer over it, then parse. Simple,
+    /// but no parse work can start until the last document is scored.
+    GlobalBatch,
+    /// Streaming execution: documents are routed per window of `window`
+    /// documents by a [`crate::scaling::WindowedSelector`] holding a running
+    /// budget ledger, extraction of window i+1 overlaps with parsing of
+    /// window i, and a [`crate::scaling::ScalingController`] reallocates
+    /// workers between the two stages wave by wave. Routing differs from
+    /// [`RoutingMode::GlobalBatch`] (windowed vs per-batch selection) but is
+    /// still bitwise identical across worker counts.
+    Streaming {
+        /// Selection window size k (also the wave size). The paper's batch
+        /// size (k = 256) is a good default; larger windows shrink the
+        /// optimality gap, smaller ones start parse work sooner.
+        window: usize,
+    },
+}
 
 /// Parallel-execution knobs of a campaign run.
 ///
-/// Neither knob affects the campaign's *result* — only its wall-clock time.
+/// `workers` and `shard_size` never affect the campaign's *result* — only
+/// its wall-clock time. `mode` selects the routing/overlap strategy; each
+/// mode is individually bitwise-deterministic across worker counts, but the
+/// two modes route (deliberately) slightly differently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Worker threads for the data-parallel stages (`0` = all available
@@ -52,19 +80,31 @@ pub struct PipelineConfig {
     pub workers: usize,
     /// Documents per shard handed to a worker at a time.
     pub shard_size: usize,
+    /// Routing/overlap strategy.
+    pub mode: RoutingMode,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { workers: 0, shard_size: 32 }
+        PipelineConfig { workers: 0, shard_size: 32, mode: RoutingMode::GlobalBatch }
     }
 }
 
 impl PipelineConfig {
-    /// Clamp degenerate values (a zero shard size would spin forever).
+    /// A streaming-mode configuration with the given worker count and
+    /// selection window.
+    pub fn streaming(workers: usize, window: usize) -> Self {
+        PipelineConfig { workers, mode: RoutingMode::Streaming { window }, ..Default::default() }
+    }
+
+    /// Clamp degenerate values (a zero shard size or window would spin
+    /// forever).
     pub fn normalized(mut self) -> Self {
         if self.shard_size == 0 {
             self.shard_size = 1;
+        }
+        if let RoutingMode::Streaming { window: 0 } = self.mode {
+            self.mode = RoutingMode::Streaming { window: 1 };
         }
         self
     }
@@ -338,12 +378,21 @@ impl CampaignPipeline {
     }
 
     /// Run stages 1–2 only: routing decisions for a document collection, in
-    /// input order, without parsing or scoring.
+    /// input order, without parsing or scoring. Honors the pipeline's
+    /// [`RoutingMode`]: streaming mode routes per window with the running
+    /// budget ledger, exactly as the full streaming campaign would.
     pub fn route(&self, engine: &AdaParseEngine, documents: &[Document], seed: u64) -> Vec<RoutedDocument> {
         let (inputs, _) = self.extract_all(engine, documents, seed);
         let route = RouteStage::new(engine);
         let scores = self.score_improvements(&route, &inputs);
-        route.select(&inputs, &scores)
+        match self.config.mode {
+            RoutingMode::GlobalBatch => route.select(&inputs, &scores),
+            RoutingMode::Streaming { window } => {
+                let improvements: Vec<f64> = scores.iter().map(|&(s, _)| s).collect();
+                let mask = WindowedSelector::new(window, engine.config().alpha).select_all(&improvements);
+                engine.assemble_routes_with_mask(&inputs, &scores, &mask)
+            }
+        }
     }
 
     /// Run the full campaign, buffering records in memory (the classic
@@ -371,6 +420,9 @@ impl CampaignPipeline {
         seed: u64,
         sink: &mut dyn RecordSink,
     ) -> std::io::Result<CampaignResult> {
+        if let RoutingMode::Streaming { window } = self.config.mode {
+            return self.run_streaming_with_sink(engine, documents, seed, window, sink);
+        }
         let config = engine.config();
 
         // Stages 1–2: extract in parallel, route sequentially.
@@ -389,15 +441,7 @@ impl CampaignPipeline {
         let score = ScoreStage::new(config);
         let wave_size = self.config.shard_size * self.threads.current_num_threads().max(1);
 
-        let mut total_cost = ResourceCost::default();
-        let mut accepted = AcceptedTokens::new();
-        let mut coverage = 0.0;
-        let mut bleu = 0.0;
-        let mut rouge = 0.0;
-        let mut car = 0.0;
-        let mut high_quality = 0usize;
-        let mut parse_failures = 0usize;
-
+        let mut aggregates = Aggregates::default();
         for (wave_index, wave) in documents.chunks(wave_size).enumerate() {
             let offset = wave_index * wave_size;
             let jobs: Vec<(usize, &Document)> =
@@ -421,34 +465,185 @@ impl CampaignPipeline {
             // result as a whole) is identical for every worker count, shard
             // size, and wave boundary.
             for outcome in outcomes.into_iter().flatten() {
-                coverage += outcome.report.coverage;
-                bleu += outcome.report.bleu;
-                rouge += outcome.report.rouge;
-                car += outcome.report.car;
-                accepted.record(outcome.tokens, outcome.report.bleu, DEFAULT_ACCEPTANCE_THRESHOLD);
-                total_cost = total_cost + outcome.cost;
-                high_quality += outcome.high_quality as usize;
-                parse_failures += outcome.parse_failed as usize;
-                sink.accept(outcome.record)?;
+                aggregates.fold(outcome, sink)?;
             }
         }
 
-        let n = documents.len().max(1) as f64;
-        Ok(CampaignResult {
-            quality: CampaignQuality {
-                coverage: coverage / n,
-                bleu: bleu / n,
-                rouge: rouge / n,
-                car: car / n,
-                accepted_tokens: accepted.rate(),
-                documents: documents.len(),
-            },
-            routed,
-            high_quality_fraction: high_quality as f64 / n,
-            total_cost,
-            records: Vec::new(),
-            failures: CampaignFailures { extraction: extraction_failures, parsing: parse_failures },
-        })
+        Ok(aggregates.into_result(documents.len(), routed, extraction_failures))
+    }
+
+    /// The streaming campaign runner behind [`RoutingMode::Streaming`].
+    ///
+    /// Documents flow in windows of k: window i is extracted and scored,
+    /// routed by the [`WindowedSelector`] against the running ledger, then
+    /// parsed — while window i+1 is *already extracting* on a separate
+    /// worker fleet. The [`ScalingController`] observes each wave's stage
+    /// times and moves workers between the extraction and parse fleets
+    /// (under the pipeline's total worker cap) for the next wave.
+    ///
+    /// Determinism: window boundaries are fixed by k, per-document RNG is
+    /// keyed by `seed ^ doc_id`, selection masks are pure functions of the
+    /// scores, and outcomes fold in input order — so the result is bitwise
+    /// identical for every worker count, shard size, and controller
+    /// trajectory (allocations only move wall-clock time).
+    fn run_streaming_with_sink(
+        &self,
+        engine: &AdaParseEngine,
+        documents: &[Document],
+        seed: u64,
+        window: usize,
+        sink: &mut dyn RecordSink,
+    ) -> std::io::Result<CampaignResult> {
+        let config = engine.config();
+        let window = window.max(1);
+        let parse = ParseStage::new(config, &self.pool);
+        let score = ScoreStage::new(config);
+
+        let total_workers = self.threads.current_num_threads().max(1);
+        // Overlapping the fleets needs at least one thread each; with a
+        // single configured worker the stages run back to back instead, so
+        // the worker cap genuinely holds.
+        let overlap = total_workers >= 2;
+        let mut controller = ScalingController::new(ControllerConfig::for_workers(total_workers));
+        let mut selector = WindowedSelector::new(window, config.alpha);
+
+        let mut aggregates = Aggregates::default();
+        let mut routed_all: Vec<RoutedDocument> = Vec::with_capacity(documents.len());
+        let mut extraction_failures = 0usize;
+
+        let windows: Vec<&[Document]> = documents.chunks(window).collect();
+        let mut allocation = controller.allocation();
+        let mut pending = windows
+            .first()
+            .map(|docs| self.extract_and_score_wave(engine, docs, seed, allocation.extract_workers));
+
+        for (index, wave_docs) in windows.iter().enumerate() {
+            let wave = pending.take().expect("the previous iteration staged this wave");
+            extraction_failures += wave.failures;
+
+            // Stage 2, sequential and cheap: one window through the selector.
+            let improvements: Vec<f64> = wave.scores.iter().map(|&(s, _)| s).collect();
+            let mask = selector.select_window(&improvements);
+            let routed_wave = engine.assemble_routes_with_mask(&wave.inputs, &wave.scores, &mask);
+
+            // Stages 3–4 for this window overlap with stages 1–2a of the
+            // next: extraction runs on its own fleet of scoped threads while
+            // parsing uses the parse fleet. (Overlap is purely a wall-clock
+            // optimization — the sequential fallback below produces the
+            // identical result.)
+            let next_docs = windows.get(index + 1).copied();
+            let extract_workers = allocation.extract_workers;
+            let (outcomes, parse_seconds, next_wave) = if overlap {
+                std::thread::scope(|scope| {
+                    let prefetch = next_docs.map(|docs| {
+                        scope.spawn(move || self.extract_and_score_wave(engine, docs, seed, extract_workers))
+                    });
+                    let started = Instant::now();
+                    let outcomes = self.parse_wave(
+                        &parse,
+                        &score,
+                        wave_docs,
+                        &routed_wave,
+                        seed,
+                        allocation.parse_workers,
+                    );
+                    let parse_seconds = started.elapsed().as_secs_f64();
+                    let next_wave = prefetch.map(|handle| handle.join().expect("extraction thread panicked"));
+                    (outcomes, parse_seconds, next_wave)
+                })
+            } else {
+                let started = Instant::now();
+                let outcomes =
+                    self.parse_wave(&parse, &score, wave_docs, &routed_wave, seed, allocation.parse_workers);
+                let parse_seconds = started.elapsed().as_secs_f64();
+                let next_wave =
+                    next_docs.map(|docs| self.extract_and_score_wave(engine, docs, seed, extract_workers));
+                (outcomes, parse_seconds, next_wave)
+            };
+
+            for outcome in outcomes {
+                aggregates.fold(outcome, sink)?;
+            }
+
+            allocation = controller.observe(&WaveStats {
+                wave_index: index,
+                extract: StageSample { busy_seconds: wave.seconds, items: routed_wave.len() },
+                parse: StageSample { busy_seconds: parse_seconds, items: wave_docs.len() },
+                queue_depth: documents.len().saturating_sub((index + 1) * window),
+            });
+            routed_all.extend(routed_wave);
+            pending = next_wave;
+        }
+
+        Ok(aggregates.into_result(documents.len(), routed_all, extraction_failures))
+    }
+
+    /// Stages 1–2a for one streaming window: extract and score every
+    /// document on a fleet of `workers` threads. Pure per-document work;
+    /// results come back in input order.
+    fn extract_and_score_wave(
+        &self,
+        engine: &AdaParseEngine,
+        docs: &[Document],
+        seed: u64,
+        workers: usize,
+    ) -> ExtractedWave {
+        let started = Instant::now();
+        let stage = ExtractStage::new(engine.config(), &self.pool);
+        let route = RouteStage::new(engine);
+        let pool = wave_pool(workers);
+        let shards: Vec<Vec<(Extracted, (f64, bool))>> = pool.install(|| {
+            docs.par_chunks(self.config.shard_size)
+                .map(|shard| {
+                    shard
+                        .iter()
+                        .map(|doc| {
+                            let extracted = stage.run(doc, seed);
+                            let improvement = route.improvement(&extracted.input);
+                            (extracted, improvement)
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        let mut inputs = Vec::with_capacity(docs.len());
+        let mut scores = Vec::with_capacity(docs.len());
+        let mut failures = 0usize;
+        for (extracted, improvement) in shards.into_iter().flatten() {
+            failures += extracted.failed as usize;
+            inputs.push(extracted.input);
+            scores.push(improvement);
+        }
+        ExtractedWave { inputs, scores, failures, seconds: started.elapsed().as_secs_f64() }
+    }
+
+    /// Stages 3–4 for one streaming window on a fleet of `workers` threads.
+    fn parse_wave(
+        &self,
+        parse: &ParseStage<'_>,
+        score: &ScoreStage<'_>,
+        docs: &[Document],
+        routed: &[RoutedDocument],
+        seed: u64,
+        workers: usize,
+    ) -> Vec<DocOutcome> {
+        let jobs: Vec<(&Document, &RoutedDocument)> = docs.iter().zip(routed).collect();
+        let pool = wave_pool(workers);
+        let shards: Vec<Vec<DocOutcome>> = pool.install(|| {
+            jobs.par_chunks(self.config.shard_size)
+                .map(|shard| {
+                    shard
+                        .iter()
+                        .map(|&(doc, decision)| {
+                            let parsed = parse.run(doc, decision, seed);
+                            let extraction_cost = parse.extraction_cost(doc.page_count());
+                            score.run(doc, decision, parsed, extraction_cost)
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        shards.into_iter().flatten().collect()
     }
 
     /// Stage 1 over the whole collection, sharded across the pool. Returns
@@ -485,5 +680,86 @@ impl CampaignPipeline {
                 .collect()
         });
         shards.into_iter().flatten().collect()
+    }
+}
+
+/// A per-stage worker fleet for one streaming wave. Pools here are logical
+/// widths (the vendored `rayon` spawns scoped threads per parallel call), so
+/// building one per wave is free; with real `rayon` the two fleets would be
+/// kept alive across waves and resized only when the controller moves
+/// workers.
+fn wave_pool(workers: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(workers.max(1))
+        .build()
+        .expect("thread pool construction cannot fail")
+}
+
+/// Stage 1–2a output for one streaming window.
+struct ExtractedWave {
+    /// Router inputs, in input order.
+    inputs: Vec<RoutingInput>,
+    /// CLS improvement scores, aligned with `inputs`.
+    scores: Vec<(f64, bool)>,
+    /// Extraction failures in the window.
+    failures: usize,
+    /// Wall-clock seconds the window's extraction + scoring took (feeds the
+    /// scaling controller; never the result).
+    seconds: f64,
+}
+
+/// The campaign's order-preserving aggregate fold. Folding is strictly in
+/// input order in every mode, so float accumulation — and the
+/// [`CampaignResult`] as a whole — is identical for every worker count,
+/// shard size, and wave boundary.
+#[derive(Default)]
+struct Aggregates {
+    total_cost: ResourceCost,
+    accepted: AcceptedTokens,
+    coverage: f64,
+    bleu: f64,
+    rouge: f64,
+    car: f64,
+    high_quality: usize,
+    parse_failures: usize,
+}
+
+impl Aggregates {
+    /// Fold one document outcome and hand its record to the sink.
+    fn fold(&mut self, outcome: DocOutcome, sink: &mut dyn RecordSink) -> std::io::Result<()> {
+        self.coverage += outcome.report.coverage;
+        self.bleu += outcome.report.bleu;
+        self.rouge += outcome.report.rouge;
+        self.car += outcome.report.car;
+        self.accepted.record(outcome.tokens, outcome.report.bleu, DEFAULT_ACCEPTANCE_THRESHOLD);
+        self.total_cost = self.total_cost + outcome.cost;
+        self.high_quality += outcome.high_quality as usize;
+        self.parse_failures += outcome.parse_failed as usize;
+        sink.accept(outcome.record)
+    }
+
+    /// Close the fold into a [`CampaignResult`].
+    fn into_result(
+        self,
+        documents: usize,
+        routed: Vec<RoutedDocument>,
+        extraction_failures: usize,
+    ) -> CampaignResult {
+        let n = documents.max(1) as f64;
+        CampaignResult {
+            quality: CampaignQuality {
+                coverage: self.coverage / n,
+                bleu: self.bleu / n,
+                rouge: self.rouge / n,
+                car: self.car / n,
+                accepted_tokens: self.accepted.rate(),
+                documents,
+            },
+            routed,
+            high_quality_fraction: self.high_quality as f64 / n,
+            total_cost: self.total_cost,
+            records: Vec::new(),
+            failures: CampaignFailures { extraction: extraction_failures, parsing: self.parse_failures },
+        }
     }
 }

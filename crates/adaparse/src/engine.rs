@@ -171,6 +171,20 @@ impl AdaParseEngine {
     ) -> Vec<RoutedDocument> {
         let improvements: Vec<f64> = scores.iter().map(|&(improvement, _)| improvement).collect();
         let mask = select_batch(&improvements, self.config.alpha, self.config.batch_size);
+        self.assemble_routes_with_mask(inputs, scores, &mask)
+    }
+
+    /// Turn scored documents plus an externally computed selection mask into
+    /// final routing decisions, in input order. The streaming pipeline feeds
+    /// masks emitted window-by-window by
+    /// [`crate::scaling::WindowedSelector`]; the classic path feeds
+    /// [`select_batch`]'s whole-corpus mask.
+    pub(crate) fn assemble_routes_with_mask(
+        &self,
+        inputs: &[RoutingInput],
+        scores: &[(f64, bool)],
+        mask: &[bool],
+    ) -> Vec<RoutedDocument> {
         inputs
             .iter()
             .zip(scores.iter())

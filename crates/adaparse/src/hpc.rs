@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::campaign::CampaignPipeline;
 use crate::config::AdaParseConfig;
 use crate::engine::{AdaParseEngine, RoutedDocument};
+use crate::scaling::{NodePlan, Stage};
 
 /// A lightweight description of a document workload for scaling studies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,17 +59,49 @@ pub fn tasks_for_routing(
     routed: &[RoutedDocument],
     workload: &WorkloadSpec,
 ) -> Vec<Task> {
+    build_routing_tasks(config, routed, workload, None)
+}
+
+/// Build tasks for an AdaParse campaign from explicit routing decisions
+/// *with node-affinity placement*: extraction tasks are staged round-robin
+/// across the plan's extraction fleet, high-quality parse tasks across its
+/// parse fleet, and every task carries its staging node so the executor's
+/// data-locality model applies. This is how the
+/// [`crate::scaling::ScalingController`]'s node-level decisions reach the
+/// simulator.
+pub fn tasks_for_routing_with_affinity(
+    config: &AdaParseConfig,
+    routed: &[RoutedDocument],
+    workload: &WorkloadSpec,
+    plan: &NodePlan,
+) -> Vec<Task> {
+    build_routing_tasks(config, routed, workload, Some(plan))
+}
+
+/// Shared task construction: with a [`NodePlan`] tasks carry their staging
+/// node, without one they are placement-indifferent. One code path, so the
+/// affinity and non-affinity simulations always stay comparable.
+fn build_routing_tasks(
+    config: &AdaParseConfig,
+    routed: &[RoutedDocument],
+    workload: &WorkloadSpec,
+    plan: Option<&NodePlan>,
+) -> Vec<Task> {
     let cheap_model = CostModel::for_parser(config.default_parser);
     let expensive_model = CostModel::for_parser(config.high_quality_parser);
     let cheap = cheap_model.document_cost(workload.pages_per_doc, 0.3);
     let expensive = expensive_model.document_cost(workload.pages_per_doc, 0.3);
+    let place = |task: Task, stage: Stage, index: usize| match plan {
+        Some(plan) => task.with_preferred_node(plan.preferred_node(stage, index)),
+        None => task,
+    };
     let mut tasks = Vec::with_capacity(routed.len() * 2);
-    for decision in routed {
-        tasks.push(
-            Task::new(decision.doc_id * 2, SlotKind::Cpu, cheap.cpu_seconds)
-                .with_input_mb(workload.mb_per_doc)
-                .with_label(config.default_parser.name()),
-        );
+    let mut parse_index = 0usize;
+    for (extract_index, decision) in routed.iter().enumerate() {
+        let extraction = Task::new(decision.doc_id * 2, SlotKind::Cpu, cheap.cpu_seconds)
+            .with_input_mb(workload.mb_per_doc)
+            .with_label(config.default_parser.name());
+        tasks.push(place(extraction, Stage::Extract, extract_index));
         if decision.parser == config.high_quality_parser {
             let slot = if config.high_quality_parser.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
             let compute = if config.high_quality_parser.requires_gpu() {
@@ -76,12 +109,12 @@ pub fn tasks_for_routing(
             } else {
                 expensive.cpu_seconds
             };
-            tasks.push(
-                Task::new(decision.doc_id * 2 + 1, slot, compute)
-                    .with_input_mb(workload.mb_per_doc)
-                    .with_cold_start(expensive_model.model_load_seconds)
-                    .with_label(config.high_quality_parser.name()),
-            );
+            let parse = Task::new(decision.doc_id * 2 + 1, slot, compute)
+                .with_input_mb(workload.mb_per_doc)
+                .with_cold_start(expensive_model.model_load_seconds)
+                .with_label(config.high_quality_parser.name());
+            tasks.push(place(parse, Stage::Parse, parse_index));
+            parse_index += 1;
         }
     }
     tasks
@@ -198,6 +231,42 @@ mod tests {
         assert!(nougat > marker, "Nougat beats Marker: {nougat} vs {marker}");
         // AdaParse improves on Nougat by a large factor (the paper reports 17×).
         assert!(adaparse / nougat > 4.0, "ratio = {}", adaparse / nougat);
+    }
+
+    #[test]
+    fn affinity_tasks_carry_plan_nodes_and_stay_local_on_matching_clusters() {
+        // Small enough that no fleet queues (spilling off-node is *allowed*
+        // once queueing beats the penalty; with free slots it never is).
+        let w = WorkloadSpec { documents: 60, pages_per_doc: 10, mb_per_doc: 1.5 };
+        let config = AdaParseConfig { alpha: 0.05, ..Default::default() };
+        let quota = ((w.documents as f64) * config.alpha).floor() as usize;
+        let routed: Vec<RoutedDocument> = (0..w.documents)
+            .map(|i| RoutedDocument {
+                doc_id: i as u64,
+                parser: if i < quota { config.high_quality_parser } else { config.default_parser },
+                predicted_improvement: 0.0,
+                cls1_invalid: false,
+            })
+            .collect();
+        let plan = NodePlan { extract_nodes: 3, parse_nodes: 1 };
+        let tasks = tasks_for_routing_with_affinity(&config, &routed, &w, &plan);
+        assert_eq!(tasks.len(), w.documents + quota);
+        // Extraction tasks cycle over nodes 0..3, parse tasks pin to node 3.
+        for task in &tasks {
+            let node = task.preferred_node.expect("every task carries its staging node");
+            match task.slot {
+                SlotKind::Cpu => assert!(node < 3),
+                SlotKind::Gpu => assert_eq!(node, 3),
+            }
+        }
+        // On a cluster shaped like the plan, scheduling honors the affinity.
+        let report = WorkflowExecutor::new(ExecutorConfig::default()).run(
+            &tasks,
+            &ClusterConfig::polaris(plan.total()),
+            &LustreModel::default(),
+        );
+        assert_eq!(report.tasks_completed, tasks.len());
+        assert_eq!(report.non_local_tasks, 0, "a matching cluster never pays the locality penalty");
     }
 
     #[test]

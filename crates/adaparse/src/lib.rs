@@ -41,12 +41,19 @@
 //!   global),
 //! * [`engine`] — configuration + training + the hierarchical router
 //!   (CLS I → II → III); campaign entry points delegate to the pipeline,
-//! * [`campaign`] — the staged parallel pipeline described above,
+//! * [`campaign`] — the staged parallel pipeline described above, with two
+//!   routing modes: [`RoutingMode::GlobalBatch`] (classic two-phase) and
+//!   [`RoutingMode::Streaming`] (windowed selection with extract/parse
+//!   overlap),
+//! * [`scaling`] — the resource-scaling engine: the streaming
+//!   [`WindowedSelector`] and the feedback-driven [`ScalingController`]
+//!   that reallocates workers (and `hpcsim` nodes) between stages,
 //! * [`output`] — JSONL records, [`RecordSink`], in-memory and streaming
 //!   JSONL sinks,
 //! * [`hpc`] — the bridge turning routed documents into `hpcsim` tasks so
 //!   multi-node throughput (Figure 5) and GPU utilization (Figure 4) can be
-//!   simulated.
+//!   simulated, including node-affinity task placement from a
+//!   [`scaling::NodePlan`].
 //!
 //! # Example
 //!
@@ -68,11 +75,16 @@
 //! // Train the router and run a campaign through the parallel pipeline.
 //! let mut engine = AdaParseEngine::new(AdaParseConfig::default());
 //! engine.train_on_corpus(&train, 7);
-//! let pipeline = CampaignPipeline::new(PipelineConfig { workers: 2, shard_size: 4 });
+//! let pipeline = CampaignPipeline::new(PipelineConfig { workers: 2, shard_size: 4, ..Default::default() });
 //! let result = pipeline.run(&engine, &test, 11);
 //! assert_eq!(result.quality.documents, test.len());
 //! // Identical to the engine's default (sequential-equivalent) entry point.
 //! assert_eq!(result, engine.parse_documents(&test, 11));
+//!
+//! // Streaming mode: windowed selection + extract/parse overlap. Bitwise
+//! // identical across worker counts too.
+//! let streaming = CampaignPipeline::new(PipelineConfig::streaming(2, 4));
+//! assert_eq!(streaming.run(&engine, &test, 11).quality.documents, test.len());
 //! ```
 
 pub mod budget;
@@ -81,10 +93,19 @@ pub mod config;
 pub mod engine;
 pub mod hpc;
 pub mod output;
+pub mod scaling;
 
-pub use budget::{max_affordable_alpha, select_batch, select_global};
-pub use campaign::{CampaignFailures, CampaignPipeline, PipelineConfig, RoutingInput};
+pub use budget::{
+    max_affordable_alpha, optimality_gap, select_batch, select_global, windowed_optimality_gap,
+};
+pub use campaign::{CampaignFailures, CampaignPipeline, PipelineConfig, RoutingInput, RoutingMode};
 pub use config::{AdaParseConfig, Variant};
 pub use engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
-pub use hpc::{adaparse_throughput_at_scale, parser_throughput_at_scale, WorkloadSpec};
+pub use hpc::{
+    adaparse_throughput_at_scale, parser_throughput_at_scale, tasks_for_routing_with_affinity, WorkloadSpec,
+};
 pub use output::{JsonlSink, MemorySink, ParsedRecord, RecordSink};
+pub use scaling::{
+    Allocation, BudgetLedger, ControllerConfig, NodePlan, ScalingController, Stage, StageSample, WaveStats,
+    WindowedSelector,
+};

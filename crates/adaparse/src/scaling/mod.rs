@@ -1,0 +1,42 @@
+//! The adaptive resource-scaling engine (the paper's "… and Resource
+//! Scaling Engine" half).
+//!
+//! The Appendix C budget optimizer, run globally, serializes routing: no
+//! document can be parsed before *every* document has been extracted, scored,
+//! and sorted. This module replaces that whole-corpus barrier with two
+//! cooperating pieces:
+//!
+//! * [`WindowedSelector`] — streaming budget selection. Documents arrive in
+//!   input order and are selected per *window* of size k against a running
+//!   remaining-budget ledger (fractional quota credit carries over between
+//!   windows, so the selected fraction never exceeds ⌊α·seen⌋ at any prefix).
+//!   Window boundaries are fixed by k alone — never by worker count or wave
+//!   timing — so the emitted routing masks are bitwise-deterministic, and
+//!   with k = corpus size the selection is exactly the global optimum.
+//!   The windowed-vs-global optimality gap is measurable with
+//!   [`crate::budget::windowed_optimality_gap`].
+//!
+//! * [`ScalingController`] — the feedback loop. Each wave it samples
+//!   per-stage throughput and queue depth ([`WaveStats`]) and reallocates
+//!   workers between the extraction and parsing stages under a total-worker
+//!   cap, with hysteresis (a persistent imbalance must exceed a threshold for
+//!   `patience` consecutive waves before a worker moves). Decisions are pure
+//!   functions of the observed stats, so identical stat streams produce
+//!   identical allocation traces. [`ScalingController::plan_nodes`] projects
+//!   the same allocation onto an `hpcsim` cluster as a node split whose
+//!   data-locality consequences the executor models (tasks carry a preferred
+//!   node; off-node placement pays a `LustreModel` penalty).
+//!
+//! [`crate::campaign::CampaignPipeline`] wires both into its
+//! [`crate::campaign::RoutingMode::Streaming`] mode: extraction of window
+//! i+1 overlaps with parsing of window i, routing masks are emitted
+//! wave-by-wave, and the campaign result stays bitwise identical for every
+//! worker count.
+
+pub mod controller;
+pub mod window;
+
+pub use controller::{
+    Allocation, ControllerConfig, NodePlan, ScalingController, Stage, StageSample, WaveStats,
+};
+pub use window::{BudgetLedger, WindowedSelector};

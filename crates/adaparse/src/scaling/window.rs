@@ -1,0 +1,278 @@
+//! Streaming windowed budget selection.
+//!
+//! [`WindowedSelector`] consumes improvement scores in input order, one
+//! window of (up to) k documents at a time, and emits the routing mask for
+//! each window immediately — the pipeline can start parsing a window while
+//! later windows are still being extracted. A running ledger carries the
+//! fractional quota credit between windows, so the number of selected
+//! documents never exceeds ⌊α · documents-seen⌋ at any prefix of the stream,
+//! and an optional seconds-denominated [`BudgetLedger`] tightens the
+//! effective α when the committed spend threatens the total compute budget.
+
+use crate::budget::{max_affordable_alpha, top_quota_mask};
+
+/// Seconds-denominated remaining-budget ledger.
+///
+/// Tracks the compute budget left after each committed window and derives
+/// the largest α the remainder can afford (Appendix C's bound applied to the
+/// *remaining* documents instead of the whole corpus). Deterministic: the
+/// ledger advances only on committed selections, in input order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetLedger {
+    remaining_seconds: f64,
+    remaining_docs: usize,
+    cheap_cost: f64,
+    expensive_cost: f64,
+}
+
+impl BudgetLedger {
+    /// A ledger over `total_seconds` of budget for `total_docs` documents
+    /// with the given per-document parser costs.
+    pub fn new(total_seconds: f64, total_docs: usize, cheap_cost: f64, expensive_cost: f64) -> Self {
+        BudgetLedger {
+            remaining_seconds: total_seconds.max(0.0),
+            remaining_docs: total_docs,
+            cheap_cost: cheap_cost.max(0.0),
+            expensive_cost: expensive_cost.max(0.0),
+        }
+    }
+
+    /// Seconds of budget not yet committed.
+    pub fn remaining_seconds(&self) -> f64 {
+        self.remaining_seconds
+    }
+
+    /// Documents not yet routed.
+    pub fn remaining_docs(&self) -> usize {
+        self.remaining_docs
+    }
+
+    /// The largest α the remaining budget affords for the remaining
+    /// documents.
+    pub fn affordable_alpha(&self) -> f64 {
+        max_affordable_alpha(
+            self.remaining_seconds,
+            self.remaining_docs,
+            self.cheap_cost,
+            self.expensive_cost,
+        )
+    }
+
+    /// Commit one routed window: every document pays the cheap parser,
+    /// `selected` additionally pay the expensive one.
+    fn commit(&mut self, docs: usize, selected: usize) {
+        let spend = docs as f64 * self.cheap_cost
+            + selected as f64 * (self.expensive_cost - self.cheap_cost).max(0.0);
+        self.remaining_seconds = (self.remaining_seconds - spend).max(0.0);
+        self.remaining_docs = self.remaining_docs.saturating_sub(docs);
+    }
+}
+
+/// Streaming per-window budget selector.
+///
+/// Feed it windows of improvement scores in input order via
+/// [`select_window`](WindowedSelector::select_window); each call returns the
+/// routing mask for that window. The selector maintains a running quota
+/// credit (`α` per document seen) minus the documents already selected, so:
+///
+/// * at every prefix of the stream, `selected ≤ ⌊α · seen⌋` — the budget
+///   holds even if the campaign is aborted mid-stream;
+/// * fractional quota credit carries over between windows (unlike the
+///   independent per-batch selection of [`crate::budget::select_batch`],
+///   which floors each batch's quota and forfeits the remainder — with
+///   α·k < 1 it would select nothing at all);
+/// * with a single window spanning the whole corpus the selection is
+///   *exactly* [`crate::budget::select_global`], bitwise.
+///
+/// Masks depend only on the scores and the window boundaries — never on
+/// worker counts or timing — which is what lets the streaming pipeline keep
+/// its bitwise-determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedSelector {
+    window: usize,
+    alpha: f64,
+    credit: f64,
+    seen: usize,
+    selected: usize,
+    ledger: Option<BudgetLedger>,
+}
+
+impl WindowedSelector {
+    /// A selector emitting masks per window of `window` documents with a
+    /// high-quality fraction capped at `alpha`.
+    pub fn new(window: usize, alpha: f64) -> Self {
+        WindowedSelector {
+            window: window.max(1),
+            alpha: alpha.clamp(0.0, 1.0),
+            credit: 0.0,
+            seen: 0,
+            selected: 0,
+            ledger: None,
+        }
+    }
+
+    /// Attach a seconds-denominated budget ledger: each window's effective α
+    /// is the smaller of the configured α and what the remaining budget
+    /// affords.
+    pub fn with_budget(mut self, ledger: BudgetLedger) -> Self {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// The configured window size k.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Documents routed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Documents selected for the high-quality parser so far.
+    pub fn selected(&self) -> usize {
+        self.selected
+    }
+
+    /// The seconds ledger, if one is attached.
+    pub fn ledger(&self) -> Option<&BudgetLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// Route one window of scores (the final window may be shorter than k)
+    /// and return its routing mask.
+    ///
+    /// The quota is the accumulated fractional credit not yet spent:
+    /// `⌊credit − selected⌋`, clamped to the window length. With a constant
+    /// α this equals `⌊α·seen⌋ − selected`, the exact prefix-budget
+    /// invariant.
+    pub fn select_window(&mut self, scores: &[f64]) -> Vec<bool> {
+        let alpha = match &self.ledger {
+            Some(ledger) => self.alpha.min(ledger.affordable_alpha()),
+            None => self.alpha,
+        };
+        self.seen += scores.len();
+        self.credit += (scores.len() as f64) * alpha;
+        let quota = ((self.credit - self.selected as f64).floor().max(0.0) as usize).min(scores.len());
+        let mask = top_quota_mask(scores, quota);
+        self.selected += quota;
+        if let Some(ledger) = &mut self.ledger {
+            ledger.commit(scores.len(), quota);
+        }
+        mask
+    }
+
+    /// Drive the selector over a whole score slice, chunked into k-sized
+    /// windows, and return the concatenated mask. Consumes the selector's
+    /// stream position; use a fresh selector per corpus.
+    pub fn select_all(mut self, scores: &[f64]) -> Vec<bool> {
+        let mut mask = Vec::with_capacity(scores.len());
+        for chunk in scores.chunks(self.window) {
+            mask.extend(self.select_window(chunk));
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{select_batch, select_global};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scores(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    #[test]
+    fn full_window_equals_global_selection_bitwise() {
+        for seed in 0..5u64 {
+            let scores = random_scores(257, seed);
+            for &alpha in &[0.0, 0.05, 0.2, 0.5, 1.0] {
+                let windowed = WindowedSelector::new(scores.len(), alpha).select_all(&scores);
+                assert_eq!(windowed, select_global(&scores, alpha), "alpha={alpha} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_budget_invariant_holds_at_every_window() {
+        let scores = random_scores(1000, 9);
+        let alpha = 0.13;
+        let mut selector = WindowedSelector::new(32, alpha);
+        for chunk in scores.chunks(32) {
+            selector.select_window(chunk);
+            assert!(
+                selector.selected() as f64 <= (alpha * selector.seen() as f64).floor() + 1e-9,
+                "selected {} of {} seen",
+                selector.selected(),
+                selector.seen()
+            );
+        }
+        // The full stream lands on the global quota up to one slot of float
+        // slack (credit accrues as a sum of per-window products, which can
+        // round a hair below the single-multiplication ⌊α·n⌋) and never
+        // exceeds it.
+        let global_quota = (alpha * scores.len() as f64).floor() as usize;
+        assert!(selector.selected() <= global_quota);
+        assert!(selector.selected() + 1 >= global_quota, "{} vs {global_quota}", selector.selected());
+    }
+
+    #[test]
+    fn fractional_credit_carries_over_where_independent_batches_forfeit_it() {
+        // α·k < 1: every independent batch floors its quota to zero and
+        // selects nothing, while the ledger accrues 0.5 credit per window and
+        // spends a slot every second window.
+        let scores = random_scores(200, 6);
+        let alpha = 0.05;
+        let windowed = WindowedSelector::new(10, alpha).select_all(&scores);
+        let batch = select_batch(&scores, alpha, 10);
+        assert_eq!(batch.iter().filter(|&&m| m).count(), 0, "per-batch forfeits sub-1 quotas");
+        assert_eq!(windowed.iter().filter(|&&m| m).count(), (alpha * 200.0).floor() as usize);
+        let captured =
+            |mask: &[bool]| -> f64 { scores.iter().zip(mask).filter(|(_, &m)| m).map(|(v, _)| v).sum() };
+        assert!(captured(&windowed) > captured(&batch));
+    }
+
+    #[test]
+    fn masks_are_independent_of_how_the_stream_is_replayed() {
+        let scores = random_scores(300, 4);
+        let all_at_once = WindowedSelector::new(64, 0.1).select_all(&scores);
+        let mut incremental = WindowedSelector::new(64, 0.1);
+        let mut mask = Vec::new();
+        for chunk in scores.chunks(64) {
+            mask.extend(incremental.select_window(chunk));
+        }
+        assert_eq!(all_at_once, mask);
+    }
+
+    #[test]
+    fn seconds_ledger_tightens_alpha_when_budget_runs_short() {
+        // Budget affords exactly 10% expensive docs overall; configured α
+        // asks for 50%. The ledger must hold the line.
+        let n = 200usize;
+        let cheap = 1.0;
+        let expensive = 11.0;
+        let budget = n as f64 * cheap + 0.10 * n as f64 * (expensive - cheap);
+        let scores = random_scores(n, 8);
+        let selector =
+            WindowedSelector::new(20, 0.5).with_budget(BudgetLedger::new(budget, n, cheap, expensive));
+        let mask = selector.select_all(&scores);
+        let selected = mask.iter().filter(|&&m| m).count();
+        assert!(selected > 0, "some budget must be spent");
+        let spend = n as f64 * cheap + selected as f64 * (expensive - cheap);
+        assert!(spend <= budget + 1e-9, "spend {spend} exceeds budget {budget}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let mut selector = WindowedSelector::new(0, 2.0); // clamped to window=1, alpha=1
+        assert_eq!(selector.window(), 1);
+        assert_eq!(selector.select_window(&[]), Vec::<bool>::new());
+        assert_eq!(selector.select_window(&[0.5]), vec![true]);
+        let empty = WindowedSelector::new(8, 0.5).select_all(&[]);
+        assert!(empty.is_empty());
+    }
+}

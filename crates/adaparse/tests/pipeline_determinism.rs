@@ -35,7 +35,8 @@ fn run(
     workers: usize,
     shard: usize,
 ) -> CampaignResult {
-    CampaignPipeline::new(PipelineConfig { workers, shard_size: shard }).run(engine, docs, seed)
+    CampaignPipeline::new(PipelineConfig { workers, shard_size: shard, ..Default::default() })
+        .run(engine, docs, seed)
 }
 
 #[test]
@@ -102,7 +103,7 @@ fn fasttext_variant_is_deterministic_too() {
 fn streamed_jsonl_matches_buffered_records() {
     let engine = trained_engine(AdaParseConfig { alpha: 0.2, batch_size: 8, ..Default::default() });
     let docs = corpus(12, 0.3, 99);
-    let pipeline = CampaignPipeline::new(PipelineConfig { workers: 4, shard_size: 3 });
+    let pipeline = CampaignPipeline::new(PipelineConfig { workers: 4, shard_size: 3, ..Default::default() });
 
     let buffered = pipeline.run(&engine, &docs, 7);
 

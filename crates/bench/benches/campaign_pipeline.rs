@@ -25,7 +25,8 @@ fn bench_pipeline_scaling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("campaign_pipeline");
     for &workers in &[1usize, 2, 4, 8] {
-        let pipeline = CampaignPipeline::new(PipelineConfig { workers, shard_size: 16 });
+        let pipeline =
+            CampaignPipeline::new(PipelineConfig { workers, shard_size: 16, ..Default::default() });
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
             b.iter(|| pipeline.run(black_box(&engine), black_box(&docs), 7))
         });

@@ -1,0 +1,122 @@
+//! The resource-scaling engine end to end:
+//!
+//! 1. one identical streaming-mode campaign at 1, 2, 4, and 8 workers with a
+//!    bitwise determinism check (the streaming analogue of
+//!    `pipeline_scaling`),
+//! 2. the windowed-vs-global optimality gap for k ∈ {8, 64, 512} on the
+//!    campaign's own improvement scores,
+//! 3. a synthetic `ScalingController` run showing the hysteresis-damped
+//!    allocation trace,
+//! 4. an `hpcsim` node-affinity ablation: the same routed campaign with
+//!    locality-aware task placement vs a single hot node.
+//!
+//! Run with: `cargo run --release --bin streaming_scaling`
+//! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
+
+use std::time::Instant;
+
+use adaparse::budget::windowed_optimality_gap;
+use adaparse::{
+    tasks_for_routing_with_affinity, AdaParseConfig, AdaParseEngine, CampaignPipeline, ControllerConfig,
+    PipelineConfig, ScalingController, StageSample, WaveStats, WorkloadSpec,
+};
+use bench::bench_doc_count;
+use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+fn main() {
+    let n_docs = bench_doc_count(240).max(200);
+    let docs = DocumentGenerator::new(GeneratorConfig {
+        n_documents: n_docs,
+        seed: 42,
+        min_pages: 1,
+        max_pages: 3,
+        scanned_fraction: 0.3,
+        ..Default::default()
+    })
+    .generate_many(n_docs);
+    let mut engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.1, ..Default::default() });
+    engine.train_on_corpus(&docs[..20.min(n_docs)], 5);
+
+    // 1. Streaming-mode determinism across worker counts.
+    println!("Streaming campaign (window = 64) — {n_docs} documents");
+    println!("{:>8} {:>12}  result", "workers", "wall-clock");
+    let mut baseline_result = None;
+    for workers in [1usize, 2, 4, 8] {
+        let pipeline = CampaignPipeline::new(PipelineConfig::streaming(workers, 64));
+        let start = Instant::now();
+        let result = pipeline.run(&engine, &docs, 7);
+        let elapsed = start.elapsed().as_secs_f64();
+        let identical = match &baseline_result {
+            None => {
+                baseline_result = Some(result);
+                true
+            }
+            Some(expected) => *expected == result,
+        };
+        println!(
+            "{workers:>8} {:>10.3} s  {}",
+            elapsed,
+            if identical { "identical to 1-worker run" } else { "DIVERGED (bug!)" }
+        );
+        assert!(identical, "streaming output diverged at {workers} workers");
+    }
+
+    // 2. Windowed-vs-global optimality gap on the campaign's real scores.
+    let routed = baseline_result.as_ref().expect("campaign ran").routed.clone();
+    let scores: Vec<f64> = routed.iter().map(|r| r.predicted_improvement).collect();
+    println!("\nWindowed-vs-global optimality gap (α = 0.1)");
+    for window in [8usize, 64, 512] {
+        let gap = windowed_optimality_gap(&scores, 0.1, window);
+        println!("  k = {window:>4}: {:>6.3} %", 100.0 * gap);
+    }
+
+    // 3. Controller trace on a synthetic parse-heavy → balanced workload.
+    println!("\nScalingController trace (8 workers, parse-heavy start)");
+    let mut controller = ScalingController::new(ControllerConfig::for_workers(8));
+    for wave in 0..12 {
+        let parse_seconds = if wave < 6 { 3.0 } else { 1.0 };
+        let allocation = controller.observe(&WaveStats {
+            wave_index: wave,
+            extract: StageSample { busy_seconds: 1.0, items: 64 },
+            parse: StageSample { busy_seconds: parse_seconds, items: 64 },
+            queue_depth: 64 * (12 - wave),
+        });
+        println!(
+            "  wave {wave:>2}: extract {} / parse {} workers",
+            allocation.extract_workers, allocation.parse_workers
+        );
+    }
+    assert!(!controller.history().is_empty(), "the parse-heavy phase must move workers");
+
+    // 4. Node-affinity ablation in hpcsim. Large inputs over a modest NIC
+    // make locality matter, and disabling prefetch keeps the off-node
+    // re-fetch on the critical path (with prefetch it hides under compute).
+    let workload = WorkloadSpec { documents: n_docs, pages_per_doc: 10, mb_per_doc: 100.0 };
+    let cluster = ClusterConfig::polaris(4);
+    let fs = LustreModel { per_node_bandwidth_mb_s: 200.0, ..Default::default() };
+    let executor = WorkflowExecutor::new(ExecutorConfig { prefetch: false, ..Default::default() });
+    let planned = controller.plan_nodes(cluster.nodes);
+    let spread = tasks_for_routing_with_affinity(engine.config(), &routed, &workload, &planned);
+    let hot = tasks_for_routing_with_affinity(
+        engine.config(),
+        &routed,
+        &workload,
+        &adaparse::NodePlan { extract_nodes: 1, parse_nodes: 1 },
+    );
+    let spread_report = executor.run(&spread, &cluster, &fs);
+    let hot_report = executor.run(&hot, &cluster, &fs);
+    println!("\nNode-affinity ablation on {} nodes ({:?})", cluster.nodes, planned);
+    println!(
+        "  controller plan: makespan {:>8.2} s, {} off-node tasks, {:.2} s penalty",
+        spread_report.makespan_seconds, spread_report.non_local_tasks, spread_report.locality_penalty_seconds
+    );
+    println!(
+        "  single hot node: makespan {:>8.2} s, {} off-node tasks, {:.2} s penalty",
+        hot_report.makespan_seconds, hot_report.non_local_tasks, hot_report.locality_penalty_seconds
+    );
+    assert!(
+        spread_report.makespan_seconds <= hot_report.makespan_seconds + 1e-9,
+        "the controller's node plan must not lose to a hot-spotted one"
+    );
+}

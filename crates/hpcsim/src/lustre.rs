@@ -64,6 +64,17 @@ impl LustreModel {
         let metadata = effective_files as f64 * self.metadata_latency_s.max(1.0 / metadata_rate_share);
         transfer + metadata
     }
+
+    /// Data-locality penalty: extra seconds to run a task on a node other
+    /// than the one where its input was staged. The node-local copy
+    /// (NVMe/ramdisk archive) is useless remotely, so the input transits the
+    /// shared filesystem again — one more bandwidth-shared transfer plus one
+    /// metadata open for the archive.
+    pub fn locality_penalty_seconds(&self, input_mb: f64, concurrent_nodes: usize) -> f64 {
+        let bandwidth = self.effective_node_bandwidth(concurrent_nodes);
+        let transfer = if bandwidth > 0.0 { input_mb.max(0.0) / bandwidth } else { f64::INFINITY };
+        transfer + self.metadata_latency_s
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +104,17 @@ mod tests {
         let many_small = fs.stage_in_seconds(100.0, 5_000, 64, false);
         let aggregated = fs.stage_in_seconds(100.0, 5_000, 64, true);
         assert!(many_small > aggregated * 2.0, "{many_small} vs {aggregated}");
+    }
+
+    #[test]
+    fn locality_penalty_scales_with_input_and_contention() {
+        let fs = LustreModel::default();
+        let small = fs.locality_penalty_seconds(1.0, 1);
+        let large = fs.locality_penalty_seconds(1000.0, 1);
+        assert!(large > small);
+        let crowded = fs.locality_penalty_seconds(1000.0, 2000);
+        assert!(crowded > large, "contention amplifies the off-node cost");
+        assert!(fs.locality_penalty_seconds(0.0, 1) > 0.0, "still one metadata open");
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct Task {
     pub input_files: usize,
     /// Model-load seconds paid when the task starts on a cold worker.
     pub cold_start_seconds: f64,
+    /// Node where the task's input was staged (node-local archives live
+    /// there). `None` means the task is placement-indifferent; `Some(n)`
+    /// means running anywhere but node `n` pays the filesystem's
+    /// data-locality penalty (the input must be re-fetched through the
+    /// shared filesystem instead of read from the node-local copy).
+    pub preferred_node: Option<usize>,
     /// Label used for grouping in reports (e.g. the parser name).
     pub label: String,
 }
@@ -42,6 +48,7 @@ impl Task {
             input_mb: 0.0,
             input_files: 1,
             cold_start_seconds: 0.0,
+            preferred_node: None,
             label: String::new(),
         }
     }
@@ -61,6 +68,12 @@ impl Task {
     /// Set the cold-start (model-load) cost.
     pub fn with_cold_start(mut self, seconds: f64) -> Self {
         self.cold_start_seconds = seconds.max(0.0);
+        self
+    }
+
+    /// Pin the task's staged input to a node (node-affinity scheduling).
+    pub fn with_preferred_node(mut self, node: usize) -> Self {
+        self.preferred_node = Some(node);
         self
     }
 
@@ -120,6 +133,8 @@ mod tests {
         assert_eq!(t.cold_start_seconds, 15.0);
         assert_eq!(t.label, "Nougat");
         assert_eq!(t.slot, SlotKind::Gpu);
+        assert_eq!(t.preferred_node, None);
+        assert_eq!(t.with_preferred_node(3).preferred_node, Some(3));
     }
 
     #[test]
