@@ -43,7 +43,10 @@ use std::time::Instant;
 use crate::config::AdaParseConfig;
 use crate::engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
 use crate::output::{MemorySink, ParsedRecord, RecordSink};
-use crate::scaling::{ControllerConfig, ScalingController, StageSample, WaveStats, WindowedSelector};
+use crate::scaling::simloop::planned_costs;
+use crate::scaling::{
+    BudgetLedger, ControllerConfig, ScalingController, StageSample, WaveCosts, WaveStats, WindowedSelector,
+};
 
 /// How routing decisions are produced and interleaved with parsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,9 +57,11 @@ pub enum RoutingMode {
     GlobalBatch,
     /// Streaming execution: documents are routed per window of `window`
     /// documents by a [`crate::scaling::WindowedSelector`] holding a running
-    /// budget ledger, extraction of window i+1 overlaps with parsing of
-    /// window i, and a [`crate::scaling::ScalingController`] reallocates
-    /// workers between the two stages wave by wave. Routing differs from
+    /// budget ledger (fed back with *observed* per-document costs when a
+    /// [`CampaignBudget`] with feedback is attached), extraction of window
+    /// i+1 overlaps with parsing of window i, and a
+    /// [`crate::scaling::ScalingController`] reallocates workers between
+    /// the two stages wave by wave. Routing differs from
     /// [`RoutingMode::GlobalBatch`] (windowed vs per-batch selection) but is
     /// still bitwise identical across worker counts.
     Streaming {
@@ -67,13 +72,56 @@ pub enum RoutingMode {
     },
 }
 
+/// Seconds-denominated compute budget of a streaming campaign (the
+/// observed-cost feedback knobs).
+///
+/// Attached to a [`PipelineConfig`], it gives the streaming runner's
+/// [`WindowedSelector`] a [`crate::scaling::BudgetLedger`] over the planned
+/// per-document parser costs. With `observed_feedback` on, each parsed
+/// wave's measured per-document costs are fed back into the ledger
+/// ([`crate::scaling::WaveCosts`]): reservations are reconciled against
+/// actual spend and the affordable α is re-derived from blended
+/// [`crate::scaling::ObservedCosts`] estimates — selection tightens when
+/// documents run more expensive than planned and loosens when they run
+/// cheaper. Ignored by [`RoutingMode::GlobalBatch`], whose whole-corpus
+/// optimizer has no stream to meter.
+///
+/// The cost trace is derived from the deterministic parser cost models, so
+/// campaigns stay bitwise identical across worker counts and shard sizes
+/// with the ledger enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignBudget {
+    /// Total compute budget in seconds (CPU + GPU) for the whole campaign.
+    pub total_seconds: f64,
+    /// Feed measured per-document costs back into the ledger (`false`
+    /// plans with a-priori costs only, the PR 2 behavior).
+    pub observed_feedback: bool,
+    /// Pseudo-document weight of the planned-cost prior when feedback is
+    /// on; see [`crate::scaling::ObservedCosts`].
+    pub prior_weight: f64,
+}
+
+impl CampaignBudget {
+    /// A budget of `total_seconds` with observed-cost feedback on and the
+    /// default prior weight.
+    pub fn seconds(total_seconds: f64) -> Self {
+        CampaignBudget {
+            total_seconds,
+            observed_feedback: true,
+            prior_weight: crate::scaling::DEFAULT_PRIOR_WEIGHT,
+        }
+    }
+}
+
 /// Parallel-execution knobs of a campaign run.
 ///
 /// `workers` and `shard_size` never affect the campaign's *result* — only
 /// its wall-clock time. `mode` selects the routing/overlap strategy; each
 /// mode is individually bitwise-deterministic across worker counts, but the
-/// two modes route (deliberately) slightly differently.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// two modes route (deliberately) slightly differently. `budget` meters
+/// streaming campaigns against a compute budget (and, with feedback on,
+/// against *observed* costs); it too is deterministic across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Worker threads for the data-parallel stages (`0` = all available
     /// cores).
@@ -82,11 +130,13 @@ pub struct PipelineConfig {
     pub shard_size: usize,
     /// Routing/overlap strategy.
     pub mode: RoutingMode,
+    /// Optional compute budget for streaming campaigns.
+    pub budget: Option<CampaignBudget>,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { workers: 0, shard_size: 32, mode: RoutingMode::GlobalBatch }
+        PipelineConfig { workers: 0, shard_size: 32, mode: RoutingMode::GlobalBatch, budget: None }
     }
 }
 
@@ -97,14 +147,26 @@ impl PipelineConfig {
         PipelineConfig { workers, mode: RoutingMode::Streaming { window }, ..Default::default() }
     }
 
+    /// Attach a compute budget (streaming mode only; see
+    /// [`CampaignBudget`]).
+    pub fn with_budget(mut self, budget: CampaignBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Clamp degenerate values (a zero shard size or window would spin
-    /// forever).
+    /// forever; a negative budget is an empty one).
     pub fn normalized(mut self) -> Self {
         if self.shard_size == 0 {
             self.shard_size = 1;
         }
         if let RoutingMode::Streaming { window: 0 } = self.mode {
             self.mode = RoutingMode::Streaming { window: 1 };
+        }
+        if let Some(budget) = &mut self.budget {
+            budget.total_seconds = budget.total_seconds.max(0.0);
+            // prior_weight is sanitized at the point of use
+            // (ObservedCosts::with_prior_weight) — one policy, one place.
         }
         self
     }
@@ -380,7 +442,11 @@ impl CampaignPipeline {
     /// Run stages 1–2 only: routing decisions for a document collection, in
     /// input order, without parsing or scoring. Honors the pipeline's
     /// [`RoutingMode`]: streaming mode routes per window with the running
-    /// budget ledger, exactly as the full streaming campaign would.
+    /// budget ledger at *planned* costs. Without observed-cost feedback
+    /// this matches the full streaming campaign exactly; with
+    /// [`CampaignBudget::observed_feedback`] enabled the full campaign can
+    /// route later windows more tightly (or loosely) than this preview,
+    /// because only a campaign that actually parses has costs to observe.
     pub fn route(&self, engine: &AdaParseEngine, documents: &[Document], seed: u64) -> Vec<RoutedDocument> {
         let (inputs, _) = self.extract_all(engine, documents, seed);
         let route = RouteStage::new(engine);
@@ -389,10 +455,40 @@ impl CampaignPipeline {
             RoutingMode::GlobalBatch => route.select(&inputs, &scores),
             RoutingMode::Streaming { window } => {
                 let improvements: Vec<f64> = scores.iter().map(|&(s, _)| s).collect();
-                let mask = WindowedSelector::new(window, engine.config().alpha).select_all(&improvements);
+                let mask = self.streaming_selector(engine, documents, window).select_all(&improvements);
                 engine.assemble_routes_with_mask(&inputs, &scores, &mask)
             }
         }
+    }
+
+    /// The streaming [`WindowedSelector`] for a corpus: windowed at the
+    /// engine's α, with the pipeline's [`CampaignBudget`] ledger attached
+    /// when one is configured. Planned per-document costs come from the
+    /// parser cost models at the corpus's mean page count — deterministic,
+    /// like everything else that feeds routing.
+    fn streaming_selector(
+        &self,
+        engine: &AdaParseEngine,
+        documents: &[Document],
+        window: usize,
+    ) -> WindowedSelector {
+        let config = engine.config();
+        let mut selector = WindowedSelector::new(window, config.alpha);
+        if let Some(budget) = self.config.budget {
+            let total_pages: usize = documents.iter().map(Document::page_count).sum();
+            let mean_pages = if documents.is_empty() {
+                1
+            } else {
+                ((total_pages as f64 / documents.len() as f64).round() as usize).max(1)
+            };
+            let (cheap, expensive) = planned_costs(config, mean_pages);
+            let mut ledger = BudgetLedger::new(budget.total_seconds, documents.len(), cheap, expensive);
+            if budget.observed_feedback {
+                ledger = ledger.with_observed_costs(budget.prior_weight);
+            }
+            selector = selector.with_budget(ledger);
+        }
+        selector
     }
 
     /// Run the full campaign, buffering records in memory (the classic
@@ -505,7 +601,8 @@ impl CampaignPipeline {
         // the worker cap genuinely holds.
         let overlap = total_workers >= 2;
         let mut controller = ScalingController::new(ControllerConfig::for_workers(total_workers));
-        let mut selector = WindowedSelector::new(window, config.alpha);
+        let mut selector = self.streaming_selector(engine, documents, window);
+        let feedback = self.config.budget.is_some_and(|budget| budget.observed_feedback);
 
         let mut aggregates = Aggregates::default();
         let mut routed_all: Vec<RoutedDocument> = Vec::with_capacity(documents.len());
@@ -561,8 +658,26 @@ impl CampaignPipeline {
                 (outcomes, parse_seconds, next_wave)
             };
 
+            // Close the cost loop: the wave's measured per-document costs
+            // (from the deterministic cost models, folded in input order)
+            // reconcile the ledger before the next window is selected.
+            let mut wave_costs = WaveCosts::default();
             for outcome in outcomes {
+                if feedback {
+                    // A failed high-quality parse burned only its extraction
+                    // seconds — exactly what a default-routed document pays —
+                    // so it is recorded as a *cheap* sample at its actual
+                    // cost: the spend stays exact (those seconds were
+                    // genuinely burned), while a zero-cost *expensive* sample
+                    // would teach the ledger the failing parser is cheap and
+                    // loosen α toward it.
+                    let high_quality = outcome.high_quality && !outcome.parse_failed;
+                    wave_costs.record(high_quality, outcome.cost.cpu_seconds + outcome.cost.gpu_seconds);
+                }
                 aggregates.fold(outcome, sink)?;
+            }
+            if feedback {
+                selector.ingest_observed(&wave_costs);
             }
 
             allocation = controller.observe(&WaveStats {

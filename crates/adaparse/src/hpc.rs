@@ -7,7 +7,7 @@
 //! costs) and runs the Parsl-like executor over an arbitrary node count.
 
 use docmodel::document::Document;
-use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, SlotKind, Task, WorkflowExecutor};
+use hpcsim::{ClusterConfig, ExecutorConfig, GroupRole, LustreModel, SlotKind, Task, WorkflowExecutor};
 use parsersim::cost::CostModel;
 use parsersim::ParserKind;
 use serde::{Deserialize, Serialize};
@@ -66,9 +66,42 @@ pub fn tasks_for_routing(
 /// *with node-affinity placement*: extraction tasks are staged round-robin
 /// across the plan's extraction fleet, high-quality parse tasks across its
 /// parse fleet, and every task carries its staging node so the executor's
-/// data-locality model applies. This is how the
+/// data-locality model applies. The extract and parse tasks of the same
+/// document additionally share a [`hpcsim::TaskGroup`], so the executor's
+/// pair co-scheduling can reunite them on one node (the parse half's real
+/// input is the extract half's output). This is how the
 /// [`crate::scaling::ScalingController`]'s node-level decisions reach the
 /// simulator.
+///
+/// # Example
+///
+/// ```
+/// use adaparse::{tasks_for_routing_with_affinity, AdaParseConfig, NodePlan, RoutedDocument, WorkloadSpec};
+/// use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+///
+/// let config = AdaParseConfig::default();
+/// // Two documents: the first routed to the high-quality parser.
+/// let routed: Vec<RoutedDocument> = (0..2)
+///     .map(|i| RoutedDocument {
+///         doc_id: i,
+///         parser: if i == 0 { config.high_quality_parser } else { config.default_parser },
+///         predicted_improvement: 0.5,
+///         cls1_invalid: false,
+///     })
+///     .collect();
+/// let workload = WorkloadSpec { documents: 2, pages_per_doc: 5, mb_per_doc: 1.0 };
+/// let plan = NodePlan { extract_nodes: 1, parse_nodes: 1 };
+///
+/// let tasks = tasks_for_routing_with_affinity(&config, &routed, &workload, &plan);
+/// assert_eq!(tasks.len(), 3); // two extractions + one high-quality parse
+/// assert!(tasks.iter().all(|t| t.preferred_node.is_some() && t.group.is_some()));
+///
+/// // The tasks run as-is on a cluster shaped like the plan.
+/// let report = WorkflowExecutor::new(ExecutorConfig::default())
+///     .run(&tasks, &ClusterConfig::polaris(plan.total()), &LustreModel::default());
+/// assert_eq!(report.tasks_completed, 3);
+/// assert_eq!(report.co_located_pairs, 1); // the pair reunited on one node
+/// ```
 pub fn tasks_for_routing_with_affinity(
     config: &AdaParseConfig,
     routed: &[RoutedDocument],
@@ -79,8 +112,15 @@ pub fn tasks_for_routing_with_affinity(
 }
 
 /// Shared task construction: with a [`NodePlan`] tasks carry their staging
-/// node, without one they are placement-indifferent. One code path, so the
-/// affinity and non-affinity simulations always stay comparable.
+/// node plus the per-document pair group, without one they are
+/// placement-indifferent. One code path, so the affinity and non-affinity
+/// simulations always stay comparable.
+///
+/// Every task joins its document's group even when the document routes
+/// cheap and the group stays a singleton: the group role is what attributes
+/// the task to a stage in the executor's `StageTimings` (which the closed
+/// loop divides across *all* documents of a wave), and a singleton anchors
+/// trivially — its lone member never counts as a co-located or split pair.
 fn build_routing_tasks(
     config: &AdaParseConfig,
     routed: &[RoutedDocument],
@@ -91,8 +131,14 @@ fn build_routing_tasks(
     let expensive_model = CostModel::for_parser(config.high_quality_parser);
     let cheap = cheap_model.document_cost(workload.pages_per_doc, 0.3);
     let expensive = expensive_model.document_cost(workload.pages_per_doc, 0.3);
-    let place = |task: Task, stage: Stage, index: usize| match plan {
-        Some(plan) => task.with_preferred_node(plan.preferred_node(stage, index)),
+    let place = |task: Task, stage: Stage, index: usize, doc_id: u64| match plan {
+        Some(plan) => {
+            let role = match stage {
+                Stage::Extract => GroupRole::Extract,
+                Stage::Parse => GroupRole::Parse,
+            };
+            task.with_preferred_node(plan.preferred_node(stage, index)).with_group(doc_id, role)
+        }
         None => task,
     };
     let mut tasks = Vec::with_capacity(routed.len() * 2);
@@ -101,7 +147,7 @@ fn build_routing_tasks(
         let extraction = Task::new(decision.doc_id * 2, SlotKind::Cpu, cheap.cpu_seconds)
             .with_input_mb(workload.mb_per_doc)
             .with_label(config.default_parser.name());
-        tasks.push(place(extraction, Stage::Extract, extract_index));
+        tasks.push(place(extraction, Stage::Extract, extract_index, decision.doc_id));
         if decision.parser == config.high_quality_parser {
             let slot = if config.high_quality_parser.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
             let compute = if config.high_quality_parser.requires_gpu() {
@@ -113,7 +159,7 @@ fn build_routing_tasks(
                 .with_input_mb(workload.mb_per_doc)
                 .with_cold_start(expensive_model.model_load_seconds)
                 .with_label(config.high_quality_parser.name());
-            tasks.push(place(parse, Stage::Parse, parse_index));
+            tasks.push(place(parse, Stage::Parse, parse_index, decision.doc_id));
             parse_index += 1;
         }
     }

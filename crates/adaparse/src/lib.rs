@@ -46,8 +46,12 @@
 //!   [`RoutingMode::Streaming`] (windowed selection with extract/parse
 //!   overlap),
 //! * [`scaling`] — the resource-scaling engine: the streaming
-//!   [`WindowedSelector`] and the feedback-driven [`ScalingController`]
-//!   that reallocates workers (and `hpcsim` nodes) between stages,
+//!   [`WindowedSelector`], the feedback-driven [`ScalingController`]
+//!   that reallocates workers (and `hpcsim` nodes) between stages — driven
+//!   by simulated time, never wall time — the [`ObservedCosts`] ledger
+//!   feedback that tightens or loosens the effective α as measured costs
+//!   diverge from plan, and the fully closed simulation loop
+//!   ([`scaling::simloop`]),
 //! * [`output`] — JSONL records, [`RecordSink`], in-memory and streaming
 //!   JSONL sinks,
 //! * [`hpc`] — the bridge turning routed documents into `hpcsim` tasks so
@@ -87,6 +91,8 @@
 //! assert_eq!(streaming.run(&engine, &test, 11).quality.documents, test.len());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod budget;
 pub mod campaign;
 pub mod config;
@@ -98,7 +104,9 @@ pub mod scaling;
 pub use budget::{
     max_affordable_alpha, optimality_gap, select_batch, select_global, windowed_optimality_gap,
 };
-pub use campaign::{CampaignFailures, CampaignPipeline, PipelineConfig, RoutingInput, RoutingMode};
+pub use campaign::{
+    CampaignBudget, CampaignFailures, CampaignPipeline, PipelineConfig, RoutingInput, RoutingMode,
+};
 pub use config::{AdaParseConfig, Variant};
 pub use engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
 pub use hpc::{
@@ -106,6 +114,7 @@ pub use hpc::{
 };
 pub use output::{JsonlSink, MemorySink, ParsedRecord, RecordSink};
 pub use scaling::{
-    Allocation, BudgetLedger, ControllerConfig, NodePlan, ScalingController, Stage, StageSample, WaveStats,
-    WindowedSelector,
+    planned_costs, run_closed_loop, Allocation, AllocationEvent, BudgetLedger, ControllerConfig, NodePlan,
+    ObservedCosts, ScalingController, SimLoopConfig, SimLoopReport, SimWave, Stage, StageSample, WaveCosts,
+    WaveStats, WindowedSelector, DEFAULT_PRIOR_WEIGHT,
 };

@@ -131,10 +131,20 @@ impl ControllerConfig {
 }
 
 /// One allocation change, kept in the controller's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AllocationEvent {
     /// Wave whose stats triggered the change.
     pub wave_index: usize,
+    /// Campaign time of the change in seconds: simulated time when the
+    /// controller is driven by a clock via
+    /// [`ScalingController::observe_at`] (e.g. an
+    /// [`hpcsim::SimClock`] advanced by wave makespans), otherwise the
+    /// controller's internal accumulation of observed wave seconds. Either
+    /// way it is derived purely from the observed stats, never read from
+    /// the host's clock, so a fixed stat stream (recorded or simulated)
+    /// replays its trace bit for bit; stats that are themselves wall-clock
+    /// measurements vary run to run, and so do their traces.
+    pub at_seconds: f64,
     /// Stage that gained `ControllerConfig::step` workers.
     pub gained: Stage,
     /// The allocation after the change.
@@ -177,6 +187,35 @@ impl NodePlan {
 /// via [`observe`](ScalingController::observe), and read the allocation for
 /// the next wave from the return value. [`history`](ScalingController::history)
 /// records every change for reporting.
+///
+/// The controller never reads the host's wall clock. Timestamps in its
+/// trace come either from its own virtual clock (which accrues the
+/// overlapped wave time `max(extract, parse)` per observed wave) or — in
+/// closed-loop simulation — from an external simulated clock passed to
+/// [`observe_at`](ScalingController::observe_at), typically an
+/// [`hpcsim::SimClock`] advanced by each simulated wave's makespan.
+///
+/// # Example
+///
+/// ```
+/// use adaparse::{ControllerConfig, ScalingController, StageSample, WaveStats};
+///
+/// let mut controller = ScalingController::new(ControllerConfig::for_workers(8));
+/// // Parse is the persistent bottleneck: after `patience` (default 2)
+/// // consecutive waves a worker moves from extract to parse.
+/// for wave in 0..2 {
+///     controller.observe(&WaveStats {
+///         wave_index: wave,
+///         extract: StageSample { busy_seconds: 1.0, items: 64 },
+///         parse: StageSample { busy_seconds: 3.0, items: 64 },
+///         queue_depth: 256,
+///     });
+/// }
+/// let allocation = controller.allocation();
+/// assert_eq!(allocation.parse_workers, 5);
+/// assert_eq!(allocation.total(), 8);
+/// assert_eq!(controller.history().len(), 1);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalingController {
     config: ControllerConfig,
@@ -184,6 +223,9 @@ pub struct ScalingController {
     /// Signed bottleneck streak: positive = parse was the bottleneck for
     /// `pressure` consecutive waves, negative = extract was.
     pressure: i64,
+    /// The controller's notion of campaign time in seconds (see
+    /// [`clock_seconds`](ScalingController::clock_seconds)).
+    clock_seconds: f64,
     history: Vec<AllocationEvent>,
 }
 
@@ -195,6 +237,7 @@ impl ScalingController {
             allocation: Allocation::even(config.total_workers),
             config,
             pressure: 0,
+            clock_seconds: 0.0,
             history: Vec::new(),
         }
     }
@@ -214,11 +257,36 @@ impl ScalingController {
         &self.history
     }
 
+    /// The controller's current campaign time in seconds: the last
+    /// timestamp sampled via [`observe_at`](ScalingController::observe_at),
+    /// or — under plain [`observe`](ScalingController::observe) — the sum
+    /// of overlapped wave times seen so far. Never wall time.
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock_seconds
+    }
+
     /// Digest one wave's stats and return the allocation for the next wave.
     ///
     /// Pure in the functional sense: the new state (and thus the returned
-    /// allocation) depends only on the previous state and `stats`.
+    /// allocation) depends only on the previous state and `stats`. The
+    /// controller's virtual clock advances by the wave's overlapped
+    /// duration, `max(extract, parse)` busy seconds.
     pub fn observe(&mut self, stats: &WaveStats) -> Allocation {
+        let wave_seconds = stats.extract.busy_seconds.max(stats.parse.busy_seconds).max(0.0);
+        let at = self.clock_seconds + if wave_seconds.is_finite() { wave_seconds } else { 0.0 };
+        self.observe_at(at, stats)
+    }
+
+    /// [`observe`](ScalingController::observe), sampling an external clock:
+    /// `at_seconds` is the campaign time the wave completed at — in
+    /// closed-loop simulation, an [`hpcsim::SimClock`] advanced by the
+    /// executor-reported wave makespan. Trace timestamps then carry
+    /// simulated time, so a replayed simulation reproduces the trace
+    /// exactly.
+    pub fn observe_at(&mut self, at_seconds: f64, stats: &WaveStats) -> Allocation {
+        if at_seconds.is_finite() && at_seconds > self.clock_seconds {
+            self.clock_seconds = at_seconds;
+        }
         // An empty downstream queue means the campaign is draining; freeze
         // the allocation rather than react to a final ragged wave.
         if stats.queue_depth == 0 {
@@ -263,7 +331,12 @@ impl ScalingController {
         }
         *give -= movable;
         *take += movable;
-        self.history.push(AllocationEvent { wave_index, gained, allocation: self.allocation });
+        self.history.push(AllocationEvent {
+            wave_index,
+            at_seconds: self.clock_seconds,
+            gained,
+            allocation: self.allocation,
+        });
         true
     }
 
@@ -404,6 +477,29 @@ mod tests {
         let parse_only = NodePlan { extract_nodes: 0, parse_nodes: 2 };
         let extract: Vec<usize> = (0..4).map(|i| parse_only.preferred_node(Stage::Extract, i)).collect();
         assert_eq!(extract, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn virtual_clock_accrues_overlapped_wave_time() {
+        let mut c = ScalingController::new(ControllerConfig::for_workers(8));
+        c.observe(&stats(0, 1.0, 3.0, 100));
+        assert_eq!(c.clock_seconds(), 3.0);
+        c.observe(&stats(1, 2.5, 1.0, 100));
+        assert_eq!(c.clock_seconds(), 5.5);
+    }
+
+    #[test]
+    fn simulated_clock_timestamps_the_trace() {
+        let mut c =
+            ScalingController::new(ControllerConfig { total_workers: 8, patience: 1, ..Default::default() });
+        c.observe_at(10.0, &stats(0, 1.0, 5.0, 100));
+        assert_eq!(c.clock_seconds(), 10.0);
+        assert_eq!(c.history().len(), 1);
+        assert_eq!(c.history()[0].at_seconds, 10.0);
+        // Stale or bad samples never move the clock backwards.
+        c.observe_at(5.0, &stats(1, 1.0, 1.0, 100));
+        c.observe_at(f64::NAN, &stats(2, 1.0, 1.0, 100));
+        assert_eq!(c.clock_seconds(), 10.0);
     }
 
     #[test]

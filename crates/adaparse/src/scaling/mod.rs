@@ -32,11 +32,37 @@
 //! i+1 overlaps with parsing of window i, routing masks are emitted
 //! wave-by-wave, and the campaign result stays bitwise identical for every
 //! worker count.
+//!
+//! Since PR 3 the loop is *closed* in both directions:
+//!
+//! * **Time** — the controller never reads wall time. Under
+//!   [`ScalingController::observe_at`] it samples an external simulated
+//!   clock ([`hpcsim::SimClock`] advanced by executor-reported wave
+//!   makespans), and even plain [`ScalingController::observe`] accrues a
+//!   virtual clock from the observed stage seconds, so a trace is a pure
+//!   function of its stat stream: replaying recorded or simulated stats
+//!   replays the trace bit for bit. (A live streaming campaign's stats are
+//!   wall-clock measurements, so its traces naturally vary run to run.)
+//! * **Costs** — [`observed::ObservedCosts`] blends the planned
+//!   per-document costs with what completed waves *actually* cost
+//!   ([`observed::WaveCosts`]); a [`BudgetLedger`] with
+//!   [`BudgetLedger::with_observed_costs`] reconciles each wave's
+//!   reservation against its measured spend and re-derives the affordable
+//!   α from the blended estimates, tightening (or loosening) selection as
+//!   reality diverges from plan.
+//! * **Placement** — [`simloop::run_closed_loop`] drives the whole circuit
+//!   inside `hpcsim`: simulated clock → controller → node plan →
+//!   co-scheduled extract+parse task pairs → observed costs → ledger →
+//!   next window's selection.
 
 pub mod controller;
+pub mod observed;
+pub mod simloop;
 pub mod window;
 
 pub use controller::{
-    Allocation, ControllerConfig, NodePlan, ScalingController, Stage, StageSample, WaveStats,
+    Allocation, AllocationEvent, ControllerConfig, NodePlan, ScalingController, Stage, StageSample, WaveStats,
 };
+pub use observed::{ObservedCosts, WaveCosts, DEFAULT_PRIOR_WEIGHT};
+pub use simloop::{planned_costs, run_closed_loop, SimLoopConfig, SimLoopReport, SimWave};
 pub use window::{BudgetLedger, WindowedSelector};

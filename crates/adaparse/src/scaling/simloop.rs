@@ -1,0 +1,411 @@
+//! Closed-loop simulation-driven scaling.
+//!
+//! This module is where every piece of the resource-scaling engine meets:
+//! it runs a whole routed campaign *inside* `hpcsim`, one selection window
+//! per simulated wave, and feeds everything the simulator observes back
+//! into the decision layers —
+//!
+//! ```text
+//!        ┌──────────────── SimClock (simulated seconds) ◄──────────────┐
+//!        ▼                                                             │
+//!  ScalingController ──plan_nodes──► NodePlan ──tasks──► hpcsim        │
+//!        ▲                                            WorkflowExecutor ┤
+//!        │ WaveStats (per-stage busy seconds)                          │
+//!        └──────────────────────────────────────────────┐              │
+//!  WindowedSelector ◄──ingest──  ObservedCosts  ◄── WaveCosts ◄────────┘
+//!   (BudgetLedger)              (effective α)
+//! ```
+//!
+//! Each wave: the [`WindowedSelector`] routes the next k documents at its
+//! current effective α; the [`ScalingController`]'s node plan places the
+//! wave's extract+parse task pairs; the executor simulates the wave
+//! (affinity, pair co-scheduling, filesystem contention and all) and
+//! reports per-stage timings; the [`hpcsim::SimClock`] advances by the
+//! wave's makespan; the observed per-document costs reconcile the budget
+//! ledger; and the controller digests the stage timings — at simulated
+//! time — to reallocate the fleets for the next wave.
+//!
+//! Nothing in the loop reads the host clock or any other ambient state, so
+//! a closed-loop run is a pure function of its inputs: replaying the same
+//! scores and workload replays the same report, bit for bit, on any
+//! machine.
+
+use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, SimClock, StageTiming, WorkflowExecutor};
+use parsersim::cost::CostModel;
+
+use crate::config::AdaParseConfig;
+use crate::engine::RoutedDocument;
+use crate::hpc::{tasks_for_routing_with_affinity, WorkloadSpec};
+use crate::scaling::observed::{ObservedCosts, WaveCosts, DEFAULT_PRIOR_WEIGHT};
+use crate::scaling::{
+    Allocation, AllocationEvent, BudgetLedger, ControllerConfig, NodePlan, ScalingController, StageSample,
+    WaveStats, WindowedSelector,
+};
+
+/// Knobs of a closed-loop simulated campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimLoopConfig {
+    /// Selection window size k — one window is one simulated wave.
+    pub window: usize,
+    /// Cluster size in (Polaris-like) nodes.
+    pub nodes: usize,
+    /// Total compute budget in seconds; `None` routes at the configured α
+    /// with no seconds ledger.
+    pub total_budget_seconds: Option<f64>,
+    /// Pseudo-document weight of the planned-cost prior in the observed
+    /// ledger (ignored without a budget).
+    pub prior_weight: f64,
+    /// Executor options (warm start, staging, prefetch, pair
+    /// co-scheduling).
+    pub executor: ExecutorConfig,
+    /// Shared-filesystem model.
+    pub filesystem: LustreModel,
+    /// Controller tuning; its worker allocation is projected onto the
+    /// cluster via [`ScalingController::plan_nodes`] each wave.
+    pub controller: ControllerConfig,
+}
+
+impl Default for SimLoopConfig {
+    fn default() -> Self {
+        SimLoopConfig {
+            window: 256,
+            nodes: 4,
+            total_budget_seconds: None,
+            prior_weight: DEFAULT_PRIOR_WEIGHT,
+            executor: ExecutorConfig::default(),
+            filesystem: LustreModel::default(),
+            controller: ControllerConfig::default(),
+        }
+    }
+}
+
+/// One simulated wave of a closed-loop campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimWave {
+    /// Zero-based wave index.
+    pub wave_index: usize,
+    /// Simulated time the wave started at.
+    pub started_at_seconds: f64,
+    /// Simulated time the wave finished at.
+    pub finished_at_seconds: f64,
+    /// Documents routed in the wave.
+    pub documents: usize,
+    /// Documents sent to the high-quality parser.
+    pub selected: usize,
+    /// The α the wave was selected at (after any ledger tightening).
+    pub effective_alpha: f64,
+    /// Node plan the wave's tasks were placed under.
+    pub plan: NodePlan,
+    /// Worker allocation after the controller digested the wave.
+    pub allocation: Allocation,
+    /// Extract+parse pairs reunited on one node this wave.
+    pub co_located_pairs: usize,
+    /// Pairs split across nodes this wave.
+    pub split_pairs: usize,
+    /// Data-locality penalty seconds paid this wave.
+    pub locality_penalty_seconds: f64,
+    /// Per-stage extract timing of the wave.
+    pub extract: StageTiming,
+    /// Per-stage parse timing of the wave.
+    pub parse: StageTiming,
+}
+
+/// Aggregate outcome of a closed-loop simulated campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimLoopReport {
+    /// Per-wave records, in wave order.
+    pub waves: Vec<SimWave>,
+    /// The full routing mask, concatenated across waves (`true` = routed to
+    /// the high-quality parser).
+    pub mask: Vec<bool>,
+    /// Documents routed.
+    pub documents: usize,
+    /// Documents sent to the high-quality parser.
+    pub selected: usize,
+    /// Total simulated campaign time (waves are barriered, so this is the
+    /// sum of wave makespans).
+    pub makespan_seconds: f64,
+    /// Extract+parse pairs reunited on one node, campaign-wide.
+    pub co_located_pairs: usize,
+    /// Pairs split across nodes, campaign-wide.
+    pub split_pairs: usize,
+    /// Tasks that ran away from their data, campaign-wide.
+    pub non_local_tasks: usize,
+    /// Data-locality penalty seconds paid, campaign-wide.
+    pub locality_penalty_seconds: f64,
+    /// The controller's allocation trace, timestamped in simulated seconds.
+    pub history: Vec<AllocationEvent>,
+    /// Final observed-cost estimates, when a budget ledger was attached.
+    pub final_observed: Option<ObservedCosts>,
+    /// Seconds of budget left unspent, when a budget was set.
+    pub remaining_budget_seconds: Option<f64>,
+}
+
+impl SimLoopReport {
+    /// Fraction of documents routed to the high-quality parser.
+    pub fn selected_fraction(&self) -> f64 {
+        if self.documents == 0 {
+            0.0
+        } else {
+            self.selected as f64 / self.documents as f64
+        }
+    }
+}
+
+/// Run a closed-loop simulated campaign over per-document improvement
+/// scores (one score per document, in input order).
+///
+/// The loop is fully deterministic: same inputs, same report. See the
+/// module docs for the feedback structure.
+pub fn run_closed_loop(
+    config: &AdaParseConfig,
+    improvements: &[f64],
+    workload: &WorkloadSpec,
+    sim: &SimLoopConfig,
+) -> SimLoopReport {
+    let window = sim.window.max(1);
+    let nodes = sim.nodes.max(1);
+    let cluster = ClusterConfig::polaris(nodes);
+    let executor = WorkflowExecutor::new(sim.executor);
+
+    let mut selector = WindowedSelector::new(window, config.alpha);
+    if let Some(total_seconds) = sim.total_budget_seconds {
+        let (planned_cheap, planned_expensive) = planned_costs(config, workload.pages_per_doc);
+        let ledger = BudgetLedger::new(total_seconds, improvements.len(), planned_cheap, planned_expensive)
+            .with_observed_costs(sim.prior_weight);
+        selector = selector.with_budget(ledger);
+    }
+    let mut controller = ScalingController::new(sim.controller);
+    let mut clock = SimClock::new();
+
+    let mut report = SimLoopReport {
+        waves: Vec::new(),
+        mask: Vec::with_capacity(improvements.len()),
+        documents: improvements.len(),
+        selected: 0,
+        makespan_seconds: 0.0,
+        co_located_pairs: 0,
+        split_pairs: 0,
+        non_local_tasks: 0,
+        locality_penalty_seconds: 0.0,
+        history: Vec::new(),
+        final_observed: None,
+        remaining_budget_seconds: None,
+    };
+
+    for (wave_index, chunk) in improvements.chunks(window).enumerate() {
+        let offset = wave_index * window;
+        let effective_alpha = selector.effective_alpha();
+        let mask = selector.select_window(chunk);
+        let selected = mask.iter().filter(|&&m| m).count();
+        let routed: Vec<RoutedDocument> = chunk
+            .iter()
+            .zip(&mask)
+            .enumerate()
+            .map(|(k, (&score, &hq))| RoutedDocument {
+                doc_id: (offset + k) as u64,
+                parser: if hq { config.high_quality_parser } else { config.default_parser },
+                predicted_improvement: score,
+                cls1_invalid: false,
+            })
+            .collect();
+
+        // Fleets: the controller's allocation projected onto the cluster.
+        let plan = controller.plan_nodes(nodes);
+        let tasks = tasks_for_routing_with_affinity(config, &routed, workload, &plan);
+        let wave = executor.run(&tasks, &cluster, &sim.filesystem);
+
+        // Simulated time advances by the wave's makespan (waves barrier).
+        let started_at_seconds = clock.now_seconds();
+        let finished_at_seconds = clock.advance(wave.makespan_seconds);
+
+        // Observed per-document costs flow back into the ledger before the
+        // next window is selected. A selected document's cost is its parse
+        // busy time plus its share of the extraction stage.
+        if !chunk.is_empty() {
+            let extract_share = wave.stage_timings.extract.busy_seconds / chunk.len() as f64;
+            selector.ingest_observed(&WaveCosts {
+                cheap_docs: chunk.len() - selected,
+                cheap_seconds: extract_share * (chunk.len() - selected) as f64,
+                expensive_docs: selected,
+                expensive_seconds: wave.stage_timings.parse.busy_seconds + extract_share * selected as f64,
+            });
+        }
+
+        // The controller samples the simulated clock, not wall time.
+        let allocation = controller.observe_at(
+            finished_at_seconds,
+            &WaveStats {
+                wave_index,
+                extract: StageSample {
+                    busy_seconds: wave.stage_timings.extract.busy_seconds,
+                    items: wave.stage_timings.extract.tasks,
+                },
+                parse: StageSample {
+                    busy_seconds: wave.stage_timings.parse.busy_seconds,
+                    items: wave.stage_timings.parse.tasks,
+                },
+                queue_depth: improvements.len().saturating_sub(offset + chunk.len()),
+            },
+        );
+
+        report.selected += selected;
+        report.co_located_pairs += wave.co_located_pairs;
+        report.split_pairs += wave.split_pairs;
+        report.non_local_tasks += wave.non_local_tasks;
+        report.locality_penalty_seconds += wave.locality_penalty_seconds;
+        report.waves.push(SimWave {
+            wave_index,
+            started_at_seconds,
+            finished_at_seconds,
+            documents: chunk.len(),
+            selected,
+            effective_alpha,
+            plan,
+            allocation,
+            co_located_pairs: wave.co_located_pairs,
+            split_pairs: wave.split_pairs,
+            locality_penalty_seconds: wave.locality_penalty_seconds,
+            extract: wave.stage_timings.extract,
+            parse: wave.stage_timings.parse,
+        });
+        report.mask.extend(mask);
+    }
+
+    report.makespan_seconds = clock.now_seconds();
+    report.history = controller.history().to_vec();
+    report.final_observed = selector.ledger().and_then(|ledger| ledger.observed().copied());
+    report.remaining_budget_seconds = selector.ledger().map(BudgetLedger::remaining_seconds);
+    report
+}
+
+/// Planned per-document costs in seconds at a given page count, as
+/// `(cheap, expensive)`: the cheap cost is the default parser alone, the
+/// expensive cost is extraction *plus* the high-quality parser — matching
+/// what the campaign actually pays per routed document. This is the single
+/// source of the cost convention every budget ledger is seeded with; size
+/// campaign budgets with it rather than re-deriving the formula.
+pub fn planned_costs(config: &AdaParseConfig, pages_per_doc: usize) -> (f64, f64) {
+    let cheap = CostModel::for_parser(config.default_parser).document_cost(pages_per_doc, 0.3);
+    let expensive = CostModel::for_parser(config.high_quality_parser).document_cost(pages_per_doc, 0.3);
+    let planned_cheap = cheap.cpu_seconds + cheap.gpu_seconds;
+    let planned_expensive = planned_cheap + expensive.cpu_seconds + expensive.gpu_seconds;
+    (planned_cheap, planned_expensive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn scores(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn base_config() -> AdaParseConfig {
+        AdaParseConfig { alpha: 0.2, ..Default::default() }
+    }
+
+    fn workload(n: usize) -> WorkloadSpec {
+        WorkloadSpec { documents: n, pages_per_doc: 8, mb_per_doc: 50.0 }
+    }
+
+    #[test]
+    fn closed_loop_replays_bitwise() {
+        let config = base_config();
+        let improvements = scores(240, 11);
+        let sim = SimLoopConfig {
+            window: 48,
+            total_budget_seconds: Some(5_000.0),
+            controller: ControllerConfig { total_workers: 8, patience: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let a = run_closed_loop(&config, &improvements, &workload(240), &sim);
+        let b = run_closed_loop(&config, &improvements, &workload(240), &sim);
+        assert_eq!(a, b, "a closed-loop run must be a pure function of its inputs");
+        assert_eq!(a.documents, 240);
+        assert_eq!(a.mask.len(), 240);
+        assert!(a.makespan_seconds > 0.0);
+        // Wave timestamps tile the simulated timeline.
+        for pair in a.waves.windows(2) {
+            assert_eq!(pair[0].finished_at_seconds, pair[1].started_at_seconds);
+        }
+        assert_eq!(a.waves.last().unwrap().finished_at_seconds, a.makespan_seconds);
+        // Controller trace timestamps are simulated times within the run.
+        for event in &a.history {
+            assert!(event.at_seconds > 0.0 && event.at_seconds <= a.makespan_seconds);
+        }
+    }
+
+    #[test]
+    fn co_scheduling_reunites_pairs_and_cuts_the_penalty() {
+        let config = base_config();
+        let improvements = scores(160, 5);
+        let paired = SimLoopConfig { window: 40, ..Default::default() };
+        let split = SimLoopConfig {
+            executor: ExecutorConfig { co_schedule_pairs: false, ..Default::default() },
+            ..paired
+        };
+        let with_pairs = run_closed_loop(&config, &improvements, &workload(160), &paired);
+        let without = run_closed_loop(&config, &improvements, &workload(160), &split);
+        assert!(with_pairs.co_located_pairs > 0, "pairs must reunite under co-scheduling");
+        assert_eq!(with_pairs.selected, without.selected, "placement must not change routing");
+        assert!(
+            with_pairs.locality_penalty_seconds < without.locality_penalty_seconds,
+            "co-scheduling must cut the locality penalty ({} vs {})",
+            with_pairs.locality_penalty_seconds,
+            without.locality_penalty_seconds
+        );
+        assert!(without.split_pairs > with_pairs.split_pairs);
+    }
+
+    #[test]
+    fn observed_overruns_throttle_selection_under_a_budget() {
+        let config = base_config();
+        let improvements = scores(300, 9);
+        let n = improvements.len();
+        // Budget sized so the *planned* costs afford exactly the configured
+        // α = 0.2 — but simulated documents also pay stage-in, cold starts,
+        // and contention, so observed costs run hot and the ledger must
+        // throttle.
+        let (planned_cheap, planned_expensive) = planned_costs(&config, 8);
+        let budget = n as f64 * planned_cheap + 0.2 * n as f64 * (planned_expensive - planned_cheap);
+        let open = SimLoopConfig { window: 30, ..Default::default() };
+        let closed = SimLoopConfig {
+            window: 30,
+            total_budget_seconds: Some(budget),
+            prior_weight: 8.0,
+            ..Default::default()
+        };
+        let unbudgeted = run_closed_loop(&config, &improvements, &workload(n), &open);
+        let budgeted = run_closed_loop(&config, &improvements, &workload(n), &closed);
+        assert!(unbudgeted.selected_fraction() > 0.15, "α = 0.2 without a ledger");
+        assert!(
+            budgeted.selected < unbudgeted.selected,
+            "observed overruns must tighten selection ({} vs {})",
+            budgeted.selected,
+            unbudgeted.selected
+        );
+        let observed = budgeted.final_observed.expect("budgeted run keeps observed estimates");
+        assert!(
+            observed.expensive_divergence() > 1.0,
+            "simulated costs exceed the pure-compute plan: {}",
+            observed.expensive_divergence()
+        );
+        // Later waves run at a tighter α than the first.
+        let first = budgeted.waves.first().unwrap().effective_alpha;
+        let last = budgeted.waves.last().unwrap().effective_alpha;
+        assert!(last < first, "effective α must tighten over the campaign ({first} → {last})");
+    }
+
+    #[test]
+    fn empty_campaign_is_a_noop() {
+        let report = run_closed_loop(&base_config(), &[], &workload(0), &SimLoopConfig::default());
+        assert_eq!(report.documents, 0);
+        assert!(report.waves.is_empty());
+        assert_eq!(report.makespan_seconds, 0.0);
+        assert_eq!(report.selected_fraction(), 0.0);
+    }
+}

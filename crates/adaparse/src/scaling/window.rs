@@ -8,33 +8,65 @@
 //! documents never exceeds ⌊α · documents-seen⌋ at any prefix of the stream,
 //! and an optional seconds-denominated [`BudgetLedger`] tightens the
 //! effective α when the committed spend threatens the total compute budget.
+//!
+//! The ledger can additionally *close the loop on costs*: with
+//! [`BudgetLedger::with_observed_costs`] it ingests the measured cost of
+//! each completed wave ([`WaveCosts`]), reconciles the planned spend it
+//! reserved against what the wave actually burned, and re-derives the
+//! affordable α from blended [`ObservedCosts`] estimates instead of the
+//! static plan.
+
+use std::collections::VecDeque;
 
 use crate::budget::{max_affordable_alpha, top_quota_mask};
+use crate::scaling::observed::{ObservedCosts, WaveCosts};
 
 /// Seconds-denominated remaining-budget ledger.
 ///
 /// Tracks the compute budget left after each committed window and derives
 /// the largest α the remainder can afford (Appendix C's bound applied to the
 /// *remaining* documents instead of the whole corpus). Deterministic: the
-/// ledger advances only on committed selections, in input order.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// ledger advances only on committed selections and ingested cost traces,
+/// in input order — the same trace replays the same ledger states bit for
+/// bit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetLedger {
     remaining_seconds: f64,
     remaining_docs: usize,
     cheap_cost: f64,
     expensive_cost: f64,
+    /// Observed-cost feedback, when enabled: running per-document estimates
+    /// that replace the planned costs in `affordable_alpha` and `commit`.
+    observed: Option<ObservedCosts>,
+    /// Spend reserved by each committed-but-not-yet-reconciled window, in
+    /// commit order. [`ingest`](Self::ingest) pops the oldest reservation
+    /// and replaces it with the measured spend.
+    pending_commits: VecDeque<f64>,
 }
 
 impl BudgetLedger {
     /// A ledger over `total_seconds` of budget for `total_docs` documents
-    /// with the given per-document parser costs.
+    /// with the given *planned* per-document parser costs (`expensive_cost`
+    /// is the full cost of a selected document, extraction included).
     pub fn new(total_seconds: f64, total_docs: usize, cheap_cost: f64, expensive_cost: f64) -> Self {
         BudgetLedger {
             remaining_seconds: total_seconds.max(0.0),
             remaining_docs: total_docs,
             cheap_cost: cheap_cost.max(0.0),
             expensive_cost: expensive_cost.max(0.0),
+            observed: None,
+            pending_commits: VecDeque::new(),
         }
+    }
+
+    /// Enable observed-cost feedback: the ledger's effective per-document
+    /// costs become pseudo-count blends of the planned costs (worth
+    /// `prior_weight` phantom documents) and every wave ingested via
+    /// [`ingest`](Self::ingest).
+    pub fn with_observed_costs(mut self, prior_weight: f64) -> Self {
+        self.observed =
+            Some(ObservedCosts::new(self.cheap_cost, self.expensive_cost).with_prior_weight(prior_weight));
+        self
     }
 
     /// Seconds of budget not yet committed.
@@ -47,24 +79,79 @@ impl BudgetLedger {
         self.remaining_docs
     }
 
+    /// The observed-cost estimates, when feedback is enabled.
+    pub fn observed(&self) -> Option<&ObservedCosts> {
+        self.observed.as_ref()
+    }
+
+    /// Current effective per-document cost of a default-routed document:
+    /// the observed estimate with feedback enabled, the planned cost
+    /// otherwise.
+    pub fn effective_cheap_cost(&self) -> f64 {
+        self.observed.as_ref().map_or(self.cheap_cost, ObservedCosts::effective_cheap)
+    }
+
+    /// Current effective per-document cost of a high-quality-routed
+    /// document (extraction included).
+    pub fn effective_expensive_cost(&self) -> f64 {
+        self.observed.as_ref().map_or(self.expensive_cost, ObservedCosts::effective_expensive)
+    }
+
     /// The largest α the remaining budget affords for the remaining
-    /// documents.
+    /// documents, at the current effective costs.
     pub fn affordable_alpha(&self) -> f64 {
         max_affordable_alpha(
             self.remaining_seconds,
             self.remaining_docs,
-            self.cheap_cost,
-            self.expensive_cost,
+            self.effective_cheap_cost(),
+            self.effective_expensive_cost(),
         )
     }
 
-    /// Commit one routed window: every document pays the cheap parser,
-    /// `selected` additionally pay the expensive one.
+    /// Reconcile one completed wave's measured costs, in commit order: the
+    /// oldest outstanding reservation is replaced by the wave's actual
+    /// spend (refunding the difference, or charging the overrun), and the
+    /// observed estimates absorb the samples. Ingesting a wave that was
+    /// never committed through this ledger simply charges its actual cost
+    /// and accounts its documents.
+    ///
+    /// A no-op on a plan-only ledger (built without
+    /// [`with_observed_costs`](Self::with_observed_costs)): such a ledger
+    /// tracks no reservations, so reconciling here would charge a committed
+    /// wave's spend — and its documents — a second time.
+    pub fn ingest(&mut self, wave: &WaveCosts) {
+        let Some(observed) = &mut self.observed else { return };
+        observed.ingest(wave);
+        let reservation = self.pending_commits.pop_front();
+        let actual = wave.total_seconds().max(0.0);
+        self.remaining_seconds = (self.remaining_seconds + reservation.unwrap_or(0.0) - actual).max(0.0);
+        if reservation.is_none() {
+            // Never committed through this ledger: the documents were never
+            // deducted either, so account for them now.
+            self.remaining_docs = self.remaining_docs.saturating_sub(wave.docs());
+        }
+    }
+
+    /// Commit one routed window at the current effective costs: every
+    /// document pays the cheap parser, `selected` additionally pay the
+    /// expensive one. With observed-cost feedback enabled the reservation is
+    /// remembered (one `f64` per window, FIFO) so a later
+    /// [`ingest`](Self::ingest) can reconcile it against measured costs; a
+    /// plan-only ledger keeps no reservations — nothing ever drains them,
+    /// and the queue must not grow unboundedly on a long-lived stream.
     fn commit(&mut self, docs: usize, selected: usize) {
-        let spend = docs as f64 * self.cheap_cost
-            + selected as f64 * (self.expensive_cost - self.cheap_cost).max(0.0);
-        self.remaining_seconds = (self.remaining_seconds - spend).max(0.0);
+        let cheap = self.effective_cheap_cost();
+        let expensive = self.effective_expensive_cost();
+        let spend = docs as f64 * cheap + selected as f64 * (expensive - cheap).max(0.0);
+        // Only what the ledger can actually deduct is reserved: a later
+        // refund of more than was charged would fabricate budget exactly in
+        // the near-exhaustion regime the ledger exists to police.
+        let charged = spend.min(self.remaining_seconds).max(0.0);
+        self.remaining_seconds -= charged;
         self.remaining_docs = self.remaining_docs.saturating_sub(docs);
+        if self.observed.is_some() {
+            self.pending_commits.push_back(charged);
+        }
     }
 }
 
@@ -86,7 +173,24 @@ impl BudgetLedger {
 ///
 /// Masks depend only on the scores and the window boundaries — never on
 /// worker counts or timing — which is what lets the streaming pipeline keep
-/// its bitwise-determinism contract.
+/// its bitwise-determinism contract. With a [`BudgetLedger`] carrying
+/// observed-cost feedback, masks additionally depend on the ingested cost
+/// trace — still bitwise-deterministic for a fixed trace.
+///
+/// # Example
+///
+/// ```
+/// use adaparse::WindowedSelector;
+///
+/// // Select at most 50% of the stream, one window of 4 at a time.
+/// let mut selector = WindowedSelector::new(4, 0.5);
+/// let first = selector.select_window(&[0.9, 0.1, 0.8, 0.3]);
+/// assert_eq!(first, vec![true, false, true, false]);
+/// let second = selector.select_window(&[0.2, 0.7]);
+/// assert_eq!(second, vec![false, true]);
+/// assert_eq!(selector.seen(), 6);
+/// assert_eq!(selector.selected(), 3); // ⌊0.5 · 6⌋ — the prefix budget holds
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowedSelector {
     window: usize,
@@ -139,6 +243,28 @@ impl WindowedSelector {
         self.ledger.as_ref()
     }
 
+    /// The α the *next* window will be selected at: the configured α capped
+    /// by what the ledger's remaining budget affords at current effective
+    /// costs (just the configured α without a ledger).
+    pub fn effective_alpha(&self) -> f64 {
+        match &self.ledger {
+            Some(ledger) => self.alpha.min(ledger.affordable_alpha()),
+            None => self.alpha,
+        }
+    }
+
+    /// Feed one completed wave's measured costs back into the ledger
+    /// (no-op without one, or with a plan-only ledger built without
+    /// [`BudgetLedger::with_observed_costs`]). Call after each window
+    /// finishes parsing and before selecting the next window; the
+    /// reconciliation tightens or loosens the effective α of every later
+    /// window.
+    pub fn ingest_observed(&mut self, wave: &WaveCosts) {
+        if let Some(ledger) = &mut self.ledger {
+            ledger.ingest(wave);
+        }
+    }
+
     /// Route one window of scores (the final window may be shorter than k)
     /// and return its routing mask.
     ///
@@ -147,10 +273,7 @@ impl WindowedSelector {
     /// α this equals `⌊α·seen⌋ − selected`, the exact prefix-budget
     /// invariant.
     pub fn select_window(&mut self, scores: &[f64]) -> Vec<bool> {
-        let alpha = match &self.ledger {
-            Some(ledger) => self.alpha.min(ledger.affordable_alpha()),
-            None => self.alpha,
-        };
+        let alpha = self.effective_alpha();
         self.seen += scores.len();
         self.credit += (scores.len() as f64) * alpha;
         let quota = ((self.credit - self.selected as f64).floor().max(0.0) as usize).min(scores.len());
@@ -264,6 +387,132 @@ mod tests {
         assert!(selected > 0, "some budget must be spent");
         let spend = n as f64 * cheap + selected as f64 * (expensive - cheap);
         assert!(spend <= budget + 1e-9, "spend {spend} exceeds budget {budget}");
+    }
+
+    #[test]
+    fn observed_overruns_tighten_the_effective_alpha() {
+        // Planned: 1 s cheap / 11 s expensive, budget sized for α = 0.5.
+        let n = 400usize;
+        let budget = n as f64 * 1.0 + 0.5 * n as f64 * 10.0;
+        let ledger = BudgetLedger::new(budget, n, 1.0, 11.0).with_observed_costs(8.0);
+        let mut selector = WindowedSelector::new(40, 0.5).with_budget(ledger);
+        assert!((selector.effective_alpha() - 0.5).abs() < 1e-9);
+
+        let scores = random_scores(40, 3);
+        let mask = selector.select_window(&scores);
+        let selected = mask.iter().filter(|&&m| m).count();
+        assert_eq!(selected, 20);
+        // The wave comes back 3× over plan on the expensive side.
+        selector.ingest_observed(&WaveCosts {
+            cheap_docs: 20,
+            cheap_seconds: 20.0,
+            expensive_docs: 20,
+            expensive_seconds: 20.0 * 33.0,
+        });
+        let tightened = selector.effective_alpha();
+        assert!(tightened < 0.5, "overruns must tighten α, got {tightened}");
+        let ledger = selector.ledger().expect("ledger attached");
+        assert!(ledger.effective_expensive_cost() > 11.0);
+        assert!(ledger.observed().expect("feedback on").expensive_divergence() > 1.0);
+    }
+
+    #[test]
+    fn observed_underruns_refund_the_reservation() {
+        // A plan-only ledger ignores ingested waves entirely — commit
+        // already charged them, so reconciling would double-count.
+        let mut plan_only = BudgetLedger::new(100.0, 10, 2.0, 12.0);
+        plan_only.ingest(&WaveCosts {
+            cheap_docs: 2,
+            cheap_seconds: 1.0,
+            expensive_docs: 0,
+            ..Default::default()
+        });
+        assert_eq!(plan_only.remaining_seconds(), 100.0);
+        assert_eq!(plan_only.remaining_docs(), 10);
+
+        // With feedback, a wave never committed through the ledger is
+        // simply charged at its actual cost and its documents accounted.
+        let mut ledger = BudgetLedger::new(100.0, 10, 2.0, 12.0).with_observed_costs(4.0);
+        let before = ledger.remaining_seconds();
+        ledger.ingest(&WaveCosts {
+            cheap_docs: 2,
+            cheap_seconds: 1.0,
+            expensive_docs: 0,
+            ..Default::default()
+        });
+        assert!((ledger.remaining_seconds() - (before - 1.0)).abs() < 1e-12);
+        assert_eq!(ledger.remaining_docs(), 8);
+
+        // Committed-then-cheaper: the difference comes back.
+        let ledger = BudgetLedger::new(100.0, 10, 2.0, 12.0).with_observed_costs(4.0);
+        let mut selector = WindowedSelector::new(4, 0.5).with_budget(ledger);
+        selector.select_window(&[0.9, 0.8, 0.1, 0.2]); // commits 4·2 + 2·10 = 28 s
+        let reserved = selector.ledger().unwrap().remaining_seconds();
+        assert!((reserved - 72.0).abs() < 1e-9);
+        selector.ingest_observed(&WaveCosts {
+            cheap_docs: 2,
+            cheap_seconds: 2.0,
+            expensive_docs: 2,
+            expensive_seconds: 12.0,
+        });
+        let after = selector.ledger().unwrap().remaining_seconds();
+        assert!((after - 86.0).abs() < 1e-9, "72 + 28 reserved − 14 actual = 86, got {after}");
+        // Cheaper-than-planned costs loosen the affordable α.
+        assert!(selector.ledger().unwrap().effective_expensive_cost() < 12.0);
+    }
+
+    #[test]
+    fn feedback_selection_is_deterministic_for_a_fixed_cost_trace() {
+        let run = || {
+            let ledger = BudgetLedger::new(500.0, 300, 1.0, 9.0).with_observed_costs(16.0);
+            let mut selector = WindowedSelector::new(25, 0.3).with_budget(ledger);
+            let mut masks = Vec::new();
+            for window in 0..12u64 {
+                let scores = random_scores(25, window);
+                let mask = selector.select_window(&scores);
+                let selected = mask.iter().filter(|&&m| m).count();
+                masks.push(mask);
+                // A synthetic but fixed cost trace: costs drift upward.
+                let drift = 1.0 + window as f64 * 0.25;
+                selector.ingest_observed(&WaveCosts {
+                    cheap_docs: 25 - selected,
+                    cheap_seconds: (25 - selected) as f64 * drift,
+                    expensive_docs: selected,
+                    expensive_seconds: selected as f64 * 9.0 * drift,
+                });
+            }
+            (masks, selector.ledger().cloned())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn plan_only_ledgers_keep_no_reservations() {
+        // Without observed-cost feedback nothing ever drains the
+        // reservation queue, so commit must not grow it: a long-lived
+        // plan-only stream stays O(1) in ledger state.
+        let ledger = BudgetLedger::new(1_000.0, 1_000, 1.0, 9.0);
+        let mut selector = WindowedSelector::new(10, 0.5).with_budget(ledger);
+        for window in 0..50u64 {
+            selector.select_window(&random_scores(10, window));
+        }
+        assert!(selector.ledger().unwrap().pending_commits.is_empty());
+
+        // With feedback on, commit/ingest pairs keep the queue bounded by
+        // the number of in-flight (committed-but-unreconciled) windows.
+        let ledger = BudgetLedger::new(1_000.0, 1_000, 1.0, 9.0).with_observed_costs(8.0);
+        let mut selector = WindowedSelector::new(10, 0.5).with_budget(ledger);
+        for window in 0..50u64 {
+            let mask = selector.select_window(&random_scores(10, window));
+            let selected = mask.iter().filter(|&&m| m).count();
+            selector.ingest_observed(&WaveCosts {
+                cheap_docs: 10 - selected,
+                cheap_seconds: (10 - selected) as f64,
+                expensive_docs: selected,
+                expensive_seconds: selected as f64 * 9.0,
+            });
+        }
+        assert!(selector.ledger().unwrap().pending_commits.is_empty());
     }
 
     #[test]

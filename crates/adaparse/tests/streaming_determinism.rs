@@ -7,8 +7,8 @@
 
 use adaparse::budget::{select_global, windowed_optimality_gap};
 use adaparse::{
-    AdaParseConfig, AdaParseEngine, CampaignPipeline, CampaignResult, JsonlSink, PipelineConfig, RoutingMode,
-    WindowedSelector,
+    AdaParseConfig, AdaParseEngine, CampaignBudget, CampaignPipeline, CampaignResult, JsonlSink,
+    PipelineConfig, RoutingMode, WindowedSelector,
 };
 use docmodel::document::Document;
 use proptest::prelude::*;
@@ -44,7 +44,29 @@ fn run_streaming(
         workers,
         shard_size: shard,
         mode: RoutingMode::Streaming { window },
+        ..Default::default()
     })
+    .run(engine, docs, seed)
+}
+
+fn run_streaming_budgeted(
+    engine: &AdaParseEngine,
+    docs: &[Document],
+    seed: u64,
+    workers: usize,
+    shard: usize,
+    window: usize,
+    budget: CampaignBudget,
+) -> CampaignResult {
+    CampaignPipeline::new(
+        PipelineConfig {
+            workers,
+            shard_size: shard,
+            mode: RoutingMode::Streaming { window },
+            ..Default::default()
+        }
+        .with_budget(budget),
+    )
     .run(engine, docs, seed)
 }
 
@@ -92,6 +114,65 @@ fn streaming_alpha_budget_holds_at_every_prefix() {
 }
 
 #[test]
+fn observed_cost_ledger_keeps_streaming_bitwise_deterministic() {
+    // The headline guarantee survives closing the cost loop: with a budget
+    // ledger ingesting observed per-document costs, the campaign result is
+    // still bitwise identical at every worker count and shard size (the
+    // cost trace comes from the deterministic cost models and folds in
+    // input order — never from timing).
+    let engine = trained_engine(AdaParseConfig { alpha: 0.25, batch_size: 8, ..Default::default() });
+    let docs = corpus(48, 0.4, 321);
+    let n = docs.len() as f64;
+    let (cheap_s, expensive_s) = adaparse::planned_costs(engine.config(), 2);
+    // Tight enough that the ledger genuinely intervenes mid-campaign.
+    let budget = CampaignBudget {
+        total_seconds: n * cheap_s + 0.1 * n * (expensive_s - cheap_s),
+        observed_feedback: true,
+        prior_weight: 4.0,
+    };
+    let baseline = run_streaming_budgeted(&engine, &docs, 9, 1, 8, 12, budget);
+    for (workers, shard) in [(2usize, 8usize), (4, 3), (8, 16), (3, 1)] {
+        assert_eq!(
+            baseline,
+            run_streaming_budgeted(&engine, &docs, 9, workers, shard, 12, budget),
+            "workers={workers} shard={shard} diverged with the observed-cost ledger"
+        );
+    }
+    // The ledger must actually have constrained routing relative to the
+    // configured α = 0.25 (otherwise this test exercises nothing).
+    assert!(baseline.high_quality_fraction < 0.25 - 1e-9, "{}", baseline.high_quality_fraction);
+}
+
+#[test]
+fn short_budget_with_feedback_routes_fewer_documents_to_the_expensive_parser() {
+    let engine = trained_engine(AdaParseConfig { alpha: 0.30, batch_size: 8, ..Default::default() });
+    let docs = corpus(50, 0.5, 99);
+    let hq = engine.config().high_quality_parser;
+    let count_hq = |result: &CampaignResult| result.routed.iter().filter(|r| r.parser == hq).count();
+
+    let unbudgeted = run_streaming(&engine, &docs, 7, 2, 8, 10);
+    let n = docs.len() as f64;
+    let (cheap_s, expensive_s) = adaparse::planned_costs(engine.config(), 2);
+    let budget = CampaignBudget {
+        total_seconds: n * cheap_s + 0.12 * n * (expensive_s - cheap_s),
+        observed_feedback: true,
+        prior_weight: 2.0,
+    };
+    let budgeted = run_streaming_budgeted(&engine, &docs, 7, 2, 8, 10, budget);
+    assert!(
+        count_hq(&budgeted) < count_hq(&unbudgeted),
+        "a short budget must throttle the expensive parser ({} vs {})",
+        count_hq(&budgeted),
+        count_hq(&unbudgeted)
+    );
+    assert!(count_hq(&budgeted) > 0, "a non-empty budget must still buy some quality");
+    // Quality can only move with routing: same documents, fewer expensive
+    // parses, no other changes.
+    assert_eq!(budgeted.quality.documents, unbudgeted.quality.documents);
+    assert!(budgeted.total_cost.gpu_seconds <= unbudgeted.total_cost.gpu_seconds);
+}
+
+#[test]
 fn full_window_streaming_matches_global_selection_masks() {
     // Selector-level equivalence on the actual campaign scores: one window
     // spanning the corpus must reproduce select_global bitwise.
@@ -132,9 +213,13 @@ fn streaming_quality_tracks_global_mode_within_two_percent() {
     // k ≥ 64 loses < 2% absolute accuracy against the global-batch run.
     let engine = trained_engine(AdaParseConfig { alpha: 0.2, batch_size: 256, ..Default::default() });
     let docs = corpus(128, 0.4, 777);
-    let global =
-        CampaignPipeline::new(PipelineConfig { workers: 2, shard_size: 16, mode: RoutingMode::GlobalBatch })
-            .run(&engine, &docs, 11);
+    let global = CampaignPipeline::new(PipelineConfig {
+        workers: 2,
+        shard_size: 16,
+        mode: RoutingMode::GlobalBatch,
+        ..Default::default()
+    })
+    .run(&engine, &docs, 11);
     let streaming = run_streaming(&engine, &docs, 11, 2, 16, 64);
     assert_eq!(streaming.quality.documents, global.quality.documents);
     let gap = (global.quality.bleu - streaming.quality.bleu).abs();

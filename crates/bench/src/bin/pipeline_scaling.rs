@@ -62,9 +62,10 @@ fn main() {
     }
 
     if cores < 2 {
-        println!("\nnote: single-core host — skipping the ≥2x 8-worker speedup");
-        println!("      assertion (speedups ≈1x here; run on a multi-core machine");
-        println!("      to observe the parallel scaling).");
+        println!("\nnote: detected {cores} CPU core(s), below the 2-core threshold the");
+        println!("      speedup assertion requires — skipping the ≥2x 8-worker speedup");
+        println!("      assertion (observed {speedup_at_8:.2}x; speedups ≈1x are expected here; run");
+        println!("      on a machine with ≥ 4 cores to observe the ≥2x parallel scaling).");
     } else {
         // ≥2x needs headroom over the 2-core theoretical ceiling of exactly
         // 2.0x; on 2–3 cores settle for clear-but-sublinear scaling.

@@ -2,13 +2,17 @@
 //!
 //! 1. one identical streaming-mode campaign at 1, 2, 4, and 8 workers with a
 //!    bitwise determinism check (the streaming analogue of
-//!    `pipeline_scaling`),
+//!    `pipeline_scaling`) — run twice, with and without the observed-cost
+//!    budget ledger,
 //! 2. the windowed-vs-global optimality gap for k ∈ {8, 64, 512} on the
 //!    campaign's own improvement scores,
 //! 3. a synthetic `ScalingController` run showing the hysteresis-damped
-//!    allocation trace,
+//!    allocation trace on the controller's wall-free virtual clock,
 //! 4. an `hpcsim` node-affinity ablation: the same routed campaign with
-//!    locality-aware task placement vs a single hot node.
+//!    pair co-scheduling on vs off, and against a single hot node,
+//! 5. the fully closed loop: `run_closed_loop` drives selection, fleet
+//!    allocation, and placement from `hpcsim` simulated time and observed
+//!    costs, twice, asserting a bitwise-identical replay.
 //!
 //! Run with: `cargo run --release --bin streaming_scaling`
 //! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
@@ -17,8 +21,9 @@ use std::time::Instant;
 
 use adaparse::budget::windowed_optimality_gap;
 use adaparse::{
-    tasks_for_routing_with_affinity, AdaParseConfig, AdaParseEngine, CampaignPipeline, ControllerConfig,
-    PipelineConfig, ScalingController, StageSample, WaveStats, WorkloadSpec,
+    planned_costs, run_closed_loop, tasks_for_routing_with_affinity, AdaParseConfig, AdaParseEngine,
+    CampaignBudget, CampaignPipeline, ControllerConfig, PipelineConfig, ScalingController, SimLoopConfig,
+    StageSample, WaveStats, WorkloadSpec,
 };
 use bench::bench_doc_count;
 use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
@@ -38,40 +43,63 @@ fn main() {
     let mut engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.1, ..Default::default() });
     engine.train_on_corpus(&docs[..20.min(n_docs)], 5);
 
-    // 1. Streaming-mode determinism across worker counts.
-    println!("Streaming campaign (window = 64) — {n_docs} documents");
-    println!("{:>8} {:>12}  result", "workers", "wall-clock");
+    // Planned per-document costs, for sizing budgets below.
+    let (planned_cheap, planned_expensive) = planned_costs(engine.config(), 2);
+
+    // 1. Streaming-mode determinism across worker counts — plain, then with
+    // the observed-cost budget ledger closing the cost loop.
+    let budget = CampaignBudget {
+        total_seconds: n_docs as f64 * planned_cheap
+            + 0.08 * n_docs as f64 * (planned_expensive - planned_cheap),
+        observed_feedback: true,
+        prior_weight: 8.0,
+    };
     let mut baseline_result = None;
-    for workers in [1usize, 2, 4, 8] {
-        let pipeline = CampaignPipeline::new(PipelineConfig::streaming(workers, 64));
-        let start = Instant::now();
-        let result = pipeline.run(&engine, &docs, 7);
-        let elapsed = start.elapsed().as_secs_f64();
-        let identical = match &baseline_result {
-            None => {
-                baseline_result = Some(result);
-                true
+    for (label, with_budget) in [("planned costs only", false), ("observed-cost ledger", true)] {
+        println!("Streaming campaign (window = 64, {label}) — {n_docs} documents");
+        println!("{:>8} {:>12}  result", "workers", "wall-clock");
+        let mut reference = None;
+        for workers in [1usize, 2, 4, 8] {
+            let mut config = PipelineConfig::streaming(workers, 64);
+            if with_budget {
+                config = config.with_budget(budget);
             }
-            Some(expected) => *expected == result,
-        };
-        println!(
-            "{workers:>8} {:>10.3} s  {}",
-            elapsed,
-            if identical { "identical to 1-worker run" } else { "DIVERGED (bug!)" }
-        );
-        assert!(identical, "streaming output diverged at {workers} workers");
+            let pipeline = CampaignPipeline::new(config);
+            let start = Instant::now();
+            let result = pipeline.run(&engine, &docs, 7);
+            let elapsed = start.elapsed().as_secs_f64();
+            let identical = match &reference {
+                None => {
+                    reference = Some(result);
+                    true
+                }
+                Some(expected) => *expected == result,
+            };
+            println!(
+                "{workers:>8} {:>10.3} s  {}",
+                elapsed,
+                if identical { "identical to 1-worker run" } else { "DIVERGED (bug!)" }
+            );
+            assert!(identical, "streaming output diverged at {workers} workers ({label})");
+        }
+        if !with_budget {
+            baseline_result = reference;
+        }
+        println!();
     }
 
     // 2. Windowed-vs-global optimality gap on the campaign's real scores.
     let routed = baseline_result.as_ref().expect("campaign ran").routed.clone();
     let scores: Vec<f64> = routed.iter().map(|r| r.predicted_improvement).collect();
-    println!("\nWindowed-vs-global optimality gap (α = 0.1)");
+    println!("Windowed-vs-global optimality gap (α = 0.1)");
     for window in [8usize, 64, 512] {
         let gap = windowed_optimality_gap(&scores, 0.1, window);
         println!("  k = {window:>4}: {:>6.3} %", 100.0 * gap);
     }
 
     // 3. Controller trace on a synthetic parse-heavy → balanced workload.
+    // The timestamps come from the controller's virtual clock (observed wave
+    // seconds), never from the host clock.
     println!("\nScalingController trace (8 workers, parse-heavy start)");
     let mut controller = ScalingController::new(ControllerConfig::for_workers(8));
     for wave in 0..12 {
@@ -83,8 +111,10 @@ fn main() {
             queue_depth: 64 * (12 - wave),
         });
         println!(
-            "  wave {wave:>2}: extract {} / parse {} workers",
-            allocation.extract_workers, allocation.parse_workers
+            "  wave {wave:>2} (t = {:>5.1} s): extract {} / parse {} workers",
+            controller.clock_seconds(),
+            allocation.extract_workers,
+            allocation.parse_workers
         );
     }
     assert!(!controller.history().is_empty(), "the parse-heavy phase must move workers");
@@ -95,7 +125,12 @@ fn main() {
     let workload = WorkloadSpec { documents: n_docs, pages_per_doc: 10, mb_per_doc: 100.0 };
     let cluster = ClusterConfig::polaris(4);
     let fs = LustreModel { per_node_bandwidth_mb_s: 200.0, ..Default::default() };
-    let executor = WorkflowExecutor::new(ExecutorConfig { prefetch: false, ..Default::default() });
+    let paired_executor = WorkflowExecutor::new(ExecutorConfig { prefetch: false, ..Default::default() });
+    let unpaired_executor = WorkflowExecutor::new(ExecutorConfig {
+        prefetch: false,
+        co_schedule_pairs: false,
+        ..Default::default()
+    });
     let planned = controller.plan_nodes(cluster.nodes);
     let spread = tasks_for_routing_with_affinity(engine.config(), &routed, &workload, &planned);
     let hot = tasks_for_routing_with_affinity(
@@ -104,19 +139,88 @@ fn main() {
         &workload,
         &adaparse::NodePlan { extract_nodes: 1, parse_nodes: 1 },
     );
-    let spread_report = executor.run(&spread, &cluster, &fs);
-    let hot_report = executor.run(&hot, &cluster, &fs);
+    let paired_report = paired_executor.run(&spread, &cluster, &fs);
+    let unpaired_report = unpaired_executor.run(&spread, &cluster, &fs);
+    let hot_report = paired_executor.run(&hot, &cluster, &fs);
     println!("\nNode-affinity ablation on {} nodes ({:?})", cluster.nodes, planned);
-    println!(
-        "  controller plan: makespan {:>8.2} s, {} off-node tasks, {:.2} s penalty",
-        spread_report.makespan_seconds, spread_report.non_local_tasks, spread_report.locality_penalty_seconds
-    );
-    println!(
-        "  single hot node: makespan {:>8.2} s, {} off-node tasks, {:.2} s penalty",
-        hot_report.makespan_seconds, hot_report.non_local_tasks, hot_report.locality_penalty_seconds
+    for (label, report) in [
+        ("controller plan + co-scheduled pairs", &paired_report),
+        ("controller plan, pairs ignored", &unpaired_report),
+        ("single hot node", &hot_report),
+    ] {
+        println!(
+            "  {label:<37} makespan {:>8.2} s, {:>3} off-node tasks, {:>3} pairs co-located, {:.2} s penalty",
+            report.makespan_seconds,
+            report.non_local_tasks,
+            report.co_located_pairs,
+            report.locality_penalty_seconds
+        );
+    }
+    assert!(paired_report.co_located_pairs > 0, "co-scheduling must reunite extract+parse pairs");
+    assert!(
+        paired_report.locality_penalty_seconds < unpaired_report.locality_penalty_seconds,
+        "co-scheduling must reduce the locality penalty ({} vs {})",
+        paired_report.locality_penalty_seconds,
+        unpaired_report.locality_penalty_seconds
     );
     assert!(
-        spread_report.makespan_seconds <= hot_report.makespan_seconds + 1e-9,
+        paired_report.makespan_seconds <= hot_report.makespan_seconds + 1e-9,
         "the controller's node plan must not lose to a hot-spotted one"
     );
+
+    // 5. The fully closed loop: simulated clock → controller → fleets →
+    // observed costs → ledger, end to end inside hpcsim.
+    let sim_workload = WorkloadSpec { documents: n_docs, pages_per_doc: 8, mb_per_doc: 20.0 };
+    // Size the budget at the sim workload's page count: planned costs
+    // afford exactly the configured α = 0.1 — anything the simulation adds
+    // on top (cold starts, stage-in, contention) must come out of quality.
+    let (sim_cheap_s, sim_expensive_s) = planned_costs(engine.config(), sim_workload.pages_per_doc);
+    let sim = SimLoopConfig {
+        window: 64,
+        nodes: 4,
+        total_budget_seconds: Some(
+            n_docs as f64 * sim_cheap_s + 0.1 * n_docs as f64 * (sim_expensive_s - sim_cheap_s),
+        ),
+        prior_weight: 16.0,
+        controller: ControllerConfig { total_workers: 8, patience: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let report = run_closed_loop(engine.config(), &scores, &sim_workload, &sim);
+    println!("\nClosed-loop simulated campaign ({} waves of {} docs on 4 nodes)", report.waves.len(), 64);
+    println!(
+        "{:>6} {:>16} {:>15} {:>7} {:>9} {:>11}",
+        "wave", "sim time [s]", "extract/parse", "eff α", "selected", "co-located"
+    );
+    for wave in &report.waves {
+        println!(
+            "{:>6} {:>7.1} → {:>6.1} {:>11}/{:<3} {:>7.3} {:>9} {:>11}",
+            wave.wave_index,
+            wave.started_at_seconds,
+            wave.finished_at_seconds,
+            wave.allocation.extract_workers,
+            wave.allocation.parse_workers,
+            wave.effective_alpha,
+            wave.selected,
+            wave.co_located_pairs
+        );
+    }
+    println!(
+        "  {} docs, {} high-quality ({:.1} %), {:.1} s simulated makespan, {} pairs co-located",
+        report.documents,
+        report.selected,
+        100.0 * report.selected_fraction(),
+        report.makespan_seconds,
+        report.co_located_pairs
+    );
+    if let Some(observed) = &report.final_observed {
+        println!(
+            "  observed cost divergence: cheap ×{:.2}, expensive ×{:.2} over plan",
+            observed.cheap_divergence(),
+            observed.expensive_divergence()
+        );
+    }
+    assert!(report.co_located_pairs > 0, "the closed loop must co-locate pairs");
+    let replay = run_closed_loop(engine.config(), &scores, &sim_workload, &sim);
+    assert_eq!(report, replay, "a closed-loop run must replay bitwise");
+    println!("  replay: identical (closed loop is a pure function of its inputs)");
 }

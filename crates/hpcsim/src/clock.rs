@@ -1,0 +1,98 @@
+//! Simulated time.
+//!
+//! The resource-scaling controller in `adaparse` is a feedback loop over
+//! *time measurements*: each wave it compares how long the extraction and
+//! parsing stages ran. Driving it from wall-clock time couples the control
+//! trace to the host the code happens to run on; driving it from a
+//! [`SimClock`] advanced by the executor's simulated makespans makes the
+//! whole loop a pure function of the workload — the same campaign replays
+//! the same trace on any machine, which is what lets closed-loop scaling be
+//! tested (and ablated) deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonic simulated-time clock, denominated in seconds.
+///
+/// The clock never reads the host's time: it only moves when the caller
+/// [`advance`](SimClock::advance)s it, typically by the
+/// [`makespan_seconds`](crate::CampaignReport::makespan_seconds) of a
+/// completed simulated wave. Two runs that advance a clock by the same
+/// durations read the same timestamps, bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use hpcsim::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// assert_eq!(clock.now_seconds(), 0.0);
+/// clock.advance(12.5);
+/// clock.advance(2.5);
+/// assert_eq!(clock.now_seconds(), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    now_seconds: f64,
+}
+
+impl SimClock {
+    /// A clock at simulated time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A clock starting at an arbitrary simulated time (e.g. to resume a
+    /// campaign mid-stream).
+    pub fn starting_at(seconds: f64) -> Self {
+        SimClock { now_seconds: seconds.max(0.0) }
+    }
+
+    /// The current simulated time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.now_seconds
+    }
+
+    /// Advance the clock by `seconds` and return the new time. Negative or
+    /// NaN durations are ignored (the clock is monotonic by construction).
+    pub fn advance(&mut self, seconds: f64) -> f64 {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.now_seconds += seconds;
+        }
+        self.now_seconds
+    }
+
+    /// Move the clock forward to an absolute time; earlier (or non-finite)
+    /// targets leave it unchanged. Returns the new time.
+    pub fn advance_to(&mut self, seconds: f64) -> f64 {
+        if seconds.is_finite() && seconds > self.now_seconds {
+            self.now_seconds = seconds;
+        }
+        self.now_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates_durations() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.advance(1.5), 1.5);
+        assert_eq!(clock.advance(2.5), 4.0);
+        assert_eq!(clock.now_seconds(), 4.0);
+    }
+
+    #[test]
+    fn clock_is_monotonic_under_bad_inputs() {
+        let mut clock = SimClock::starting_at(10.0);
+        clock.advance(-5.0);
+        clock.advance(f64::NAN);
+        clock.advance_to(3.0);
+        clock.advance_to(f64::INFINITY);
+        assert_eq!(clock.now_seconds(), 10.0);
+        clock.advance_to(12.0);
+        assert_eq!(clock.now_seconds(), 12.0);
+        assert_eq!(SimClock::starting_at(-1.0).now_seconds(), 0.0);
+    }
+}

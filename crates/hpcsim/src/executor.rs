@@ -13,14 +13,20 @@
 //! * **node affinity** — a task whose input was staged on a node
 //!   ([`Task::preferred_node`]) runs there unless queueing makes an off-node
 //!   slot worthwhile *after* paying the [`LustreModel`] data-locality
-//!   penalty; the resource-scaling controller's node plans rely on this.
+//!   penalty; the resource-scaling controller's node plans rely on this,
+//! * **pair co-scheduling** — the extract and parse tasks of one document
+//!   ([`Task::group`]) prefer the same node: the first member of a group
+//!   anchors it to the node it ran on, and later members find their input
+//!   there rather than where the original plan staged it.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::event::EventQueue;
 use crate::lustre::LustreModel;
 use crate::profiler::GpuTrace;
-use crate::task::{ClusterConfig, SlotKind, Task};
+use crate::task::{ClusterConfig, GroupRole, SlotKind, Task};
 
 /// Executor options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,11 +37,56 @@ pub struct ExecutorConfig {
     pub node_local_staging: bool,
     /// Overlap stage-in with computation.
     pub prefetch: bool,
+    /// Steer the later members of a [`Task::group`] pair toward the node
+    /// where the pair's first member ran (its output — the pair's actual
+    /// data location — lives there). When disabled the scheduler falls back
+    /// to each task's own [`Task::preferred_node`] and pays the
+    /// data-locality penalty for the re-fetch it didn't know it needed;
+    /// that is the ablation baseline.
+    pub co_schedule_pairs: bool,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { warm_start: true, node_local_staging: true, prefetch: true }
+        ExecutorConfig { warm_start: true, node_local_staging: true, prefetch: true, co_schedule_pairs: true }
+    }
+}
+
+/// Aggregate timing of one pipeline stage over a (simulated) campaign or
+/// wave. Only tasks carrying a [`Task::group`] are attributed to a stage;
+/// ungrouped tasks contribute to the report's totals but not to this
+/// breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Slot-busy seconds summed over the stage's tasks (compute, stage-in,
+    /// locality re-fetches, and cold starts included).
+    pub busy_seconds: f64,
+    /// Number of completed tasks attributed to the stage.
+    pub tasks: usize,
+    /// Simulated time at which the stage's last task finished.
+    pub finished_at_seconds: f64,
+}
+
+/// Per-stage timing breakdown of a campaign, keyed by [`GroupRole`]. This is
+/// what the resource-scaling controller consumes as its per-wave stage
+/// samples when it is driven from simulated time instead of wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Tasks whose group role is [`GroupRole::Extract`].
+    pub extract: StageTiming,
+    /// Tasks whose group role is [`GroupRole::Parse`].
+    pub parse: StageTiming,
+}
+
+impl StageTimings {
+    fn record(&mut self, role: GroupRole, busy_seconds: f64, end: f64) {
+        let timing = match role {
+            GroupRole::Extract => &mut self.extract,
+            GroupRole::Parse => &mut self.parse,
+        };
+        timing.busy_seconds += busy_seconds;
+        timing.tasks += 1;
+        timing.finished_at_seconds = timing.finished_at_seconds.max(end);
     }
 }
 
@@ -68,6 +119,16 @@ pub struct CampaignReport {
     /// (a breakdown of, not an addition to,
     /// [`stage_in_seconds`](Self::stage_in_seconds)).
     pub locality_penalty_seconds: f64,
+    /// Task pairs ([`Task::group`]) whose members ran on the same node.
+    /// Counted per later member, so a two-task pair contributes at most one.
+    pub co_located_pairs: usize,
+    /// Task pairs whose members were split across nodes (each later member
+    /// paid the data-locality penalty to re-fetch its partner's output).
+    pub split_pairs: usize,
+    /// Per-stage busy-time breakdown of the grouped tasks — the wave stage
+    /// timings the resource-scaling controller consumes under simulated
+    /// time.
+    pub stage_timings: StageTimings,
     /// Per-GPU busy trace (Figure 4).
     pub gpu_trace: GpuTrace,
 }
@@ -137,10 +198,10 @@ impl WorkflowExecutor {
         let gpu_slots: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Gpu).collect();
         let mut free_at = vec![0.0f64; slots.len()];
 
-        // Affinity-oblivious campaigns (no task carries a preferred node)
-        // pay no penalty anywhere, so earliest-free is optimal and a
-        // per-kind event queue replaces the O(slots) scan per task.
-        let mut queues = if tasks.iter().all(|t| t.preferred_node.is_none()) {
+        // Affinity-oblivious campaigns (no task carries a preferred node or
+        // a pair hint) pay no penalty anywhere, so earliest-free is optimal
+        // and a per-kind event queue replaces the O(slots) scan per task.
+        let mut queues = if tasks.iter().all(|t| t.preferred_node.is_none() && t.group.is_none()) {
             let mut free_cpu = EventQueue::new();
             let mut free_gpu = EventQueue::new();
             for (index, slot) in slots.iter().enumerate() {
@@ -165,8 +226,16 @@ impl WorkflowExecutor {
             cold_starts: 0,
             non_local_tasks: 0,
             locality_penalty_seconds: 0.0,
+            co_located_pairs: 0,
+            split_pairs: 0,
+            stage_timings: StageTimings::default(),
             gpu_trace: GpuTrace::new(gpu_count),
         };
+
+        // Node each task group is anchored to: the first member of a group
+        // to be scheduled leaves its output there, and that is where later
+        // members of the same group find their input.
+        let mut group_nodes: HashMap<u64, usize> = HashMap::new();
 
         // In steady state every node stages data concurrently; that is the
         // contention level the shared filesystem sees.
@@ -187,6 +256,15 @@ impl WorkflowExecutor {
                 staging_concurrency,
                 self.config.node_local_staging,
             );
+            // Where the task's input actually lives: a pair's later members
+            // find it on the node the pair was anchored to (the first
+            // member's output is there); everyone else finds it where the
+            // plan staged it. `believed_node` is what the *scheduler* acts
+            // on — with co-scheduling disabled it naively trusts the static
+            // plan and only discovers the re-fetch at accounting time.
+            let anchor = task.group.as_ref().and_then(|g| group_nodes.get(&g.id).copied());
+            let data_node = anchor.or(task.preferred_node);
+            let believed_node = if self.config.co_schedule_pairs { data_node } else { task.preferred_node };
             let (slot_index, penalty) = if let Some((free_cpu, free_gpu)) = &mut queues {
                 let queue = match task.slot {
                     SlotKind::Cpu => free_cpu,
@@ -195,7 +273,7 @@ impl WorkflowExecutor {
                 let (_, index) = queue.pop().expect("candidates is non-empty, so the queue is too");
                 (index, 0.0)
             } else {
-                let off_node_penalty = match task.preferred_node {
+                let off_node_penalty = match data_node {
                     Some(_) => filesystem.locality_penalty_seconds(task.input_mb, staging_concurrency),
                     None => 0.0,
                 };
@@ -213,7 +291,7 @@ impl WorkflowExecutor {
                 // free remote one, even when prefetch makes the re-fetch
                 // latency-free — it still burns shared-filesystem bandwidth),
                 // then the lowest slot index. Fully deterministic.
-                let is_local = |slot: &Slot| match task.preferred_node {
+                let is_local = |slot: &Slot| match believed_node {
                     Some(node) => slot.node == node,
                     None => true,
                 };
@@ -230,8 +308,27 @@ impl WorkflowExecutor {
                         slot_index = candidate;
                     }
                 }
-                (slot_index, if is_local(&slots[slot_index]) { 0.0 } else { off_node_penalty })
+                // The penalty actually *paid* is against the data's real
+                // location, not the scheduler's belief: a scheduler that
+                // ignored the pair anchor still re-fetches from the shared
+                // filesystem when the data is elsewhere.
+                let paid = match data_node {
+                    Some(node) if slots[slot_index].node != node => off_node_penalty,
+                    _ => 0.0,
+                };
+                (slot_index, paid)
             };
+            // Anchor bookkeeping: the first member of a group claims the
+            // node; later members are counted as co-located or split.
+            if let Some(group) = &task.group {
+                match group_nodes.get(&group.id) {
+                    None => {
+                        group_nodes.insert(group.id, slots[slot_index].node);
+                    }
+                    Some(&node) if node == slots[slot_index].node => report.co_located_pairs += 1,
+                    Some(_) => report.split_pairs += 1,
+                }
+            }
             let slot = &mut slots[slot_index];
             if penalty > 0.0 {
                 report.non_local_tasks += 1;
@@ -268,6 +365,9 @@ impl WorkflowExecutor {
                         gpu_trace.record(gpu, start + cold, end, false);
                     }
                 }
+            }
+            if let Some(group) = &task.group {
+                report.stage_timings.record(group.role, busy, end);
             }
             report.tasks_completed += 1;
             report.makespan_seconds = report.makespan_seconds.max(end);
@@ -468,6 +568,86 @@ mod tests {
                     .with_preferred_node((i % 2) as usize)
             })
             .collect();
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let a = executor.run(&tasks, &cluster, &LustreModel::default());
+        let b = executor.run(&tasks, &cluster, &LustreModel::default());
+        assert_eq!(a, b);
+    }
+
+    /// Extract+parse pairs: extraction on CPU staged per-plan, parse on CPU
+    /// of the same document grouped under the doc id. `parse_node` is the
+    /// node the *plan* would send the parse half to.
+    fn paired_tasks(n: usize, extract_nodes: usize, parse_node: usize) -> Vec<Task> {
+        let mut tasks = Vec::new();
+        for i in 0..n as u64 {
+            tasks.push(
+                Task::new(i * 2, SlotKind::Cpu, 0.5)
+                    .with_input_mb(200.0)
+                    .with_preferred_node(i as usize % extract_nodes)
+                    .with_group(i, GroupRole::Extract),
+            );
+            tasks.push(
+                Task::new(i * 2 + 1, SlotKind::Cpu, 2.0)
+                    .with_input_mb(200.0)
+                    .with_preferred_node(parse_node)
+                    .with_group(i, GroupRole::Parse),
+            );
+        }
+        tasks
+    }
+
+    #[test]
+    fn co_scheduling_keeps_pairs_together_and_avoids_the_penalty() {
+        let cluster = ClusterConfig { nodes: 4, cpu_slots_per_node: 8, gpu_slots_per_node: 0 };
+        let fs = LustreModel { per_node_bandwidth_mb_s: 100.0, ..Default::default() };
+        // The plan sends every parse half to node 3, but each pair's data
+        // ends up wherever its extract half ran (nodes 0–2). Eight pairs fit
+        // node 3's slots, so the naive schedule never spills back by luck.
+        let tasks = paired_tasks(8, 3, 3);
+        let paired = WorkflowExecutor::new(ExecutorConfig::default()).run(&tasks, &cluster, &fs);
+        assert_eq!(paired.tasks_completed, 16);
+        assert_eq!(paired.co_located_pairs, 8, "every pair should reunite on its anchor node");
+        assert_eq!(paired.split_pairs, 0);
+        assert_eq!(paired.locality_penalty_seconds, 0.0);
+
+        let naive = WorkflowExecutor::new(ExecutorConfig { co_schedule_pairs: false, ..Default::default() })
+            .run(&tasks, &cluster, &fs);
+        assert_eq!(naive.co_located_pairs, 0, "the plan separates every pair");
+        assert_eq!(naive.split_pairs, 8);
+        assert!(naive.locality_penalty_seconds > 0.0, "split pairs must pay the re-fetch");
+        assert!(naive.non_local_tasks > 0);
+        assert!(
+            paired.locality_penalty_seconds < naive.locality_penalty_seconds,
+            "co-scheduling must reduce the locality penalty"
+        );
+    }
+
+    #[test]
+    fn stage_timings_attribute_grouped_busy_time_per_role() {
+        let cluster = ClusterConfig { nodes: 2, cpu_slots_per_node: 4, gpu_slots_per_node: 0 };
+        let tasks = paired_tasks(8, 2, 1);
+        let report =
+            WorkflowExecutor::new(ExecutorConfig::default()).run(&tasks, &cluster, &LustreModel::default());
+        assert_eq!(report.stage_timings.extract.tasks, 8);
+        assert_eq!(report.stage_timings.parse.tasks, 8);
+        assert!(report.stage_timings.extract.busy_seconds > 0.0);
+        // Parse compute is 4× extract compute per task, so its busy time
+        // dominates.
+        assert!(report.stage_timings.parse.busy_seconds > report.stage_timings.extract.busy_seconds);
+        assert!(report.stage_timings.parse.finished_at_seconds <= report.makespan_seconds + 1e-9);
+        // Ungrouped tasks stay out of the breakdown.
+        let plain = WorkflowExecutor::new(ExecutorConfig::default()).run(
+            &cpu_tasks(5, 1.0),
+            &cluster,
+            &LustreModel::default(),
+        );
+        assert_eq!(plain.stage_timings, StageTimings::default());
+    }
+
+    #[test]
+    fn paired_scheduling_is_deterministic() {
+        let cluster = ClusterConfig::polaris(2);
+        let tasks = paired_tasks(40, 2, 0);
         let executor = WorkflowExecutor::new(ExecutorConfig::default());
         let a = executor.run(&tasks, &cluster, &LustreModel::default());
         let b = executor.run(&tasks, &cluster, &LustreModel::default());

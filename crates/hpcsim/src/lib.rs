@@ -10,11 +10,14 @@
 //! durations:
 //!
 //! * [`event`] — a minimal discrete-event queue,
+//! * [`clock`] — the monotonic simulated-time clock that closed-loop
+//!   scaling controllers sample instead of wall time,
 //! * [`task`] — the task/cluster description (CPU vs GPU slots, stage-in
-//!   bytes, cold-start model-load costs),
+//!   bytes, cold-start model-load costs, co-scheduling pair hints),
 //! * [`lustre`] — a shared-filesystem contention model (aggregate bandwidth,
 //!   metadata pressure from small files, node-local staging),
-//! * [`executor`] — the Parsl-like scheduler with warm-start workers,
+//! * [`executor`] — the Parsl-like scheduler with warm-start workers, node
+//!   affinity, pair co-scheduling, and a per-stage timing breakdown,
 //! * [`profiler`] — per-GPU utilization traces (the Nsight view of Figure 4).
 //!
 //! # Example
@@ -30,14 +33,18 @@
 //! assert_eq!(report.tasks_completed, 64);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod clock;
 pub mod event;
 pub mod executor;
 pub mod lustre;
 pub mod profiler;
 pub mod task;
 
+pub use clock::SimClock;
 pub use event::EventQueue;
-pub use executor::{CampaignReport, ExecutorConfig, WorkflowExecutor};
+pub use executor::{CampaignReport, ExecutorConfig, StageTiming, StageTimings, WorkflowExecutor};
 pub use lustre::LustreModel;
 pub use profiler::GpuTrace;
-pub use task::{ClusterConfig, SlotKind, Task};
+pub use task::{ClusterConfig, GroupRole, SlotKind, Task, TaskGroup};

@@ -11,6 +11,36 @@ pub enum SlotKind {
     Gpu,
 }
 
+/// The pipeline stage a grouped task belongs to, used to attribute its busy
+/// time in the executor's per-stage timing breakdown
+/// ([`crate::StageTimings`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupRole {
+    /// The cheap extraction half of a document's task pair.
+    Extract,
+    /// The (optional) high-quality parse half of a document's task pair.
+    Parse,
+}
+
+/// Co-scheduling hint: tasks sharing a group id belong to the same document.
+///
+/// The first member of a group to be scheduled *anchors* the group to the
+/// node it runs on — its output (the extracted text, the staged archive) now
+/// lives there. Later members of the same group find their input on the
+/// anchor node, so the executor prefers to place them there
+/// ([`crate::ExecutorConfig::co_schedule_pairs`]) and charges the
+/// data-locality penalty when they run anywhere else. Typical use is an
+/// extract+parse pair: `TaskGroup { id: doc_id, role: Extract }` on the
+/// extraction task and `TaskGroup { id: doc_id, role: Parse }` on the parse
+/// task of the same document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskGroup {
+    /// Shared identifier of the pair (typically the document id).
+    pub id: u64,
+    /// Which stage of the pair this task is.
+    pub role: GroupRole,
+}
+
 /// One schedulable parsing task (typically: parse one document, or one batch
 /// of documents, with a particular parser).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +64,10 @@ pub struct Task {
     /// data-locality penalty (the input must be re-fetched through the
     /// shared filesystem instead of read from the node-local copy).
     pub preferred_node: Option<usize>,
+    /// Co-scheduling pair hint: the extract and parse tasks of one document
+    /// share a [`TaskGroup`] id and prefer to land on the same node. `None`
+    /// means the task is not part of a pair.
+    pub group: Option<TaskGroup>,
     /// Label used for grouping in reports (e.g. the parser name).
     pub label: String,
 }
@@ -49,6 +83,7 @@ impl Task {
             input_files: 1,
             cold_start_seconds: 0.0,
             preferred_node: None,
+            group: None,
             label: String::new(),
         }
     }
@@ -74,6 +109,12 @@ impl Task {
     /// Pin the task's staged input to a node (node-affinity scheduling).
     pub fn with_preferred_node(mut self, node: usize) -> Self {
         self.preferred_node = Some(node);
+        self
+    }
+
+    /// Mark the task as one half of a co-scheduled pair (see [`TaskGroup`]).
+    pub fn with_group(mut self, id: u64, role: GroupRole) -> Self {
+        self.group = Some(TaskGroup { id, role });
         self
     }
 
@@ -134,7 +175,14 @@ mod tests {
         assert_eq!(t.label, "Nougat");
         assert_eq!(t.slot, SlotKind::Gpu);
         assert_eq!(t.preferred_node, None);
+        assert_eq!(t.group, None);
         assert_eq!(t.with_preferred_node(3).preferred_node, Some(3));
+    }
+
+    #[test]
+    fn group_builder_sets_id_and_role() {
+        let t = Task::new(1, SlotKind::Cpu, 1.0).with_group(42, GroupRole::Parse);
+        assert_eq!(t.group, Some(TaskGroup { id: 42, role: GroupRole::Parse }));
     }
 
     #[test]
