@@ -22,6 +22,15 @@
 //! `seed ^ doc_id`, and the final reduction folds per-document outcomes in
 //! input order, so a campaign's [`CampaignResult`] is **bitwise identical for
 //! every worker count and shard size**.
+//!
+//! The streaming mode here is the *wall-clock* half of the closed loop: its
+//! waves overlap on real thread fleets and its controller samples real
+//! stage times. Its simulated twin is
+//! [`crate::scaling::simloop::run_closed_loop`], which runs the same
+//! window-by-window circuit wavelessly inside a persistent
+//! [`hpcsim::ExecutorSession`] — dependency edges, warm-pool residency, and
+//! slot state carried across decision epochs — for deterministic what-if
+//! planning of the campaigns this pipeline executes for real.
 
 use docmodel::document::Document;
 use docmodel::spdf::{write_document, SpdfFile};

@@ -69,7 +69,10 @@ pub fn tasks_for_routing(
 /// data-locality model applies. The extract and parse tasks of the same
 /// document additionally share a [`hpcsim::TaskGroup`], so the executor's
 /// pair co-scheduling can reunite them on one node (the parse half's real
-/// input is the extract half's output). This is how the
+/// input is the extract half's output), *and* each parse task carries a
+/// [`hpcsim::Task::depends_on`] edge to its extract partner, so the
+/// dependency-aware engine never starts a document's parse before its
+/// extraction has finished. This is how the
 /// [`crate::scaling::ScalingController`]'s node-level decisions reach the
 /// simulator.
 ///
@@ -95,6 +98,9 @@ pub fn tasks_for_routing(
 /// let tasks = tasks_for_routing_with_affinity(&config, &routed, &workload, &plan);
 /// assert_eq!(tasks.len(), 3); // two extractions + one high-quality parse
 /// assert!(tasks.iter().all(|t| t.preferred_node.is_some() && t.group.is_some()));
+/// // The parse task (odd id) depends on its extract partner (its id - 1).
+/// let parse = tasks.iter().find(|t| t.id % 2 == 1).unwrap();
+/// assert_eq!(parse.depends_on, vec![parse.id - 1]);
 ///
 /// // The tasks run as-is on a cluster shaped like the plan.
 /// let report = WorkflowExecutor::new(ExecutorConfig::default())
@@ -112,9 +118,12 @@ pub fn tasks_for_routing_with_affinity(
 }
 
 /// Shared task construction: with a [`NodePlan`] tasks carry their staging
-/// node plus the per-document pair group, without one they are
-/// placement-indifferent. One code path, so the affinity and non-affinity
-/// simulations always stay comparable.
+/// node, the per-document pair group, and the parse→extract dependency
+/// edge; without one they are placement-indifferent *and* order-free (the
+/// legacy throughput-model construction, kept dependency-free so fixed-α
+/// scaling sweeps stay comparable with the seed's Figure 5 numbers). One
+/// code path, so the affinity and non-affinity simulations always stay
+/// comparable.
 ///
 /// Every task joins its document's group even when the document routes
 /// cheap and the group stays a singleton: the group role is what attributes
@@ -155,10 +164,15 @@ fn build_routing_tasks(
             } else {
                 expensive.cpu_seconds
             };
-            let parse = Task::new(decision.doc_id * 2 + 1, slot, compute)
+            let mut parse = Task::new(decision.doc_id * 2 + 1, slot, compute)
                 .with_input_mb(workload.mb_per_doc)
                 .with_cold_start(expensive_model.model_load_seconds)
                 .with_label(config.high_quality_parser.name());
+            if plan.is_some() {
+                // A document's parse consumes its extraction's output: the
+                // dependency-aware engine must not start it earlier.
+                parse = parse.with_dependency(decision.doc_id * 2);
+            }
             tasks.push(place(parse, Stage::Parse, parse_index, decision.doc_id));
             parse_index += 1;
         }
@@ -297,14 +311,25 @@ mod tests {
         let plan = NodePlan { extract_nodes: 3, parse_nodes: 1 };
         let tasks = tasks_for_routing_with_affinity(&config, &routed, &w, &plan);
         assert_eq!(tasks.len(), w.documents + quota);
-        // Extraction tasks cycle over nodes 0..3, parse tasks pin to node 3.
+        // Extraction tasks cycle over nodes 0..3, parse tasks pin to node 3;
+        // parse tasks depend on their extract partner, extractions on
+        // nothing.
         for task in &tasks {
             let node = task.preferred_node.expect("every task carries its staging node");
             match task.slot {
                 SlotKind::Cpu => assert!(node < 3),
                 SlotKind::Gpu => assert_eq!(node, 3),
             }
+            if task.id % 2 == 1 {
+                assert_eq!(task.depends_on, vec![task.id - 1]);
+            } else {
+                assert!(task.depends_on.is_empty());
+            }
         }
+        // The plain (plan-free) construction stays order-free: it is the
+        // legacy throughput model the fixed-α scaling sweeps are built on.
+        let plain = tasks_for_routing(&config, &routed, &w);
+        assert!(plain.iter().all(|t| t.depends_on.is_empty()));
         // On a cluster shaped like the plan, scheduling honors the affinity.
         let report = WorkflowExecutor::new(ExecutorConfig::default()).run(
             &tasks,

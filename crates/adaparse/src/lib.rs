@@ -50,14 +50,16 @@
 //!   that reallocates workers (and `hpcsim` nodes) between stages — driven
 //!   by simulated time, never wall time — the [`ObservedCosts`] ledger
 //!   feedback that tightens or loosens the effective α as measured costs
-//!   diverge from plan, and the fully closed simulation loop
-//!   ([`scaling::simloop`]),
+//!   diverge from plan, and the fully closed, *waveless* simulation loop
+//!   ([`scaling::simloop`]: one persistent `hpcsim` executor session whose
+//!   slots, warm pools, and pair anchors survive across decision epochs),
 //! * [`output`] — JSONL records, [`RecordSink`], in-memory and streaming
 //!   JSONL sinks,
 //! * [`hpc`] — the bridge turning routed documents into `hpcsim` tasks so
 //!   multi-node throughput (Figure 5) and GPU utilization (Figure 4) can be
 //!   simulated, including node-affinity task placement from a
-//!   [`scaling::NodePlan`].
+//!   [`scaling::NodePlan`] and parse→extract dependency edges for the
+//!   dependency-aware engine.
 //!
 //! # Example
 //!

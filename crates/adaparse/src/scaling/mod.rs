@@ -54,6 +54,19 @@
 //!   inside `hpcsim`: simulated clock → controller → node plan →
 //!   co-scheduled extract+parse task pairs → observed costs → ledger →
 //!   next window's selection.
+//!
+//! Since PR 4 the loop is also *waveless*: the circuit runs over one
+//! persistent [`hpcsim::ExecutorSession`], so slot availability, per-node
+//! warm-pool residency, and pair anchors survive across decision epochs —
+//! a later window starts on slots that free up while the previous window's
+//! stragglers are still running, models stay loaded across windows instead
+//! of re-paying their cold starts each wave, and each parse task carries a
+//! dependency edge to its extract partner so the engine never schedules a
+//! parse before its input exists. The controller observes at event
+//! boundaries (each window's completion) via
+//! [`ScalingController::observe_at`], and the whole run — including the
+//! executor's critical-path, queue-wait, and per-model warm statistics —
+//! replays bit for bit.
 
 pub mod controller;
 pub mod observed;

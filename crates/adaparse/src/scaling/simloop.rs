@@ -1,36 +1,57 @@
-//! Closed-loop simulation-driven scaling.
+//! Closed-loop simulation-driven scaling — waveless.
 //!
 //! This module is where every piece of the resource-scaling engine meets:
 //! it runs a whole routed campaign *inside* `hpcsim`, one selection window
-//! per simulated wave, and feeds everything the simulator observes back
-//! into the decision layers —
+//! per controller decision epoch, and feeds everything the simulator
+//! observes back into the decision layers —
 //!
 //! ```text
-//!        ┌──────────────── SimClock (simulated seconds) ◄──────────────┐
-//!        ▼                                                             │
-//!  ScalingController ──plan_nodes──► NodePlan ──tasks──► hpcsim        │
-//!        ▲                                            WorkflowExecutor ┤
-//!        │ WaveStats (per-stage busy seconds)                          │
-//!        └──────────────────────────────────────────────┐              │
-//!  WindowedSelector ◄──ingest──  ObservedCosts  ◄── WaveCosts ◄────────┘
+//!        ┌────────────── ExecutorSession clock (simulated s) ◄───────────┐
+//!        ▼                                                               │
+//!  ScalingController ──plan_nodes──► NodePlan ──tasks──► hpcsim          │
+//!        ▲                                         ExecutorSession::submit
+//!        │ WaveStats (per-stage busy seconds)      (persistent slots,    │
+//!        └────────────────────────────────────────  warm pools, anchors) ┤
+//!  WindowedSelector ◄──ingest──  ObservedCosts  ◄── WaveCosts ◄──────────┘
 //!   (BudgetLedger)              (effective α)
 //! ```
 //!
-//! Each wave: the [`WindowedSelector`] routes the next k documents at its
+//! Each epoch: the [`WindowedSelector`] routes the next k documents at its
 //! current effective α; the [`ScalingController`]'s node plan places the
-//! wave's extract+parse task pairs; the executor simulates the wave
-//! (affinity, pair co-scheduling, filesystem contention and all) and
-//! reports per-stage timings; the [`hpcsim::SimClock`] advances by the
-//! wave's makespan; the observed per-document costs reconcile the budget
-//! ledger; and the controller digests the stage timings — at simulated
-//! time — to reallocate the fleets for the next wave.
+//! window's extract+parse task pairs (each parse carrying a dependency edge
+//! to its extract partner); the persistent [`hpcsim::ExecutorSession`]
+//! schedules the window against the *live* cluster state — slots still busy
+//! with earlier windows delay it, models loaded by earlier windows are
+//! still warm, and its tasks start the moment a slot frees, even before the
+//! previous window's stragglers finish. **There is no wave barrier**: slot
+//! availability, warm-pool residency, and pair anchors persist across
+//! epochs, and the campaign makespan is the session's last completion time,
+//! not a sum of per-wave makespans. The controller observes at event
+//! boundaries — each window's completion frontier, via
+//! [`ScalingController::observe_at`] on the session clock — the observed
+//! per-document costs reconcile the budget ledger, and the next window is
+//! selected.
 //!
 //! Nothing in the loop reads the host clock or any other ambient state, so
 //! a closed-loop run is a pure function of its inputs: replaying the same
-//! scores and workload replays the same report, bit for bit, on any
-//! machine.
+//! scores and workload replays the same report — including the executor's
+//! critical-path, queue-wait, and per-model warm-pool statistics — bit for
+//! bit, on any machine.
+//!
+//! **Known modeling limit — retroactive fill.** A window is submitted only
+//! after the previous window fully completes, but its tasks may then be
+//! *placed* on slots that freed earlier, at simulated times before the
+//! observations that selected the window existed. This retro-fill is what
+//! approximates a genuinely pipelined controller (in the wall-clock twin,
+//! window i+1's selection happens as soon as its documents are scored, well
+//! before window i's parses drain), but it is optimistic about decision
+//! causality: the effective α applied to a window ingests the *entire*
+//! previous window's observed costs, which a live controller would only
+//! have part of. Waveless makespans are therefore a lower bound a causal
+//! event-interleaved submission engine would approach, not exactly achieve;
+//! see ROADMAP's open item.
 
-use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, SimClock, StageTiming, WorkflowExecutor};
+use hpcsim::{CampaignReport, ClusterConfig, ExecutorConfig, LustreModel, StageTiming, WorkflowExecutor};
 use parsersim::cost::CostModel;
 
 use crate::config::AdaParseConfig;
@@ -45,7 +66,8 @@ use crate::scaling::{
 /// Knobs of a closed-loop simulated campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimLoopConfig {
-    /// Selection window size k — one window is one simulated wave.
+    /// Selection window size k — one window is one controller decision
+    /// epoch.
     pub window: usize,
     /// Cluster size in (Polaris-like) nodes.
     pub nodes: usize,
@@ -55,13 +77,13 @@ pub struct SimLoopConfig {
     /// Pseudo-document weight of the planned-cost prior in the observed
     /// ledger (ignored without a budget).
     pub prior_weight: f64,
-    /// Executor options (warm start, staging, prefetch, pair
+    /// Executor options (warm pools, staging, prefetch, pair
     /// co-scheduling).
     pub executor: ExecutorConfig,
     /// Shared-filesystem model.
     pub filesystem: LustreModel,
     /// Controller tuning; its worker allocation is projected onto the
-    /// cluster via [`ScalingController::plan_nodes`] each wave.
+    /// cluster via [`ScalingController::plan_nodes`] each epoch.
     pub controller: ControllerConfig,
 }
 
@@ -79,51 +101,65 @@ impl Default for SimLoopConfig {
     }
 }
 
-/// One simulated wave of a closed-loop campaign.
+/// One selection window (decision epoch) of a waveless closed-loop
+/// campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimWave {
-    /// Zero-based wave index.
+    /// Zero-based epoch index.
     pub wave_index: usize,
-    /// Simulated time the wave started at.
+    /// Simulated time the epoch's *earliest* task started. Wavelessness
+    /// made visible: this is routinely earlier than the previous epoch's
+    /// [`finished_at_seconds`](Self::finished_at_seconds) — the next window
+    /// starts on slots that free up while the previous window's stragglers
+    /// are still running.
     pub started_at_seconds: f64,
-    /// Simulated time the wave finished at.
+    /// Simulated time the epoch's last task finished (the event boundary
+    /// the controller observed at). Not necessarily monotone across epochs:
+    /// a short window can drain before an earlier window's straggler — the
+    /// controller's clock clamps monotonically on its own.
     pub finished_at_seconds: f64,
-    /// Documents routed in the wave.
+    /// Documents routed in the epoch.
     pub documents: usize,
     /// Documents sent to the high-quality parser.
     pub selected: usize,
-    /// The α the wave was selected at (after any ledger tightening).
+    /// The α the epoch was selected at (after any ledger tightening).
     pub effective_alpha: f64,
-    /// Node plan the wave's tasks were placed under.
+    /// Node plan the epoch's tasks were placed under.
     pub plan: NodePlan,
-    /// Worker allocation after the controller digested the wave.
+    /// Worker allocation after the controller digested the epoch.
     pub allocation: Allocation,
-    /// Extract+parse pairs reunited on one node this wave.
+    /// Extract+parse pairs reunited on one node this epoch.
     pub co_located_pairs: usize,
-    /// Pairs split across nodes this wave.
+    /// Pairs split across nodes this epoch.
     pub split_pairs: usize,
-    /// Data-locality penalty seconds paid this wave.
+    /// Data-locality penalty seconds paid this epoch.
     pub locality_penalty_seconds: f64,
-    /// Per-stage extract timing of the wave.
+    /// Warm-pool hits this epoch (models reused across epochs count here —
+    /// pools persist).
+    pub warm_hits: usize,
+    /// Seconds the epoch's tasks spent ready but queued for a slot.
+    pub queue_wait_seconds: f64,
+    /// Per-stage extract timing of the epoch.
     pub extract: StageTiming,
-    /// Per-stage parse timing of the wave.
+    /// Per-stage parse timing of the epoch.
     pub parse: StageTiming,
 }
 
 /// Aggregate outcome of a closed-loop simulated campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimLoopReport {
-    /// Per-wave records, in wave order.
+    /// Per-epoch records, in epoch order.
     pub waves: Vec<SimWave>,
-    /// The full routing mask, concatenated across waves (`true` = routed to
-    /// the high-quality parser).
+    /// The full routing mask, concatenated across epochs (`true` = routed
+    /// to the high-quality parser).
     pub mask: Vec<bool>,
     /// Documents routed.
     pub documents: usize,
     /// Documents sent to the high-quality parser.
     pub selected: usize,
-    /// Total simulated campaign time (waves are barriered, so this is the
-    /// sum of wave makespans).
+    /// Total simulated campaign time: the persistent session's last
+    /// completion. Epochs overlap (no barrier), so this is *less* than the
+    /// sum of per-epoch spans whenever the cluster pipeline stays busy.
     pub makespan_seconds: f64,
     /// Extract+parse pairs reunited on one node, campaign-wide.
     pub co_located_pairs: usize,
@@ -135,6 +171,10 @@ pub struct SimLoopReport {
     pub locality_penalty_seconds: f64,
     /// The controller's allocation trace, timestamped in simulated seconds.
     pub history: Vec<AllocationEvent>,
+    /// The session-cumulative executor report: critical path, queue wait,
+    /// per-model warm hits/evictions, GPU trace — everything the persistent
+    /// engine measured over the whole campaign.
+    pub executor_report: CampaignReport,
     /// Final observed-cost estimates, when a budget ledger was attached.
     pub final_observed: Option<ObservedCosts>,
     /// Seconds of budget left unspent, when a budget was set.
@@ -150,13 +190,19 @@ impl SimLoopReport {
             self.selected as f64 / self.documents as f64
         }
     }
+
+    /// Whether any epoch started before its predecessor finished — the
+    /// direct witness that the loop ran without a wave barrier.
+    pub fn epochs_overlap(&self) -> bool {
+        self.waves.windows(2).any(|pair| pair[1].started_at_seconds < pair[0].finished_at_seconds)
+    }
 }
 
-/// Run a closed-loop simulated campaign over per-document improvement
-/// scores (one score per document, in input order).
+/// Run a waveless closed-loop simulated campaign over per-document
+/// improvement scores (one score per document, in input order).
 ///
 /// The loop is fully deterministic: same inputs, same report. See the
-/// module docs for the feedback structure.
+/// module docs for the feedback structure and the no-barrier semantics.
 pub fn run_closed_loop(
     config: &AdaParseConfig,
     improvements: &[f64],
@@ -167,6 +213,9 @@ pub fn run_closed_loop(
     let nodes = sim.nodes.max(1);
     let cluster = ClusterConfig::polaris(nodes);
     let executor = WorkflowExecutor::new(sim.executor);
+    // The one persistent session: slots, warm pools, pair anchors, and the
+    // clock live across every decision epoch below.
+    let mut session = executor.session(&cluster);
 
     let mut selector = WindowedSelector::new(window, config.alpha);
     if let Some(total_seconds) = sim.total_budget_seconds {
@@ -176,7 +225,6 @@ pub fn run_closed_loop(
         selector = selector.with_budget(ledger);
     }
     let mut controller = ScalingController::new(sim.controller);
-    let mut clock = SimClock::new();
 
     let mut report = SimLoopReport {
         waves: Vec::new(),
@@ -189,6 +237,7 @@ pub fn run_closed_loop(
         non_local_tasks: 0,
         locality_penalty_seconds: 0.0,
         history: Vec::new(),
+        executor_report: session.report(),
         final_observed: None,
         remaining_budget_seconds: None,
     };
@@ -213,11 +262,17 @@ pub fn run_closed_loop(
         // Fleets: the controller's allocation projected onto the cluster.
         let plan = controller.plan_nodes(nodes);
         let tasks = tasks_for_routing_with_affinity(config, &routed, workload, &plan);
-        let wave = executor.run(&tasks, &cluster, &sim.filesystem);
-
-        // Simulated time advances by the wave's makespan (waves barrier).
-        let started_at_seconds = clock.now_seconds();
-        let finished_at_seconds = clock.advance(wave.makespan_seconds);
+        let scheduled_before = session.schedule().len();
+        let wave = session.submit(&tasks, &sim.filesystem);
+        let started_at_seconds = session.schedule()[scheduled_before..]
+            .iter()
+            .map(|s| s.start_seconds)
+            .fold(f64::INFINITY, f64::min)
+            .min(session.now_seconds());
+        // The event boundary the controller observes at: this epoch's last
+        // completion (an earlier epoch's straggler may still be running —
+        // the controller's clock clamps monotonically on its own).
+        let finished_at_seconds = wave.makespan_seconds;
 
         // Observed per-document costs flow back into the ledger before the
         // next window is selected. A selected document's cost is its parse
@@ -232,7 +287,7 @@ pub fn run_closed_loop(
             });
         }
 
-        // The controller samples the simulated clock, not wall time.
+        // The controller samples the session clock, not wall time.
         let allocation = controller.observe_at(
             finished_at_seconds,
             &WaveStats {
@@ -266,14 +321,17 @@ pub fn run_closed_loop(
             co_located_pairs: wave.co_located_pairs,
             split_pairs: wave.split_pairs,
             locality_penalty_seconds: wave.locality_penalty_seconds,
+            warm_hits: wave.warm_hits,
+            queue_wait_seconds: wave.queue_wait_seconds,
             extract: wave.stage_timings.extract,
             parse: wave.stage_timings.parse,
         });
         report.mask.extend(mask);
     }
 
-    report.makespan_seconds = clock.now_seconds();
+    report.makespan_seconds = session.now_seconds();
     report.history = controller.history().to_vec();
+    report.executor_report = session.report();
     report.final_observed = selector.ledger().and_then(|ledger| ledger.observed().copied());
     report.remaining_budget_seconds = selector.ledger().map(BudgetLedger::remaining_seconds);
     report
@@ -328,15 +386,54 @@ mod tests {
         assert_eq!(a.documents, 240);
         assert_eq!(a.mask.len(), 240);
         assert!(a.makespan_seconds > 0.0);
-        // Wave timestamps tile the simulated timeline.
-        for pair in a.waves.windows(2) {
-            assert_eq!(pair[0].finished_at_seconds, pair[1].started_at_seconds);
+        // The campaign makespan is the session's last completion, and the
+        // executor's cumulative report agrees with the loop's view.
+        assert_eq!(a.executor_report.makespan_seconds, a.makespan_seconds);
+        assert!(a.executor_report.critical_path_seconds > 0.0);
+        assert!(a.executor_report.critical_path_seconds <= a.makespan_seconds);
+        // Every epoch's event boundary lies inside the campaign, and the
+        // last one closes it.
+        for wave in &a.waves {
+            assert!(wave.started_at_seconds <= wave.finished_at_seconds);
+            assert!(wave.finished_at_seconds <= a.makespan_seconds);
         }
-        assert_eq!(a.waves.last().unwrap().finished_at_seconds, a.makespan_seconds);
+        assert!(a.waves.iter().any(|w| w.finished_at_seconds == a.makespan_seconds));
         // Controller trace timestamps are simulated times within the run.
         for event in &a.history {
             assert!(event.at_seconds > 0.0 && event.at_seconds <= a.makespan_seconds);
         }
+    }
+
+    #[test]
+    fn epochs_overlap_without_a_wave_barrier() {
+        let config = base_config();
+        let improvements = scores(200, 3);
+        let sim = SimLoopConfig { window: 40, nodes: 2, ..Default::default() };
+        let report = run_closed_loop(&config, &improvements, &workload(200), &sim);
+        assert!(
+            report.epochs_overlap(),
+            "later windows must start on freed slots before earlier stragglers finish"
+        );
+        // The waveless makespan beats the barriered sum of epoch spans.
+        let barriered: f64 = report.waves.iter().map(|w| w.finished_at_seconds - w.started_at_seconds).sum();
+        assert!(report.makespan_seconds < barriered, "{} vs {barriered}", report.makespan_seconds);
+    }
+
+    #[test]
+    fn warm_pools_persist_across_epochs() {
+        let config = base_config();
+        let improvements = scores(200, 7);
+        let sim = SimLoopConfig { window: 40, ..Default::default() };
+        let report = run_closed_loop(&config, &improvements, &workload(200), &sim);
+        let executor = &report.executor_report;
+        assert!(executor.warm_hits > 0, "resident models must be reused");
+        assert_eq!(executor.warm_evictions, 0, "an unbounded pool never evicts");
+        // The high-quality model loads at most once per concurrent loader
+        // per node over the *whole campaign* — not once per epoch.
+        let parse_tasks: usize = report.waves.iter().map(|w| w.selected).sum();
+        assert!(parse_tasks > executor.cold_starts * 2, "cold starts must not scale with epochs");
+        // Later epochs find the model warm: their hits show up per wave.
+        assert!(report.waves.iter().skip(1).any(|w| w.warm_hits > 0));
     }
 
     #[test]
@@ -394,7 +491,7 @@ mod tests {
             "simulated costs exceed the pure-compute plan: {}",
             observed.expensive_divergence()
         );
-        // Later waves run at a tighter α than the first.
+        // Later epochs run at a tighter α than the first.
         let first = budgeted.waves.first().unwrap().effective_alpha;
         let last = budgeted.waves.last().unwrap().effective_alpha;
         assert!(last < first, "effective α must tighten over the campaign ({first} → {last})");
@@ -407,5 +504,6 @@ mod tests {
         assert!(report.waves.is_empty());
         assert_eq!(report.makespan_seconds, 0.0);
         assert_eq!(report.selected_fraction(), 0.0);
+        assert!(!report.epochs_overlap());
     }
 }

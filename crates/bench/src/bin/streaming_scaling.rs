@@ -10,9 +10,15 @@
 //!    allocation trace on the controller's wall-free virtual clock,
 //! 4. an `hpcsim` node-affinity ablation: the same routed campaign with
 //!    pair co-scheduling on vs off, and against a single hot node,
-//! 5. the fully closed loop: `run_closed_loop` drives selection, fleet
-//!    allocation, and placement from `hpcsim` simulated time and observed
-//!    costs, twice, asserting a bitwise-identical replay.
+//! 5. a warm-pool ablation: the same synthetic two-model GPU corpus under
+//!    per-node pool capacities 0 / 1 / ∞, printing warm-hit rate,
+//!    evictions, and the makespan delta (capacity ∞ must strictly dominate
+//!    capacity 0),
+//! 6. the fully closed loop: `run_closed_loop` drives selection, fleet
+//!    allocation, and placement *wavelessly* through one persistent
+//!    `hpcsim::ExecutorSession` (slots, warm pools, and pair anchors
+//!    persist across decision epochs; parse tasks depend on their extract
+//!    partners), twice, asserting a bitwise-identical replay.
 //!
 //! Run with: `cargo run --release --bin streaming_scaling`
 //! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
@@ -168,32 +174,84 @@ fn main() {
         "the controller's node plan must not lose to a hot-spotted one"
     );
 
-    // 5. The fully closed loop: simulated clock → controller → fleets →
-    // observed costs → ledger, end to end inside hpcsim.
+    // 5. Warm-pool ablation: a synthetic two-model GPU corpus (alternating
+    // Nougat/Marker tasks with real cold starts) under per-node pool
+    // capacities 0, 1, and ∞. Unbounded pools load each model roughly once
+    // per node; capacity 1 thrashes between the two models; capacity 0
+    // re-pays every cold start.
+    let ablation_tasks: Vec<hpcsim::Task> = (0..n_docs as u64)
+        .map(|i| {
+            hpcsim::Task::new(i, hpcsim::SlotKind::Gpu, 2.0)
+                .with_input_mb(5.0)
+                .with_cold_start(if i % 2 == 0 { 20.0 } else { 15.0 })
+                .with_label(if i % 2 == 0 { "Nougat" } else { "Marker" })
+        })
+        .collect();
+    let pool_cluster = ClusterConfig::polaris(2);
+    println!("\nWarm-pool ablation ({n_docs} two-model GPU tasks on 2 nodes)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "capacity", "hits", "misses", "evictions", "makespan", "delta"
+    );
+    let mut by_capacity = Vec::new();
+    for (label, capacity) in [("0", Some(0)), ("1", Some(1)), ("inf", None)] {
+        let executor =
+            WorkflowExecutor::new(ExecutorConfig { warm_pool_capacity: capacity, ..Default::default() });
+        let report = executor.run(&ablation_tasks, &pool_cluster, &LustreModel::default());
+        by_capacity.push((label, report));
+    }
+    let cold_makespan = by_capacity[0].1.makespan_seconds;
+    for (label, report) in &by_capacity {
+        let total = report.warm_hits + report.cold_starts;
+        println!(
+            "{label:>10} {:>10} {:>10} {:>10} {:>10.1} s {:>9.1} %",
+            report.warm_hits,
+            report.cold_starts,
+            report.warm_evictions,
+            report.makespan_seconds,
+            100.0 * (report.makespan_seconds - cold_makespan) / cold_makespan.max(f64::MIN_POSITIVE),
+        );
+        assert_eq!(total, n_docs, "every task either hits the pool or pays its cold start");
+    }
+    let unbounded = &by_capacity[2].1;
+    assert!(
+        unbounded.makespan_seconds < cold_makespan,
+        "capacity-∞ must strictly dominate capacity-0 ({} vs {cold_makespan})",
+        unbounded.makespan_seconds
+    );
+    assert!(unbounded.warm_hits > by_capacity[0].1.warm_hits, "unbounded pools must hit");
+    assert_eq!(unbounded.warm_evictions, 0, "unbounded pools never evict");
+    assert!(
+        by_capacity[1].1.makespan_seconds <= cold_makespan
+            && by_capacity[1].1.makespan_seconds >= unbounded.makespan_seconds,
+        "capacity 1 must land between the extremes"
+    );
+
+    // 6. The fully closed loop: simulated clock → controller → fleets →
+    // observed costs → ledger, end to end inside hpcsim — wavelessly, on
+    // one persistent executor session.
     let sim_workload = WorkloadSpec { documents: n_docs, pages_per_doc: 8, mb_per_doc: 20.0 };
-    // Size the budget at the sim workload's page count: planned costs
-    // afford exactly the configured α = 0.1 — anything the simulation adds
-    // on top (cold starts, stage-in, contention) must come out of quality.
-    let (sim_cheap_s, sim_expensive_s) = planned_costs(engine.config(), sim_workload.pages_per_doc);
+    // First without a budget: the open-loop-α waveless run, where the
+    // persistent session's overlap and cross-epoch warm reuse are visible.
     let sim = SimLoopConfig {
         window: 64,
         nodes: 4,
-        total_budget_seconds: Some(
-            n_docs as f64 * sim_cheap_s + 0.1 * n_docs as f64 * (sim_expensive_s - sim_cheap_s),
-        ),
-        prior_weight: 16.0,
         controller: ControllerConfig { total_workers: 8, patience: 1, ..Default::default() },
         ..Default::default()
     };
     let report = run_closed_loop(engine.config(), &scores, &sim_workload, &sim);
-    println!("\nClosed-loop simulated campaign ({} waves of {} docs on 4 nodes)", report.waves.len(), 64);
     println!(
-        "{:>6} {:>16} {:>15} {:>7} {:>9} {:>11}",
-        "wave", "sim time [s]", "extract/parse", "eff α", "selected", "co-located"
+        "\nWaveless closed-loop simulated campaign ({} epochs of {} docs on 4 nodes)",
+        report.waves.len(),
+        64
+    );
+    println!(
+        "{:>6} {:>16} {:>15} {:>7} {:>9} {:>11} {:>9}",
+        "epoch", "sim time [s]", "extract/parse", "eff α", "selected", "co-located", "warm hits"
     );
     for wave in &report.waves {
         println!(
-            "{:>6} {:>7.1} → {:>6.1} {:>11}/{:<3} {:>7.3} {:>9} {:>11}",
+            "{:>6} {:>7.1} → {:>6.1} {:>11}/{:<3} {:>7.3} {:>9} {:>11} {:>9}",
             wave.wave_index,
             wave.started_at_seconds,
             wave.finished_at_seconds,
@@ -201,7 +259,8 @@ fn main() {
             wave.allocation.parse_workers,
             wave.effective_alpha,
             wave.selected,
-            wave.co_located_pairs
+            wave.co_located_pairs,
+            wave.warm_hits
         );
     }
     println!(
@@ -212,15 +271,54 @@ fn main() {
         report.makespan_seconds,
         report.co_located_pairs
     );
-    if let Some(observed) = &report.final_observed {
+    let executor_report = &report.executor_report;
+    println!(
+        "  critical path {:.1} s, queue wait {:.1} s, {} warm hits / {} cold starts, epochs overlap: {}",
+        executor_report.critical_path_seconds,
+        executor_report.queue_wait_seconds,
+        executor_report.warm_hits,
+        executor_report.cold_starts,
+        report.epochs_overlap()
+    );
+    assert!(report.co_located_pairs > 0, "the closed loop must co-locate pairs");
+    assert!(report.epochs_overlap(), "the waveless loop must overlap decision epochs");
+    assert!(executor_report.warm_hits > 0, "warm pools must persist across epochs");
+    let replay = run_closed_loop(engine.config(), &scores, &sim_workload, &sim);
+    assert_eq!(report, replay, "a closed-loop run must replay bitwise");
+    println!("  replay: identical (closed loop is a pure function of its inputs)");
+
+    // Then with the observed-cost budget ledger in the loop: the plan
+    // affords exactly the configured α = 0.1, but simulated documents also
+    // pay stage-in, cold starts, and contention, so measured costs run hot
+    // and the ledger tightens selection.
+    let (sim_cheap_s, sim_expensive_s) = planned_costs(engine.config(), sim_workload.pages_per_doc);
+    let budgeted_sim = SimLoopConfig {
+        total_budget_seconds: Some(
+            n_docs as f64 * sim_cheap_s + 0.1 * n_docs as f64 * (sim_expensive_s - sim_cheap_s),
+        ),
+        prior_weight: 16.0,
+        ..sim
+    };
+    let budgeted = run_closed_loop(engine.config(), &scores, &sim_workload, &budgeted_sim);
+    println!(
+        "  with budget ledger: {} high-quality ({:.1} %), α trace {}",
+        budgeted.selected,
+        100.0 * budgeted.selected_fraction(),
+        budgeted.waves.iter().map(|w| format!("{:.3}", w.effective_alpha)).collect::<Vec<_>>().join(" → ")
+    );
+    if let Some(observed) = &budgeted.final_observed {
         println!(
             "  observed cost divergence: cheap ×{:.2}, expensive ×{:.2} over plan",
             observed.cheap_divergence(),
             observed.expensive_divergence()
         );
     }
-    assert!(report.co_located_pairs > 0, "the closed loop must co-locate pairs");
-    let replay = run_closed_loop(engine.config(), &scores, &sim_workload, &sim);
-    assert_eq!(report, replay, "a closed-loop run must replay bitwise");
-    println!("  replay: identical (closed loop is a pure function of its inputs)");
+    assert!(
+        budgeted.selected < report.selected,
+        "observed overruns must tighten selection ({} vs {})",
+        budgeted.selected,
+        report.selected
+    );
+    let budgeted_replay = run_closed_loop(engine.config(), &scores, &sim_workload, &budgeted_sim);
+    assert_eq!(budgeted, budgeted_replay, "the budgeted closed loop must replay bitwise too");
 }

@@ -1,88 +1,104 @@
-//! A minimal discrete-event queue.
+//! The discrete-event ready queue.
+//!
+//! [`ReadyQueue`] is the ordering heart of the dependency-aware executor: a
+//! time-ordered min-heap whose ties break by an explicit id (then insertion
+//! order), so the engine's scheduling decisions are bitwise-independent of
+//! the order work was submitted in.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An event scheduled at a simulation time.
+/// An entry of a [`ReadyQueue`]: a payload released at a time, ordered by
+/// `(time, id, insertion order)`.
 #[derive(Debug, Clone)]
-struct Scheduled<T> {
+struct Ready<T> {
     time: f64,
+    id: u64,
     sequence: u64,
     payload: T,
 }
 
-impl<T> PartialEq for Scheduled<T> {
+impl<T> PartialEq for Ready<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.sequence == other.sequence
+        self.time == other.time && self.id == other.id && self.sequence == other.sequence
     }
 }
 
-impl<T> Eq for Scheduled<T> {}
+impl<T> Eq for Ready<T> {}
 
-impl<T> Ord for Scheduled<T> {
+impl<T> Ord for Ready<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we need the earliest
-        // event first; ties break by insertion order for determinism.
+        // Reverse ordering for the max-heap: earliest time first, then the
+        // smallest id, then insertion order (covers duplicate ids).
         other
             .time
             .partial_cmp(&self.time)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
             .then_with(|| other.sequence.cmp(&self.sequence))
     }
 }
 
-impl<T> PartialOrd for Scheduled<T> {
+impl<T> PartialOrd for Ready<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A time-ordered event queue with deterministic FIFO tie-breaking.
+/// A time-ordered queue whose ties break by an explicit id instead of
+/// insertion order — the dependency-aware executor's *ready queue*.
+///
+/// Two tasks becoming ready at the same simulated time are released in task-id
+/// order no matter when (or in what order) they were pushed, which is what
+/// makes DAG schedules independent of task submission order. The same
+/// structure doubles as the executor's free-slot index: keyed by
+/// `(free-at time, slot index)` it always yields the lowest-indexed slot among
+/// the earliest-free ones.
 #[derive(Debug, Clone)]
-pub struct EventQueue<T> {
-    heap: BinaryHeap<Scheduled<T>>,
+pub struct ReadyQueue<T> {
+    heap: BinaryHeap<Ready<T>>,
     sequence: u64,
 }
 
-impl<T> Default for EventQueue<T> {
+impl<T> Default for ReadyQueue<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> EventQueue<T> {
+impl<T> ReadyQueue<T> {
     /// Empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), sequence: 0 }
+        ReadyQueue { heap: BinaryHeap::new(), sequence: 0 }
     }
 
-    /// Schedule a payload at an absolute simulation time.
+    /// Release `payload` at `time`, tie-breaking by `id`.
     ///
     /// # Panics
     ///
     /// Panics if `time` is NaN.
-    pub fn push(&mut self, time: f64, payload: T) {
-        assert!(!time.is_nan(), "event time must not be NaN");
-        self.heap.push(Scheduled { time, sequence: self.sequence, payload });
+    pub fn push(&mut self, time: f64, id: u64, payload: T) {
+        assert!(!time.is_nan(), "ready time must not be NaN");
+        self.heap.push(Ready { time, id, sequence: self.sequence, payload });
         self.sequence += 1;
     }
 
-    /// Pop the earliest event, returning `(time, payload)`.
-    pub fn pop(&mut self) -> Option<(f64, T)> {
-        self.heap.pop().map(|s| (s.time, s.payload))
+    /// Pop the earliest entry as `(time, id, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, u64, T)> {
+        self.heap.pop().map(|r| (r.time, r.id, r.payload))
     }
 
-    /// Time of the next event without removing it.
+    /// Time of the next entry without removing it.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|s| s.time)
+        self.heap.peek().map(|r| r.time)
     }
 
-    /// Number of pending events.
+    /// Number of queued entries.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// Whether the queue has no pending events.
+    /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -93,34 +109,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn events_pop_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(3.0, "c");
-        q.push(1.0, "a");
-        q.push(2.0, "b");
+    fn ready_queue_orders_by_time_then_id_not_insertion() {
+        let mut q = ReadyQueue::new();
+        q.push(2.0, 9, "late");
+        q.push(1.0, 7, "b");
+        q.push(1.0, 3, "a"); // same time, smaller id, inserted later
         assert_eq!(q.peek_time(), Some(1.0));
-        assert_eq!(q.pop(), Some((1.0, "a")));
-        assert_eq!(q.pop(), Some((2.0, "b")));
-        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), Some((1.0, 3, "a")));
+        assert_eq!(q.pop(), Some((1.0, 7, "b")));
+        assert_eq!(q.pop(), Some((2.0, 9, "late")));
         assert_eq!(q.pop(), None);
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.push(5.0, 1);
-        q.push(5.0, 2);
-        q.push(5.0, 3);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+    fn ready_queue_duplicate_ids_fall_back_to_insertion_order() {
+        let mut q = ReadyQueue::new();
+        q.push(1.0, 4, 1);
+        q.push(1.0, 4, 2);
+        assert_eq!(q.pop(), Some((1.0, 4, 1)));
+        assert_eq!(q.pop(), Some((1.0, 4, 2)));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
     }
 
     #[test]
     fn len_and_empty() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q: ReadyQueue<()> = ReadyQueue::new();
         assert!(q.is_empty());
-        q.push(0.0, ());
+        q.push(0.0, 0, ());
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
@@ -128,7 +144,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "NaN")]
-    fn nan_time_panics() {
-        EventQueue::new().push(f64::NAN, ());
+    fn ready_queue_nan_time_panics() {
+        ReadyQueue::new().push(f64::NAN, 0, ());
     }
 }

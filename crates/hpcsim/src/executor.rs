@@ -1,12 +1,22 @@
-//! The Parsl-like workflow executor.
+//! The Parsl-like workflow executor — an event-driven, dependency-aware
+//! discrete-event engine.
 //!
-//! Tasks are dispatched to per-node CPU and GPU worker slots as slots become
-//! free (a deterministic discrete-event simulation over per-slot
-//! availability times). The executor reproduces the orchestration
+//! Tasks carry precedence edges ([`Task::depends_on`]) and are released by a
+//! ready queue only once every dependency has finished; ready tasks are
+//! dispatched to per-node CPU and GPU worker slots in deterministic
+//! `(ready time, task id)` order. The engine is resumable: an
+//! [`ExecutorSession`] keeps slot availability, per-node warm pools, pair
+//! anchors, and the simulated clock alive across [`submit`] batches, so a
+//! closed-loop controller can feed it one decision epoch at a time without
+//! ever barriering the cluster. The executor reproduces the orchestration
 //! optimizations of the paper's §5.2 / §6.1 so they can be ablated:
 //!
-//! * **warm-start workers** — ML model weights persist on a worker across
-//!   task boundaries instead of being reloaded per task,
+//! * **warm pools** — each node keeps a [`WarmPool`] of resident ML model
+//!   weights keyed by the task's model label: reusing a resident model is
+//!   free, loading an absent one pays the cold start, and exceeding the
+//!   configurable pool capacity evicts the least-recently-used model (which
+//!   then re-pays its cold start on return). Zero-cost models never occupy
+//!   capacity,
 //! * **node-local staging** — inputs arrive as aggregated archives instead of
 //!   many small files, removing metadata pressure on the shared filesystem,
 //! * **prefetching** — stage-in of the next batch overlaps with compute,
@@ -17,13 +27,20 @@
 //! * **pair co-scheduling** — the extract and parse tasks of one document
 //!   ([`Task::group`]) prefer the same node: the first member of a group
 //!   anchors it to the node it ran on, and later members find their input
-//!   there rather than where the original plan staged it.
+//!   there rather than where the original plan staged it,
+//! * **dependency edges** — a parse task never starts before its extract
+//!   partner finishes; cycles and dependents of skipped tasks are skipped
+//!   (never deadlocked), and DAG schedules are bitwise-independent of task
+//!   submission order thanks to the `(time, id)` ready-queue tie-break.
+//!
+//! [`submit`]: ExecutorSession::submit
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
-use crate::event::EventQueue;
+use crate::clock::SimClock;
+use crate::event::ReadyQueue;
 use crate::lustre::LustreModel;
 use crate::profiler::GpuTrace;
 use crate::task::{ClusterConfig, GroupRole, SlotKind, Task};
@@ -31,7 +48,9 @@ use crate::task::{ClusterConfig, GroupRole, SlotKind, Task};
 /// Executor options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutorConfig {
-    /// Keep ML models resident on workers across tasks (paper §5.2).
+    /// Keep ML models resident in per-node [`WarmPool`]s across tasks
+    /// (paper §5.2). When disabled every task with a positive cold-start
+    /// cost pays it and the pools are never consulted.
     pub warm_start: bool,
     /// Aggregate inputs into node-local archives (paper §6.1).
     pub node_local_staging: bool,
@@ -44,11 +63,24 @@ pub struct ExecutorConfig {
     /// data-locality penalty for the re-fetch it didn't know it needed;
     /// that is the ablation baseline.
     pub co_schedule_pairs: bool,
+    /// Resident-model capacity of each node's [`WarmPool`]: `None` is
+    /// unbounded (every model loaded on a node stays warm), `Some(k)` keeps
+    /// at most `k` models resident per node with least-recently-used
+    /// eviction, and `Some(0)` disables residency entirely (every task
+    /// re-pays its cold start, but per-model miss counts are still
+    /// reported — unlike `warm_start: false`, which bypasses the pools).
+    pub warm_pool_capacity: Option<usize>,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { warm_start: true, node_local_staging: true, prefetch: true, co_schedule_pairs: true }
+        ExecutorConfig {
+            warm_start: true,
+            node_local_staging: true,
+            prefetch: true,
+            co_schedule_pairs: true,
+            warm_pool_capacity: None,
+        }
     }
 }
 
@@ -88,18 +120,49 @@ impl StageTimings {
         timing.tasks += 1;
         timing.finished_at_seconds = timing.finished_at_seconds.max(end);
     }
+
+    fn absorb(&mut self, other: &StageTimings) {
+        for (mine, theirs) in [(&mut self.extract, &other.extract), (&mut self.parse, &other.parse)] {
+            mine.busy_seconds += theirs.busy_seconds;
+            mine.tasks += theirs.tasks;
+            mine.finished_at_seconds = mine.finished_at_seconds.max(theirs.finished_at_seconds);
+        }
+    }
 }
 
-/// Outcome of a simulated campaign.
+/// Warm-pool counters of one model kind over a batch or campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ModelWarmStats {
+    /// The model key (the scheduled tasks' [`Task::label`]).
+    pub model: String,
+    /// Tasks that found the model resident and ready — no cold start paid.
+    pub hits: usize,
+    /// Tasks that paid the model's cold start (the model was absent, or
+    /// still loading for a concurrently scheduled task).
+    pub misses: usize,
+    /// Times the model was evicted from a node's pool to make room.
+    pub evictions: usize,
+}
+
+/// Outcome of one simulated campaign (or one [`ExecutorSession::submit`]
+/// batch — batch reports carry batch-local sums, with
+/// [`makespan_seconds`](Self::makespan_seconds) as the absolute simulated
+/// time of the batch's last completion).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Number of tasks that ran.
     pub tasks_completed: usize,
-    /// Number of tasks that could not run (no slot of the required kind).
+    /// Number of tasks that could not run: no slot of the required kind, a
+    /// dependency cycle, or a dependency that was itself skipped.
     pub tasks_skipped: usize,
-    /// Wall-clock length of the campaign in seconds.
+    /// Simulated time of the last completion (campaign wall-clock length
+    /// when the session started at time zero). For a later
+    /// [`ExecutorSession::submit`] batch this is the *absolute* session
+    /// time of the batch's last completion, not the batch's span.
     pub makespan_seconds: f64,
-    /// Completed tasks per second.
+    /// Completed tasks per second over the report's own span: first task
+    /// start to last completion (zero to makespan for a whole campaign or
+    /// a fresh session's first batch).
     pub throughput_per_second: f64,
     /// Total busy CPU-slot seconds.
     pub cpu_busy_seconds: f64,
@@ -125,6 +188,25 @@ pub struct CampaignReport {
     /// Task pairs whose members were split across nodes (each later member
     /// paid the data-locality penalty to re-fetch its partner's output).
     pub split_pairs: usize,
+    /// Length of the longest dependency chain, weighted by slot-busy
+    /// seconds: the lower bound on the makespan with unlimited slots. With
+    /// no dependency edges this is simply the longest single task.
+    pub critical_path_seconds: f64,
+    /// Seconds tasks spent *ready but waiting for a slot*, summed over
+    /// tasks: the slot-contention (not dependency-stall) share of latency.
+    /// A task's wait is measured from when it could first have existed —
+    /// the later of its dependencies' finish and its batch's submission
+    /// time (the session clock when [`submit`](ExecutorSession::submit)
+    /// was called) — so a later batch is never charged for the session
+    /// time that elapsed before it was submitted.
+    pub queue_wait_seconds: f64,
+    /// Warm-pool hits: tasks that reused resident model weights for free.
+    pub warm_hits: usize,
+    /// Models evicted from per-node warm pools to make room.
+    pub warm_evictions: usize,
+    /// Per-model warm-pool counters, sorted by model key. Empty when
+    /// [`ExecutorConfig::warm_start`] is off (the pools are bypassed).
+    pub warm_models: Vec<ModelWarmStats>,
     /// Per-stage busy-time breakdown of the grouped tasks — the wave stage
     /// timings the resource-scaling controller consumes under simulated
     /// time.
@@ -134,10 +216,199 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Mean GPU utilization over the campaign.
+    fn blank(gpus: usize) -> Self {
+        CampaignReport {
+            tasks_completed: 0,
+            tasks_skipped: 0,
+            makespan_seconds: 0.0,
+            throughput_per_second: 0.0,
+            cpu_busy_seconds: 0.0,
+            gpu_busy_seconds: 0.0,
+            stage_in_seconds: 0.0,
+            cold_starts: 0,
+            non_local_tasks: 0,
+            locality_penalty_seconds: 0.0,
+            co_located_pairs: 0,
+            split_pairs: 0,
+            critical_path_seconds: 0.0,
+            queue_wait_seconds: 0.0,
+            warm_hits: 0,
+            warm_evictions: 0,
+            warm_models: Vec::new(),
+            stage_timings: StageTimings::default(),
+            gpu_trace: GpuTrace::new(gpus),
+        }
+    }
+
+    /// Mean GPU utilization over `[0, makespan]`. Meaningful for whole
+    /// campaigns and cumulative session reports; for a later batch report
+    /// the horizon includes session time before the batch began, deflating
+    /// the figure — use the cumulative [`ExecutorSession::report`] instead.
     pub fn mean_gpu_utilization(&self) -> f64 {
         self.gpu_trace.mean_utilization(self.makespan_seconds)
     }
+}
+
+/// Outcome of a [`WarmPool::acquire`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarmAccess {
+    /// The model was resident and its weights were ready: the cold start is
+    /// free. Zero-cost models always hit (they have nothing to load and
+    /// never occupy pool capacity).
+    Hit,
+    /// The model is resident but its weights were still loading for an
+    /// earlier-scheduled task when this one started, so this task pays the
+    /// cold start too (and may pull the load-finish time earlier).
+    Loading,
+    /// The model was absent: the task pays the cold start and the model
+    /// becomes resident, evicting the least-recently-used model when the
+    /// pool is over capacity (`evicted` names it).
+    Miss {
+        /// Model key evicted to make room, if the pool was at capacity.
+        evicted: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    model: String,
+    /// Simulated time the model's weights finish loading; tasks starting
+    /// earlier must pay the cold start themselves.
+    loaded_at_seconds: f64,
+    last_use: u64,
+}
+
+/// A node's pool of resident ML model weights, keyed by model label.
+///
+/// Reusing a resident model is free; loading an absent one pays the task's
+/// cold start; exceeding the pool capacity evicts the least-recently-used
+/// model, which re-pays its cold start if it ever returns. Models with a
+/// zero cold-start cost are always warm and never occupy capacity — there
+/// are no weights to keep resident.
+///
+/// # Example
+///
+/// ```
+/// use hpcsim::{WarmAccess, WarmPool};
+///
+/// let mut pool = WarmPool::new(Some(1));
+/// // First Nougat task loads the weights (15 s), finishing at t = 15.
+/// assert_eq!(pool.acquire("Nougat", 15.0, 0.0), WarmAccess::Miss { evicted: None });
+/// // A task starting after the load reuses them for free.
+/// assert_eq!(pool.acquire("Nougat", 15.0, 20.0), WarmAccess::Hit);
+/// // A different model evicts Nougat from the capacity-1 pool.
+/// assert_eq!(
+///     pool.acquire("Marker", 12.0, 30.0),
+///     WarmAccess::Miss { evicted: Some("Nougat".to_string()) }
+/// );
+/// // Zero-cost models are always warm and never occupy capacity.
+/// assert_eq!(pool.acquire("PyMuPDF", 0.0, 0.0), WarmAccess::Hit);
+/// assert!(pool.is_resident("Marker"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WarmPool {
+    capacity: Option<usize>,
+    resident: Vec<Resident>,
+    access_sequence: u64,
+}
+
+impl WarmPool {
+    /// A pool holding at most `capacity` resident models (`None` is
+    /// unbounded).
+    pub fn new(capacity: Option<usize>) -> Self {
+        WarmPool { capacity, resident: Vec::new(), access_sequence: 0 }
+    }
+
+    /// Number of models currently resident.
+    pub fn resident_models(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether `model` is currently resident (loading counts as resident).
+    pub fn is_resident(&self, model: &str) -> bool {
+        self.resident.iter().any(|r| r.model == model)
+    }
+
+    /// Request `model` for a task starting at `start_seconds` whose cold
+    /// start costs `cold_start_seconds`. Updates residency and returns what
+    /// the task pays: on [`WarmAccess::Hit`] nothing, otherwise the cold
+    /// start. Zero-cost models always hit without touching the pool.
+    ///
+    /// Pool state evolves in *call* order (the executor's schedule order),
+    /// which need not be monotone in `start_seconds`: a task acquired
+    /// earlier but starting later is charged against the load-finish time
+    /// known at acquire time, even if a later acquire's concurrent load
+    /// would have made the weights resident sooner. The accounting is
+    /// therefore conservative (never undercounts cold starts) and fully
+    /// deterministic.
+    pub fn acquire(&mut self, model: &str, cold_start_seconds: f64, start_seconds: f64) -> WarmAccess {
+        if cold_start_seconds <= 0.0 {
+            return WarmAccess::Hit;
+        }
+        self.access_sequence += 1;
+        let sequence = self.access_sequence;
+        if let Some(entry) = self.resident.iter_mut().find(|r| r.model == model) {
+            entry.last_use = sequence;
+            if start_seconds >= entry.loaded_at_seconds {
+                return WarmAccess::Hit;
+            }
+            // Still loading for an earlier-scheduled task: this one loads
+            // concurrently and the weights are ready at the earlier finish.
+            entry.loaded_at_seconds = entry.loaded_at_seconds.min(start_seconds + cold_start_seconds);
+            return WarmAccess::Loading;
+        }
+        if self.capacity == Some(0) {
+            return WarmAccess::Miss { evicted: None };
+        }
+        let evicted = if self.capacity.is_some_and(|cap| self.resident.len() >= cap) {
+            let lru = self
+                .resident
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.last_use)
+                .map(|(index, _)| index)
+                .expect("pool at positive capacity is non-empty");
+            Some(self.resident.swap_remove(lru).model)
+        } else {
+            None
+        };
+        self.resident.push(Resident {
+            model: model.to_string(),
+            loaded_at_seconds: start_seconds + cold_start_seconds,
+            last_use: sequence,
+        });
+        WarmAccess::Miss { evicted }
+    }
+}
+
+/// One scheduled task as placed by an [`ExecutorSession`], in schedule
+/// order. This is the ground truth dependency tests assert against: a
+/// task's [`start_seconds`](Self::start_seconds) is never earlier than any
+/// of its dependencies' [`finish_seconds`](Self::finish_seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledTask {
+    /// The task's id.
+    pub id: u64,
+    /// The task's model label.
+    pub label: String,
+    /// Slot kind the task ran on.
+    pub kind: SlotKind,
+    /// Node the task ran on.
+    pub node: usize,
+    /// Simulated time the task's dependencies were all satisfied — zero
+    /// for a dependency-free task, *regardless of when its batch was
+    /// submitted*. This is the raw release time, so for a later batch it
+    /// can precede both the batch's submission and the task's start;
+    /// [`CampaignReport::queue_wait_seconds`] floors its wait baseline at
+    /// the batch submission clock, so `start_seconds - ready_seconds`
+    /// deliberately does not reproduce that figure.
+    pub ready_seconds: f64,
+    /// Simulated time the task started.
+    pub start_seconds: f64,
+    /// Simulated time the task finished.
+    pub finish_seconds: f64,
+    /// Cold-start seconds this task paid (zero on a warm hit).
+    pub cold_start_paid_seconds: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -147,7 +418,12 @@ struct Slot {
     /// filesystem's data-locality penalty when scheduled here.
     node: usize,
     gpu_index: Option<usize>,
-    warm: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Finished {
+    finish_seconds: f64,
+    critical_path_seconds: f64,
 }
 
 /// The workflow executor.
@@ -167,47 +443,208 @@ impl WorkflowExecutor {
         self.config
     }
 
-    /// Run a campaign: dispatch every task to the slot of its kind that
-    /// finishes it earliest — a slot's availability time plus the *marginal*
-    /// completion-time cost of the data-locality penalty the task would pay
-    /// there (zero on its preferred node; elsewhere a [`LustreModel`]
-    /// re-fetch, which prefetch can partly or fully hide under compute) —
-    /// and report aggregate statistics. Ties prefer the task's own node
-    /// (even a latency-free re-fetch burns shared-filesystem bandwidth),
-    /// then the lowest slot index, so scheduling is fully deterministic;
-    /// tasks without a preferred node see the classic
-    /// earliest-available-slot policy.
+    /// Open a resumable session on `cluster`: slots start free at simulated
+    /// time zero and warm pools start empty. Feed it batches via
+    /// [`ExecutorSession::submit`]; slot availability, warm-pool residency,
+    /// pair anchors, and completed-task finish times persist between
+    /// batches, which is what lets a closed-loop controller interleave
+    /// decisions with execution without barriering the cluster.
+    pub fn session(&self, cluster: &ClusterConfig) -> ExecutorSession {
+        ExecutorSession::new(self.config, cluster)
+    }
+
+    /// Run a whole campaign in one fresh session and report aggregate
+    /// statistics. Scheduling policy: tasks are released in
+    /// `(ready time, task id)` order and each is dispatched to the slot of
+    /// its kind that starts it earliest — a slot's availability plus the
+    /// *marginal* completion-time cost of the data-locality penalty the
+    /// task would pay there (zero on its preferred node; elsewhere a
+    /// [`LustreModel`] re-fetch, which prefetch can partly or fully hide
+    /// under compute). Ties prefer the task's own node (even a latency-free
+    /// re-fetch burns shared-filesystem bandwidth), then the
+    /// longest-idle slot, then the lowest slot index, so scheduling is
+    /// fully deterministic; tasks without dependencies or a preferred node
+    /// see the classic earliest-available-slot policy.
     pub fn run(&self, tasks: &[Task], cluster: &ClusterConfig, filesystem: &LustreModel) -> CampaignReport {
+        let mut session = self.session(cluster);
+        session.submit(tasks, filesystem)
+    }
+}
+
+/// A resumable executor run: the cluster's slots, warm pools, pair anchors,
+/// and clock, persisting across [`submit`](Self::submit) batches. Created by
+/// [`WorkflowExecutor::session`].
+#[derive(Debug, Clone)]
+pub struct ExecutorSession {
+    config: ExecutorConfig,
+    cluster: ClusterConfig,
+    slots: Vec<Slot>,
+    cpu_slots: Vec<usize>,
+    gpu_slots: Vec<usize>,
+    free_at: Vec<f64>,
+    /// One warm pool per node.
+    pools: Vec<WarmPool>,
+    /// Node each task group is anchored to: the first member of a group to
+    /// be scheduled leaves its output there, and that is where later
+    /// members of the same group find their input.
+    group_nodes: HashMap<u64, usize>,
+    /// Finish time and critical path of every completed task, so precedence
+    /// edges may span submit batches.
+    completed: HashMap<u64, Finished>,
+    schedule: Vec<ScheduledTask>,
+    clock: SimClock,
+    cumulative: CampaignReport,
+    warm_stats: BTreeMap<String, ModelWarmStats>,
+    /// Ids of tasks skipped in any batch (no slot, cycle, or poisoned
+    /// dependency), so dependents submitted in *later* batches are skipped
+    /// too — the skip cascade spans batch boundaries, like the completion
+    /// map does.
+    skipped: HashSet<u64>,
+    gpu_count: usize,
+}
+
+impl ExecutorSession {
+    fn new(config: ExecutorConfig, cluster: &ClusterConfig) -> Self {
         let mut slots = Vec::new();
         let mut gpu_count = 0usize;
         for node in 0..cluster.nodes {
             for _ in 0..cluster.cpu_slots_per_node {
-                slots.push(Slot { kind: SlotKind::Cpu, node, gpu_index: None, warm: false });
+                slots.push(Slot { kind: SlotKind::Cpu, node, gpu_index: None });
             }
             for _ in 0..cluster.gpu_slots_per_node {
-                slots.push(Slot { kind: SlotKind::Gpu, node, gpu_index: Some(gpu_count), warm: false });
+                slots.push(Slot { kind: SlotKind::Gpu, node, gpu_index: Some(gpu_count) });
                 gpu_count += 1;
             }
         }
-        let mut gpu_trace = GpuTrace::new(gpu_count);
+        let cpu_slots = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Cpu).collect();
+        let gpu_slots = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Gpu).collect();
+        let free_at = vec![0.0f64; slots.len()];
+        let pools = (0..cluster.nodes).map(|_| WarmPool::new(config.warm_pool_capacity)).collect();
+        ExecutorSession {
+            config,
+            cluster: *cluster,
+            slots,
+            cpu_slots,
+            gpu_slots,
+            free_at,
+            pools,
+            group_nodes: HashMap::new(),
+            completed: HashMap::new(),
+            schedule: Vec::new(),
+            clock: SimClock::new(),
+            cumulative: CampaignReport::blank(gpu_count),
+            warm_stats: BTreeMap::new(),
+            skipped: HashSet::new(),
+            gpu_count,
+        }
+    }
 
-        // Slot indices per kind (scan candidates in index order so the
-        // strict `<` comparison below tie-breaks toward the lowest index)
-        // and the time each slot becomes free again.
-        let cpu_slots: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Cpu).collect();
-        let gpu_slots: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Gpu).collect();
-        let mut free_at = vec![0.0f64; slots.len()];
+    /// The session's simulated time: the latest completion seen so far.
+    pub fn now_seconds(&self) -> f64 {
+        self.clock.now_seconds()
+    }
 
-        // Affinity-oblivious campaigns (no task carries a preferred node or
-        // a pair hint) pay no penalty anywhere, so earliest-free is optimal
-        // and a per-kind event queue replaces the O(slots) scan per task.
-        let mut queues = if tasks.iter().all(|t| t.preferred_node.is_none() && t.group.is_none()) {
-            let mut free_cpu = EventQueue::new();
-            let mut free_gpu = EventQueue::new();
-            for (index, slot) in slots.iter().enumerate() {
+    /// Every task scheduled so far, in schedule order (ready-queue pop
+    /// order), across all submitted batches.
+    pub fn schedule(&self) -> &[ScheduledTask] {
+        &self.schedule
+    }
+
+    /// The session-cumulative report over every batch submitted so far.
+    pub fn report(&self) -> CampaignReport {
+        let mut report = self.cumulative.clone();
+        report.throughput_per_second = if report.makespan_seconds > 0.0 {
+            report.tasks_completed as f64 / report.makespan_seconds
+        } else {
+            0.0
+        };
+        report.warm_models = self.warm_stats.values().cloned().collect();
+        report
+    }
+
+    /// Submit a batch of tasks and simulate until all of them (and nothing
+    /// else — there is nothing else pending between calls) have completed,
+    /// returning the batch-local report. The batch schedules against the
+    /// session's *persistent* state: slots already busy from earlier
+    /// batches delay it, earlier batches' warm models are still resident,
+    /// and new tasks may start earlier than a previous batch's last
+    /// completion whenever a slot is free — submitting window i+1 after
+    /// observing window i does not barrier the cluster.
+    ///
+    /// Dependency edges may point at tasks completed in earlier batches
+    /// (satisfied at their recorded finish time) or at ids this session has
+    /// never seen (vacuously satisfied at time zero). Tasks in a dependency
+    /// cycle, tasks whose slot kind has no slots, and dependents of skipped
+    /// tasks — whether the dependency was skipped in this batch or any
+    /// earlier one — are counted in
+    /// [`tasks_skipped`](CampaignReport::tasks_skipped).
+    pub fn submit(&mut self, tasks: &[Task], filesystem: &LustreModel) -> CampaignReport {
+        // Queue-wait baseline: a task in this batch cannot have existed
+        // before the batch was submitted (= the session clock, the previous
+        // batch's makespan), so waiting is only charged from there — zero
+        // for the session's first batch, preserving one-shot `run`
+        // semantics. Start times themselves stay unclamped: a batch may
+        // still *run* on slots that freed before it was submitted (the
+        // waveless overlap), it just never queued for them.
+        let batch_floor = self.clock.now_seconds();
+        let mut report = CampaignReport::blank(self.gpu_count);
+        let mut batch_trace = GpuTrace::new(self.gpu_count);
+        let mut batch_warm: BTreeMap<String, ModelWarmStats> = BTreeMap::new();
+
+        // --- Dependency graph over the batch. ---
+        let mut by_id: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (index, task) in tasks.iter().enumerate() {
+            by_id.entry(task.id).or_default().push(index);
+        }
+        let n = tasks.len();
+        let mut remaining = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Per-task release time (max dependency finish) and inherited
+        // critical-path length, grown as dependencies complete.
+        let mut ready_time = vec![0.0f64; n];
+        let mut chain = vec![0.0f64; n];
+        let mut poisoned = vec![false; n];
+        for (index, task) in tasks.iter().enumerate() {
+            for dep in &task.depends_on {
+                if let Some(instances) = by_id.get(dep) {
+                    // In-batch dependency (a self-edge joins the cycle
+                    // leftovers: its count never drains).
+                    for &instance in instances {
+                        remaining[index] += 1;
+                        dependents[instance].push(index);
+                    }
+                } else if let Some(done) = self.completed.get(dep) {
+                    ready_time[index] = ready_time[index].max(done.finish_seconds);
+                    chain[index] = chain[index].max(done.critical_path_seconds);
+                } else if self.skipped.contains(dep) {
+                    // The dependency was skipped in an earlier batch: its
+                    // output never materialized, so this task is skipped
+                    // too (same cascade as within a batch).
+                    poisoned[index] = true;
+                }
+                // Unknown ids are vacuously satisfied at time zero.
+            }
+        }
+
+        let mut ready: ReadyQueue<usize> = ReadyQueue::new();
+        for (index, task) in tasks.iter().enumerate() {
+            if remaining[index] == 0 {
+                ready.push(ready_time[index], task.id, index);
+            }
+        }
+
+        // Affinity-and-pair-oblivious batches pay no locality penalty
+        // anywhere, so the canonical slot choice (earliest start, then
+        // longest-idle, then lowest index) reduces to popping a per-kind
+        // `(free-at, slot index)` heap — replacing the O(slots) scan.
+        let oblivious = tasks.iter().all(|t| t.preferred_node.is_none() && t.group.is_none());
+        let mut slot_queues = if oblivious {
+            let mut free_cpu = ReadyQueue::new();
+            let mut free_gpu = ReadyQueue::new();
+            for (index, slot) in self.slots.iter().enumerate() {
                 match slot.kind {
-                    SlotKind::Cpu => free_cpu.push(0.0, index),
-                    SlotKind::Gpu => free_gpu.push(0.0, index),
+                    SlotKind::Cpu => free_cpu.push(self.free_at[index], index as u64, index),
+                    SlotKind::Gpu => free_gpu.push(self.free_at[index], index as u64, index),
                 }
             }
             Some((free_cpu, free_gpu))
@@ -215,41 +652,33 @@ impl WorkflowExecutor {
             None
         };
 
-        let mut report = CampaignReport {
-            tasks_completed: 0,
-            tasks_skipped: 0,
-            makespan_seconds: 0.0,
-            throughput_per_second: 0.0,
-            cpu_busy_seconds: 0.0,
-            gpu_busy_seconds: 0.0,
-            stage_in_seconds: 0.0,
-            cold_starts: 0,
-            non_local_tasks: 0,
-            locality_penalty_seconds: 0.0,
-            co_located_pairs: 0,
-            split_pairs: 0,
-            stage_timings: StageTimings::default(),
-            gpu_trace: GpuTrace::new(gpu_count),
-        };
-
-        // Node each task group is anchored to: the first member of a group
-        // to be scheduled leaves its output there, and that is where later
-        // members of the same group find their input.
-        let mut group_nodes: HashMap<u64, usize> = HashMap::new();
-
         // In steady state every node stages data concurrently; that is the
         // contention level the shared filesystem sees.
-        let staging_concurrency = cluster.nodes;
+        let staging_concurrency = self.cluster.nodes;
+        let mut handled = 0usize;
+        let mut batch_first_start = f64::INFINITY;
 
-        for task in tasks {
+        while let Some((time, _, index)) = ready.pop() {
+            handled += 1;
+            let task = &tasks[index];
             let candidates = match task.slot {
-                SlotKind::Cpu => &cpu_slots,
-                SlotKind::Gpu => &gpu_slots,
+                SlotKind::Cpu => &self.cpu_slots,
+                SlotKind::Gpu => &self.gpu_slots,
             };
-            if candidates.is_empty() {
+            if poisoned[index] || candidates.is_empty() {
                 report.tasks_skipped += 1;
+                self.skipped.insert(task.id);
+                // Dependents of a skipped task can never find their input.
+                for dependent in std::mem::take(&mut dependents[index]) {
+                    poisoned[dependent] = true;
+                    remaining[dependent] -= 1;
+                    if remaining[dependent] == 0 {
+                        ready.push(ready_time[dependent].max(time), tasks[dependent].id, dependent);
+                    }
+                }
                 continue;
             }
+
             let base_stage_in = filesystem.stage_in_seconds(
                 task.input_mb,
                 task.input_files,
@@ -262,16 +691,16 @@ impl WorkflowExecutor {
             // plan staged it. `believed_node` is what the *scheduler* acts
             // on — with co-scheduling disabled it naively trusts the static
             // plan and only discovers the re-fetch at accounting time.
-            let anchor = task.group.as_ref().and_then(|g| group_nodes.get(&g.id).copied());
+            let anchor = task.group.as_ref().and_then(|g| self.group_nodes.get(&g.id).copied());
             let data_node = anchor.or(task.preferred_node);
             let believed_node = if self.config.co_schedule_pairs { data_node } else { task.preferred_node };
-            let (slot_index, penalty) = if let Some((free_cpu, free_gpu)) = &mut queues {
+            let (slot_index, penalty) = if let Some((free_cpu, free_gpu)) = &mut slot_queues {
                 let queue = match task.slot {
                     SlotKind::Cpu => free_cpu,
                     SlotKind::Gpu => free_gpu,
                 };
-                let (_, index) = queue.pop().expect("candidates is non-empty, so the queue is too");
-                (index, 0.0)
+                let (_, _, slot) = queue.pop().expect("candidates is non-empty, so the queue is too");
+                (slot, 0.0)
             } else {
                 let off_node_penalty = match data_node {
                     Some(_) => filesystem.locality_penalty_seconds(task.input_mb, staging_concurrency),
@@ -286,18 +715,22 @@ impl WorkflowExecutor {
                 } else {
                     off_node_penalty
                 };
-                // Pick the slot finishing the task earliest; ties prefer the
-                // task's own node (a free local slot always beats an equally
-                // free remote one, even when prefetch makes the re-fetch
-                // latency-free — it still burns shared-filesystem bandwidth),
-                // then the lowest slot index. Fully deterministic.
+                // Pick the slot starting the task earliest (its free time or
+                // the task's ready time, whichever is later, plus the
+                // marginal penalty off-node); ties prefer the task's own
+                // node (a free local slot always beats an equally free
+                // remote one, even when prefetch makes the re-fetch
+                // latency-free — it still burns shared-filesystem
+                // bandwidth), then the longest-idle slot, then the lowest
+                // slot index. Fully deterministic.
                 let is_local = |slot: &Slot| match believed_node {
                     Some(node) => slot.node == node,
                     None => true,
                 };
-                let key_for = |index: usize| {
-                    let local = is_local(&slots[index]);
-                    (free_at[index] + if local { 0.0 } else { marginal_penalty }, !local)
+                let key_for = |slot: usize| {
+                    let local = is_local(&self.slots[slot]);
+                    let start = self.free_at[slot].max(time);
+                    (start + if local { 0.0 } else { marginal_penalty }, !local, self.free_at[slot])
                 };
                 let mut slot_index = candidates[0];
                 let mut best_key = key_for(slot_index);
@@ -313,7 +746,7 @@ impl WorkflowExecutor {
                 // ignored the pair anchor still re-fetches from the shared
                 // filesystem when the data is elsewhere.
                 let paid = match data_node {
-                    Some(node) if slots[slot_index].node != node => off_node_penalty,
+                    Some(node) if self.slots[slot_index].node != node => off_node_penalty,
                     _ => 0.0,
                 };
                 (slot_index, paid)
@@ -321,48 +754,80 @@ impl WorkflowExecutor {
             // Anchor bookkeeping: the first member of a group claims the
             // node; later members are counted as co-located or split.
             if let Some(group) = &task.group {
-                match group_nodes.get(&group.id) {
+                match self.group_nodes.get(&group.id) {
                     None => {
-                        group_nodes.insert(group.id, slots[slot_index].node);
+                        self.group_nodes.insert(group.id, self.slots[slot_index].node);
                     }
-                    Some(&node) if node == slots[slot_index].node => report.co_located_pairs += 1,
+                    Some(&node) if node == self.slots[slot_index].node => report.co_located_pairs += 1,
                     Some(_) => report.split_pairs += 1,
                 }
             }
-            let slot = &mut slots[slot_index];
             if penalty > 0.0 {
                 report.non_local_tasks += 1;
                 report.locality_penalty_seconds += penalty;
             }
 
-            let stage_in = base_stage_in + penalty;
-            let cold = if slot.warm { 0.0 } else { task.cold_start_seconds };
+            let start = self.free_at[slot_index].max(time);
+            batch_first_start = batch_first_start.min(start);
+            let node = self.slots[slot_index].node;
+            // Warm pools: resident models are free, absent or still-loading
+            // ones pay the cold start; zero-cost models bypass the pool
+            // entirely (nothing to load, no capacity occupied, no stats).
+            let cold = if task.cold_start_seconds <= 0.0 {
+                0.0
+            } else if !self.config.warm_start {
+                task.cold_start_seconds
+            } else {
+                let stats = batch_warm
+                    .entry(task.label.clone())
+                    .or_insert_with(|| ModelWarmStats { model: task.label.clone(), ..Default::default() });
+                match self.pools[node].acquire(&task.label, task.cold_start_seconds, start) {
+                    WarmAccess::Hit => {
+                        stats.hits += 1;
+                        report.warm_hits += 1;
+                        0.0
+                    }
+                    WarmAccess::Loading => {
+                        stats.misses += 1;
+                        task.cold_start_seconds
+                    }
+                    WarmAccess::Miss { evicted } => {
+                        stats.misses += 1;
+                        if let Some(victim) = evicted {
+                            report.warm_evictions += 1;
+                            batch_warm
+                                .entry(victim.clone())
+                                .or_insert_with(|| ModelWarmStats { model: victim, ..Default::default() })
+                                .evictions += 1;
+                        }
+                        task.cold_start_seconds
+                    }
+                }
+            };
             if cold > 0.0 {
                 report.cold_starts += 1;
-            }
-            if self.config.warm_start && task.cold_start_seconds > 0.0 {
-                slot.warm = true;
             }
 
             // Prefetching overlaps stage-in with compute; otherwise they are
             // serial. Model loading can never be overlapped.
+            let stage_in = base_stage_in + penalty;
             let busy = if self.config.prefetch {
                 cold + task.compute_seconds.max(stage_in)
             } else {
                 cold + stage_in + task.compute_seconds
             };
-            let start = free_at[slot_index];
             let end = start + busy;
             report.stage_in_seconds += stage_in;
-            match slot.kind {
+            report.queue_wait_seconds += (start - time.max(batch_floor)).max(0.0);
+            match self.slots[slot_index].kind {
                 SlotKind::Cpu => report.cpu_busy_seconds += busy,
                 SlotKind::Gpu => {
                     report.gpu_busy_seconds += busy;
-                    if let Some(gpu) = slot.gpu_index {
+                    if let Some(gpu) = self.slots[slot_index].gpu_index {
                         if cold > 0.0 {
-                            gpu_trace.record(gpu, start, start + cold, true);
+                            batch_trace.record(gpu, start, start + cold, true);
                         }
-                        gpu_trace.record(gpu, start + cold, end, false);
+                        batch_trace.record(gpu, start + cold, end, false);
                     }
                 }
             }
@@ -371,22 +836,99 @@ impl WorkflowExecutor {
             }
             report.tasks_completed += 1;
             report.makespan_seconds = report.makespan_seconds.max(end);
-            free_at[slot_index] = end;
-            if let Some((free_cpu, free_gpu)) = &mut queues {
+            let critical_path = chain[index] + busy;
+            report.critical_path_seconds = report.critical_path_seconds.max(critical_path);
+            self.free_at[slot_index] = end;
+            if let Some((free_cpu, free_gpu)) = &mut slot_queues {
                 match task.slot {
-                    SlotKind::Cpu => free_cpu.push(end, slot_index),
-                    SlotKind::Gpu => free_gpu.push(end, slot_index),
+                    SlotKind::Cpu => free_cpu.push(end, slot_index as u64, slot_index),
+                    SlotKind::Gpu => free_gpu.push(end, slot_index as u64, slot_index),
+                }
+            }
+            self.completed
+                .insert(task.id, Finished { finish_seconds: end, critical_path_seconds: critical_path });
+            self.schedule.push(ScheduledTask {
+                id: task.id,
+                label: task.label.clone(),
+                kind: task.slot,
+                node,
+                ready_seconds: time,
+                start_seconds: start,
+                finish_seconds: end,
+                cold_start_paid_seconds: cold,
+            });
+            // Release dependents whose last dependency just finished.
+            for dependent in std::mem::take(&mut dependents[index]) {
+                ready_time[dependent] = ready_time[dependent].max(end);
+                chain[dependent] = chain[dependent].max(critical_path);
+                remaining[dependent] -= 1;
+                if remaining[dependent] == 0 {
+                    ready.push(ready_time[dependent], tasks[dependent].id, dependent);
                 }
             }
         }
+        // Tasks never released: dependency cycles (including self-edges).
+        // They count as skipped, and — like every other skip — poison their
+        // dependents in later batches.
+        if handled < n {
+            for (index, task) in tasks.iter().enumerate() {
+                if remaining[index] > 0 {
+                    self.skipped.insert(task.id);
+                }
+            }
+            report.tasks_skipped += n - handled;
+        }
 
-        report.gpu_trace = gpu_trace;
-        report.throughput_per_second = if report.makespan_seconds > 0.0 {
-            report.tasks_completed as f64 / report.makespan_seconds
-        } else {
-            0.0
-        };
+        // A batch that completed nothing (every task skipped, or no tasks
+        // at all) ends where the session already was — `makespan_seconds`
+        // is documented as absolute session time, never the blank report's
+        // t = 0, which for a later batch would precede its own submission.
+        if report.tasks_completed == 0 {
+            report.makespan_seconds = batch_floor;
+        }
+
+        // Batch throughput is measured over the batch's own span (first
+        // start to last finish); for the first batch of a session that span
+        // starts at zero, matching the one-shot `run` semantics.
+        let batch_span = report.makespan_seconds - batch_first_start.min(report.makespan_seconds);
+        report.throughput_per_second =
+            if batch_span > 0.0 { report.tasks_completed as f64 / batch_span } else { 0.0 };
+        report.gpu_trace = batch_trace;
+        report.warm_models = batch_warm.values().cloned().collect();
+        self.absorb(&report, &batch_warm);
         report
+    }
+
+    /// Fold a batch report into the session-cumulative one.
+    fn absorb(&mut self, batch: &CampaignReport, batch_warm: &BTreeMap<String, ModelWarmStats>) {
+        let total = &mut self.cumulative;
+        total.tasks_completed += batch.tasks_completed;
+        total.tasks_skipped += batch.tasks_skipped;
+        total.makespan_seconds = total.makespan_seconds.max(batch.makespan_seconds);
+        total.cpu_busy_seconds += batch.cpu_busy_seconds;
+        total.gpu_busy_seconds += batch.gpu_busy_seconds;
+        total.stage_in_seconds += batch.stage_in_seconds;
+        total.cold_starts += batch.cold_starts;
+        total.non_local_tasks += batch.non_local_tasks;
+        total.locality_penalty_seconds += batch.locality_penalty_seconds;
+        total.co_located_pairs += batch.co_located_pairs;
+        total.split_pairs += batch.split_pairs;
+        total.critical_path_seconds = total.critical_path_seconds.max(batch.critical_path_seconds);
+        total.queue_wait_seconds += batch.queue_wait_seconds;
+        total.warm_hits += batch.warm_hits;
+        total.warm_evictions += batch.warm_evictions;
+        total.stage_timings.absorb(&batch.stage_timings);
+        total.gpu_trace.merge(&batch.gpu_trace);
+        for (model, stats) in batch_warm {
+            let entry = self
+                .warm_stats
+                .entry(model.clone())
+                .or_insert_with(|| ModelWarmStats { model: model.clone(), ..Default::default() });
+            entry.hits += stats.hits;
+            entry.misses += stats.misses;
+            entry.evictions += stats.evictions;
+        }
+        self.clock.advance_to(batch.makespan_seconds);
     }
 }
 
@@ -415,6 +957,10 @@ mod tests {
         assert_eq!(report.tasks_skipped, 0);
         assert!(report.throughput_per_second > 0.0);
         assert!(report.makespan_seconds > 0.0);
+        // Order-free tasks never wait on dependencies, so the critical path
+        // is one task's busy time and queue waits cover the rest.
+        assert!(report.critical_path_seconds < report.makespan_seconds);
+        assert!(report.queue_wait_seconds > 0.0);
     }
 
     #[test]
@@ -433,7 +979,7 @@ mod tests {
     }
 
     #[test]
-    fn warm_start_pays_the_model_load_once_per_worker() {
+    fn warm_start_pays_the_model_load_once_per_concurrent_loader() {
         let tasks = gpu_tasks(40, 2.0, 15.0);
         let cluster = ClusterConfig::polaris(1);
         let fs = LustreModel::default();
@@ -441,10 +987,89 @@ mod tests {
             .run(&tasks, &cluster, &fs);
         let cold = WorkflowExecutor::new(ExecutorConfig { warm_start: false, ..Default::default() })
             .run(&tasks, &cluster, &fs);
+        // All four GPU slots start a task at t = 0, before any load finishes,
+        // so each pays the cold start; every later task reuses the weights.
         assert_eq!(warm.cold_starts, cluster.gpu_slots_per_node);
+        assert_eq!(warm.warm_hits, 40 - cluster.gpu_slots_per_node);
+        assert_eq!(warm.warm_evictions, 0);
+        assert_eq!(warm.warm_models.len(), 1);
+        assert_eq!(warm.warm_models[0].misses, warm.cold_starts);
         assert_eq!(cold.cold_starts, 40);
+        assert!(cold.warm_models.is_empty(), "warm_start: false bypasses the pools");
         assert!(warm.makespan_seconds < cold.makespan_seconds);
         assert!(warm.throughput_per_second > cold.throughput_per_second * 1.5);
+    }
+
+    #[test]
+    fn warm_pool_capacity_zero_disables_reuse_but_counts_misses() {
+        let tasks = gpu_tasks(12, 1.0, 10.0);
+        let report =
+            WorkflowExecutor::new(ExecutorConfig { warm_pool_capacity: Some(0), ..Default::default() }).run(
+                &tasks,
+                &ClusterConfig::polaris(1),
+                &LustreModel::default(),
+            );
+        assert_eq!(report.cold_starts, 12);
+        assert_eq!(report.warm_hits, 0);
+        assert_eq!(report.warm_evictions, 0);
+        assert_eq!(report.warm_models.len(), 1);
+        assert_eq!(report.warm_models[0].misses, 12);
+    }
+
+    #[test]
+    fn switching_models_evicts_under_a_capacity_one_pool() {
+        // Two models alternating on a single GPU slot: a capacity-1 pool
+        // thrashes (every task evicts the other model), an unbounded pool
+        // loads each model once.
+        let tasks: Vec<Task> = (0..8)
+            .map(|i| {
+                Task::new(i, SlotKind::Gpu, 1.0).with_cold_start(10.0).with_label(if i % 2 == 0 {
+                    "Nougat"
+                } else {
+                    "Marker"
+                })
+            })
+            .collect();
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 0, gpu_slots_per_node: 1 };
+        let fs = LustreModel::default();
+        let tight =
+            WorkflowExecutor::new(ExecutorConfig { warm_pool_capacity: Some(1), ..Default::default() })
+                .run(&tasks, &cluster, &fs);
+        assert_eq!(tight.cold_starts, 8, "alternating models thrash a capacity-1 pool");
+        assert_eq!(tight.warm_evictions, 7);
+        let unbounded = WorkflowExecutor::new(ExecutorConfig::default()).run(&tasks, &cluster, &fs);
+        assert_eq!(unbounded.cold_starts, 2, "each model loads once");
+        assert_eq!(unbounded.warm_hits, 6);
+        assert_eq!(unbounded.warm_evictions, 0);
+        assert!(unbounded.makespan_seconds < tight.makespan_seconds);
+    }
+
+    #[test]
+    fn zero_cost_models_never_occupy_pool_capacity() {
+        // A capacity-1 pool, one real model, and a flood of zero-cost tasks:
+        // the real model must stay resident (zero-cost models have no
+        // weights to keep warm and must not evict anything).
+        let mut tasks = vec![Task::new(0, SlotKind::Cpu, 1.0).with_cold_start(5.0).with_label("Nougat")];
+        for i in 1..10 {
+            tasks.push(Task::new(i, SlotKind::Cpu, 0.1).with_label("PyMuPDF"));
+        }
+        tasks.push(Task::new(10, SlotKind::Cpu, 1.0).with_cold_start(5.0).with_label("Nougat"));
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 1, gpu_slots_per_node: 0 };
+        let report =
+            WorkflowExecutor::new(ExecutorConfig { warm_pool_capacity: Some(1), ..Default::default() }).run(
+                &tasks,
+                &cluster,
+                &LustreModel::default(),
+            );
+        assert_eq!(report.cold_starts, 1, "the second Nougat task must still be warm");
+        assert_eq!(report.warm_hits, 1);
+        assert_eq!(report.warm_evictions, 0);
+        // The pool API itself also guards directly.
+        let mut pool = WarmPool::new(Some(1));
+        assert_eq!(pool.acquire("Nougat", 5.0, 0.0), WarmAccess::Miss { evicted: None });
+        assert_eq!(pool.acquire("PyMuPDF", 0.0, 1.0), WarmAccess::Hit);
+        assert_eq!(pool.resident_models(), 1);
+        assert!(pool.is_resident("Nougat"));
     }
 
     #[test]
@@ -489,6 +1114,244 @@ mod tests {
         assert_eq!(report.tasks_completed, 0);
         assert_eq!(report.tasks_skipped, 5);
         assert_eq!(report.throughput_per_second, 0.0);
+    }
+
+    #[test]
+    fn dependencies_serialize_a_chain_onto_idle_slots() {
+        // A 3-task chain on a 4-slot node: plenty of slots, so the makespan
+        // is exactly the chain's busy time and equals the critical path.
+        let tasks = vec![
+            Task::new(0, SlotKind::Cpu, 2.0),
+            Task::new(1, SlotKind::Cpu, 3.0).with_dependency(0),
+            Task::new(2, SlotKind::Cpu, 4.0).with_dependency(1),
+        ];
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 4, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        let report = session.submit(&tasks, &LustreModel::default());
+        assert_eq!(report.tasks_completed, 3);
+        assert!((report.makespan_seconds - 9.0).abs() < 1e-12);
+        assert_eq!(report.critical_path_seconds, report.makespan_seconds);
+        let schedule = session.schedule();
+        assert_eq!(schedule.len(), 3);
+        for pair in schedule.windows(2) {
+            assert!(pair[1].start_seconds >= pair[0].finish_seconds);
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_join_on_the_slower_branch() {
+        //      0
+        //    /   \
+        //   1     2      1 is slow, 2 is fast; 3 waits for both.
+        //    \   /
+        //      3
+        let tasks = vec![
+            Task::new(0, SlotKind::Cpu, 1.0),
+            Task::new(1, SlotKind::Cpu, 5.0).with_dependency(0),
+            Task::new(2, SlotKind::Cpu, 1.0).with_dependency(0),
+            Task::new(3, SlotKind::Cpu, 1.0).with_depends_on(vec![1, 2]),
+        ];
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 4, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        let report = session.submit(&tasks, &LustreModel::default());
+        assert_eq!(report.tasks_completed, 4);
+        let join = session.schedule().iter().find(|s| s.id == 3).unwrap().clone();
+        let slow = session.schedule().iter().find(|s| s.id == 1).unwrap().clone();
+        assert!(join.start_seconds >= slow.finish_seconds);
+        assert_eq!(report.critical_path_seconds, report.makespan_seconds);
+    }
+
+    #[test]
+    fn dependency_cycles_are_skipped_not_deadlocked() {
+        let tasks = vec![
+            Task::new(0, SlotKind::Cpu, 1.0).with_dependency(1),
+            Task::new(1, SlotKind::Cpu, 1.0).with_dependency(0),
+            Task::new(2, SlotKind::Cpu, 1.0),
+            Task::new(3, SlotKind::Cpu, 1.0).with_dependency(3), // self-edge
+        ];
+        let report = WorkflowExecutor::new(ExecutorConfig::default()).run(
+            &tasks,
+            &ClusterConfig::polaris(1),
+            &LustreModel::default(),
+        );
+        assert_eq!(report.tasks_completed, 1);
+        assert_eq!(report.tasks_skipped, 3);
+    }
+
+    #[test]
+    fn dependents_of_skipped_tasks_are_skipped() {
+        // Task 0 needs a GPU on a CPU-only cluster; 1 depends on it; 2 is
+        // independent and must still run.
+        let tasks = vec![
+            Task::new(0, SlotKind::Gpu, 1.0),
+            Task::new(1, SlotKind::Cpu, 1.0).with_dependency(0),
+            Task::new(2, SlotKind::Cpu, 1.0),
+        ];
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let report =
+            WorkflowExecutor::new(ExecutorConfig::default()).run(&tasks, &cluster, &LustreModel::default());
+        assert_eq!(report.tasks_completed, 1);
+        assert_eq!(report.tasks_skipped, 2);
+    }
+
+    #[test]
+    fn skip_cascades_span_batch_boundaries() {
+        // Task 0 needs a GPU on a CPU-only cluster and is skipped in batch
+        // 1; its dependent arrives in batch 2 and must be skipped too — the
+        // same cascade the single-batch test asserts.
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        let first = session.submit(&[Task::new(0, SlotKind::Gpu, 1.0)], &LustreModel::default());
+        assert_eq!(first.tasks_skipped, 1);
+        let second = session.submit(
+            &[
+                Task::new(1, SlotKind::Cpu, 1.0).with_dependency(0),
+                // Transitive: 2 depends on 1, which is poisoned.
+                Task::new(2, SlotKind::Cpu, 1.0).with_dependency(1),
+                Task::new(3, SlotKind::Cpu, 1.0),
+            ],
+            &LustreModel::default(),
+        );
+        assert_eq!(second.tasks_completed, 1);
+        assert_eq!(second.tasks_skipped, 2);
+        // Cycle members are skip-poisonous across batches too.
+        let mut cyclic = executor.session(&cluster);
+        cyclic.submit(
+            &[
+                Task::new(0, SlotKind::Cpu, 1.0).with_dependency(1),
+                Task::new(1, SlotKind::Cpu, 1.0).with_dependency(0),
+            ],
+            &LustreModel::default(),
+        );
+        let after =
+            cyclic.submit(&[Task::new(2, SlotKind::Cpu, 1.0).with_dependency(0)], &LustreModel::default());
+        assert_eq!(after.tasks_completed, 0);
+        assert_eq!(after.tasks_skipped, 1);
+    }
+
+    #[test]
+    fn batch_throughput_is_measured_over_the_batch_span() {
+        // One slot: batch 1 occupies [0, 10], batch 2 occupies [10, 15].
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 1, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        let first = session.submit(&[Task::new(0, SlotKind::Cpu, 10.0)], &LustreModel::default());
+        assert!((first.throughput_per_second - 0.1).abs() < 1e-6);
+        let second = session.submit(
+            &[Task::new(1, SlotKind::Cpu, 2.5), Task::new(2, SlotKind::Cpu, 2.5)],
+            &LustreModel::default(),
+        );
+        // 2 tasks over the batch's own [10, 15] span, not over [0, 15].
+        assert!((second.throughput_per_second - 0.4).abs() < 1e-6, "{}", second.throughput_per_second);
+        assert!((second.makespan_seconds - 15.0).abs() < 1e-9, "makespan stays absolute");
+        // The cumulative report keeps whole-campaign throughput.
+        assert!((session.report().throughput_per_second - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queue_wait_is_measured_from_batch_submission_not_session_start() {
+        // One slot: batch 1 occupies [0, 10]. Batch 2's two dependency-free
+        // tasks are submitted at t = 10, so the first starts immediately
+        // (zero wait) and the second queues only for its sibling's 2.5 s —
+        // not for the 10 s of session time before the batch existed.
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 1, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        let first = session.submit(&[Task::new(0, SlotKind::Cpu, 10.0)], &LustreModel::default());
+        assert_eq!(first.queue_wait_seconds, 0.0);
+        let second = session.submit(
+            &[Task::new(1, SlotKind::Cpu, 2.5), Task::new(2, SlotKind::Cpu, 2.5)],
+            &LustreModel::default(),
+        );
+        assert!(
+            (second.queue_wait_seconds - 2.5).abs() < 1e-9,
+            "expected 2.5 s of sibling contention, got {}",
+            second.queue_wait_seconds
+        );
+        // A slot that frees *before* the next batch is submitted is used
+        // without any wait being charged: the task never queued for it.
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let mut session = executor.session(&cluster);
+        session.submit(
+            &[Task::new(0, SlotKind::Cpu, 10.0), Task::new(1, SlotKind::Cpu, 2.0)],
+            &LustreModel::default(),
+        );
+        let overlap = session.submit(&[Task::new(2, SlotKind::Cpu, 1.0)], &LustreModel::default());
+        assert_eq!(overlap.queue_wait_seconds, 0.0, "starts at t = 2 on the early-freed slot");
+    }
+
+    #[test]
+    fn all_skipped_batch_ends_at_its_submission_time_not_zero() {
+        // CPU-only cluster, session advanced to t = 10 by batch 1; batch 2
+        // is all GPU tasks, so everything is skipped and nothing completes.
+        // The batch's makespan is absolute session time, which cannot
+        // rewind to 0 — an event boundary fed to a controller must not
+        // precede the batch's own submission.
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 1, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        session.submit(&[Task::new(0, SlotKind::Cpu, 10.0)], &LustreModel::default());
+        let skipped = session.submit(
+            &[Task::new(1, SlotKind::Gpu, 1.0), Task::new(2, SlotKind::Gpu, 1.0)],
+            &LustreModel::default(),
+        );
+        assert_eq!(skipped.tasks_completed, 0);
+        assert_eq!(skipped.tasks_skipped, 2);
+        assert_eq!(skipped.makespan_seconds, 10.0);
+        assert_eq!(skipped.throughput_per_second, 0.0);
+        assert_eq!(session.now_seconds(), 10.0, "the clock never rewinds");
+    }
+
+    #[test]
+    fn cross_batch_dependencies_resolve_at_recorded_finish_times() {
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 4, gpu_slots_per_node: 0 };
+        let mut session = executor.session(&cluster);
+        session.submit(&[Task::new(0, SlotKind::Cpu, 5.0)], &LustreModel::default());
+        let second = session.submit(
+            &[
+                Task::new(1, SlotKind::Cpu, 1.0).with_dependency(0),
+                // Unknown ids are vacuously satisfied.
+                Task::new(2, SlotKind::Cpu, 1.0).with_dependency(999),
+            ],
+            &LustreModel::default(),
+        );
+        assert_eq!(second.tasks_completed, 2);
+        let chained = session.schedule().iter().find(|s| s.id == 1).unwrap();
+        let free = session.schedule().iter().find(|s| s.id == 2).unwrap();
+        assert!(chained.start_seconds >= 5.0, "dependency spans the batch boundary");
+        assert!(free.start_seconds < 5.0, "independent tasks overlap the earlier batch");
+        // Critical path spans batches too.
+        assert!(session.report().critical_path_seconds >= 6.0);
+    }
+
+    #[test]
+    fn sessions_keep_slots_and_warm_pools_across_batches() {
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 0, gpu_slots_per_node: 2 };
+        let fs = LustreModel::default();
+        let mut session = executor.session(&cluster);
+        let first = session.submit(&gpu_tasks(4, 1.0, 10.0), &fs);
+        assert_eq!(first.cold_starts, 2, "both slots load concurrently");
+        let second = session.submit(&gpu_tasks(4, 1.0, 10.0), &fs);
+        assert_eq!(second.cold_starts, 0, "the model is still resident across batches");
+        assert_eq!(second.warm_hits, 4);
+        // Cumulative report folds both batches.
+        let total = session.report();
+        assert_eq!(total.tasks_completed, 8);
+        assert_eq!(total.cold_starts, 2);
+        assert_eq!(total.warm_hits, 6);
+        assert_eq!(total.warm_models.len(), 1);
+        assert_eq!(total.warm_models[0].misses + total.warm_models[0].hits, 8);
+        // A fresh campaign over the same 8 tasks pays the same colds but the
+        // split submission must not barrier: makespans agree.
+        let mut tasks = gpu_tasks(4, 1.0, 10.0);
+        tasks.extend(gpu_tasks(4, 1.0, 10.0));
+        let oneshot = executor.run(&tasks, &cluster, &fs);
+        assert_eq!(total.makespan_seconds, oneshot.makespan_seconds);
     }
 
     #[test]
@@ -663,5 +1526,6 @@ mod tests {
         );
         assert_eq!(report.tasks_completed, 0);
         assert_eq!(report.makespan_seconds, 0.0);
+        assert_eq!(report.critical_path_seconds, 0.0);
     }
 }

@@ -9,15 +9,20 @@
 //! that orchestration layer for real and drives it with simulated task
 //! durations:
 //!
-//! * [`event`] — a minimal discrete-event queue,
+//! * [`event`] — the dependency engine's `(time, task id)`-ordered ready
+//!   queue,
 //! * [`clock`] — the monotonic simulated-time clock that closed-loop
 //!   scaling controllers sample instead of wall time,
 //! * [`task`] — the task/cluster description (CPU vs GPU slots, stage-in
-//!   bytes, cold-start model-load costs, co-scheduling pair hints),
+//!   bytes, cold-start model-load costs, co-scheduling pair hints, and
+//!   [`Task::depends_on`] precedence edges),
 //! * [`lustre`] — a shared-filesystem contention model (aggregate bandwidth,
 //!   metadata pressure from small files, node-local staging),
-//! * [`executor`] — the Parsl-like scheduler with warm-start workers, node
-//!   affinity, pair co-scheduling, and a per-stage timing breakdown,
+//! * [`executor`] — the event-driven, dependency-aware Parsl-like engine:
+//!   per-node [`WarmPool`]s of resident model weights, node affinity, pair
+//!   co-scheduling, a per-stage timing breakdown, and resumable
+//!   [`ExecutorSession`]s whose slot and warm-pool state persists across
+//!   submit batches (the waveless closed loop builds on this),
 //! * [`profiler`] — per-GPU utilization traces (the Nsight view of Figure 4).
 //!
 //! # Example
@@ -43,8 +48,11 @@ pub mod profiler;
 pub mod task;
 
 pub use clock::SimClock;
-pub use event::EventQueue;
-pub use executor::{CampaignReport, ExecutorConfig, StageTiming, StageTimings, WorkflowExecutor};
+pub use event::ReadyQueue;
+pub use executor::{
+    CampaignReport, ExecutorConfig, ExecutorSession, ModelWarmStats, ScheduledTask, StageTiming,
+    StageTimings, WarmAccess, WarmPool, WorkflowExecutor,
+};
 pub use lustre::LustreModel;
 pub use profiler::GpuTrace;
 pub use task::{ClusterConfig, GroupRole, SlotKind, Task, TaskGroup};

@@ -29,6 +29,19 @@ impl GpuTrace {
         }
     }
 
+    /// Append every span of `other` onto this trace, growing the device
+    /// range if `other` tracks more GPUs. Used by executor sessions to fold
+    /// per-batch traces into the campaign-cumulative one; span order is
+    /// batch order then schedule order, so merged traces are deterministic.
+    pub fn merge(&mut self, other: &GpuTrace) {
+        if other.intervals.len() > self.intervals.len() {
+            self.intervals.resize(other.intervals.len(), Vec::new());
+        }
+        for (gpu, spans) in other.intervals.iter().enumerate() {
+            self.intervals[gpu].extend_from_slice(spans);
+        }
+    }
+
     /// Total busy seconds of one GPU (compute + model load).
     pub fn busy_seconds(&self, gpu: usize) -> f64 {
         self.intervals.get(gpu).map(|spans| spans.iter().map(|(s, e, _)| e - s).sum()).unwrap_or(0.0)
@@ -103,6 +116,20 @@ mod tests {
         assert!((trace.utilization(0, 14.0) - 0.5).abs() < 1e-12);
         assert!((trace.mean_utilization(14.0) - (0.5 + 1.0 / 14.0) / 2.0).abs() < 1e-9);
         assert_eq!(trace.busy_seconds(7), 0.0);
+    }
+
+    #[test]
+    fn merge_appends_spans_and_grows_the_device_range() {
+        let mut a = GpuTrace::new(1);
+        a.record(0, 0.0, 1.0, false);
+        let mut b = GpuTrace::new(2);
+        b.record(0, 1.0, 2.0, true);
+        b.record(1, 0.0, 3.0, false);
+        a.merge(&b);
+        assert_eq!(a.gpus(), 2);
+        assert!((a.busy_seconds(0) - 2.0).abs() < 1e-12);
+        assert!((a.model_load_seconds(0) - 1.0).abs() < 1e-12);
+        assert!((a.busy_seconds(1) - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -68,7 +68,20 @@ pub struct Task {
     /// share a [`TaskGroup`] id and prefer to land on the same node. `None`
     /// means the task is not part of a pair.
     pub group: Option<TaskGroup>,
-    /// Label used for grouping in reports (e.g. the parser name).
+    /// Ids of tasks that must *finish* before this task may start. The
+    /// executor's ready queue releases a task only once every dependency has
+    /// completed (dependencies resolved in earlier
+    /// [`crate::ExecutorSession::submit`] batches count as satisfied at
+    /// their recorded finish time; ids never seen by the session are
+    /// vacuously satisfied at time zero). An empty list reproduces the
+    /// order-free throughput model. Tasks caught in a dependency cycle — or
+    /// depending on a task that was skipped — are skipped, never deadlocked.
+    pub depends_on: Vec<u64>,
+    /// Label used for grouping in reports (e.g. the parser name). Doubles as
+    /// the *model key* of the executor's per-node [`crate::WarmPool`]: tasks
+    /// with the same label and a positive
+    /// [`cold_start_seconds`](Self::cold_start_seconds) share resident
+    /// weights on a node.
     pub label: String,
 }
 
@@ -84,6 +97,7 @@ impl Task {
             cold_start_seconds: 0.0,
             preferred_node: None,
             group: None,
+            depends_on: Vec::new(),
             label: String::new(),
         }
     }
@@ -115,6 +129,20 @@ impl Task {
     /// Mark the task as one half of a co-scheduled pair (see [`TaskGroup`]).
     pub fn with_group(mut self, id: u64, role: GroupRole) -> Self {
         self.group = Some(TaskGroup { id, role });
+        self
+    }
+
+    /// Add a precedence edge: this task may not start before the task with
+    /// id `task_id` has finished.
+    pub fn with_dependency(mut self, task_id: u64) -> Self {
+        self.depends_on.push(task_id);
+        self
+    }
+
+    /// Replace the full dependency list (see
+    /// [`depends_on`](Self::depends_on)).
+    pub fn with_depends_on(mut self, task_ids: Vec<u64>) -> Self {
+        self.depends_on = task_ids;
         self
     }
 
@@ -176,6 +204,7 @@ mod tests {
         assert_eq!(t.slot, SlotKind::Gpu);
         assert_eq!(t.preferred_node, None);
         assert_eq!(t.group, None);
+        assert!(t.depends_on.is_empty());
         assert_eq!(t.with_preferred_node(3).preferred_node, Some(3));
     }
 
@@ -183,6 +212,14 @@ mod tests {
     fn group_builder_sets_id_and_role() {
         let t = Task::new(1, SlotKind::Cpu, 1.0).with_group(42, GroupRole::Parse);
         assert_eq!(t.group, Some(TaskGroup { id: 42, role: GroupRole::Parse }));
+    }
+
+    #[test]
+    fn dependency_builders_accumulate_and_replace() {
+        let t = Task::new(5, SlotKind::Cpu, 1.0).with_dependency(1).with_dependency(2);
+        assert_eq!(t.depends_on, vec![1, 2]);
+        let t = t.with_depends_on(vec![7]);
+        assert_eq!(t.depends_on, vec![7]);
     }
 
     #[test]
