@@ -63,7 +63,12 @@ pub struct WaveStats {
     pub extract: StageSample,
     /// Parse-stage sample (includes quality scoring).
     pub parse: StageSample,
-    /// Documents not yet parsed after this wave (the downstream queue).
+    /// The *true* pending count after this wave: work items not yet done
+    /// when the wave was observed. In the closed simulation loop this is
+    /// documents not yet windowed **plus** session tasks still in flight
+    /// at the observation boundary (stragglers from earlier epochs
+    /// included — counting only the unwindowed remainder undercounts the
+    /// backlog and freezes the allocation too early on a draining tail).
     pub queue_depth: usize,
 }
 

@@ -63,10 +63,23 @@
 //! of re-paying their cold starts each wave, and each parse task carries a
 //! dependency edge to its extract partner so the engine never schedules a
 //! parse before its input exists. The controller observes at event
-//! boundaries (each window's completion) via
-//! [`ScalingController::observe_at`], and the whole run — including the
-//! executor's critical-path, queue-wait, and per-model warm statistics —
-//! replays bit for bit.
+//! boundaries via [`ScalingController::observe_at`], and the whole run —
+//! including the executor's critical-path, queue-wait, and per-model warm
+//! statistics — replays bit for bit.
+//!
+//! Since PR 5 the loop is also *causal* on demand:
+//! [`hpcsim::CausalityMode::Causal`] admits each window at the session's
+//! dispatch frontier as a release floor — no task starts before the
+//! decision that created it, the effective α ingests only observations
+//! whose tasks finished by the decision time (stragglers defer to a later
+//! boundary), and the controller's backlog counts documents remaining
+//! *plus* tasks still in flight. The legacy
+//! [`hpcsim::CausalityMode::RetroFill`] placement stays bitwise-identical
+//! and now audits its own violations
+//! ([`hpcsim::CampaignReport::retro_filled_tasks`],
+//! [`hpcsim::CampaignReport::decision_lag_seconds`]); causal makespans are
+//! achievable schedules and bound the retro-fill makespan from above. See
+//! [`simloop`]'s "two-mode contract" section.
 
 pub mod controller;
 pub mod observed;

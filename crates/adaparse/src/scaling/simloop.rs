@@ -38,20 +38,50 @@
 //! critical-path, queue-wait, and per-model warm-pool statistics — bit for
 //! bit, on any machine.
 //!
-//! **Known modeling limit — retroactive fill.** A window is submitted only
-//! after the previous window fully completes, but its tasks may then be
-//! *placed* on slots that freed earlier, at simulated times before the
-//! observations that selected the window existed. This retro-fill is what
-//! approximates a genuinely pipelined controller (in the wall-clock twin,
-//! window i+1's selection happens as soon as its documents are scored, well
-//! before window i's parses drain), but it is optimistic about decision
-//! causality: the effective α applied to a window ingests the *entire*
-//! previous window's observed costs, which a live controller would only
-//! have part of. Waveless makespans are therefore a lower bound a causal
-//! event-interleaved submission engine would approach, not exactly achieve;
-//! see ROADMAP's open item.
+//! # Decision causality — the two-mode contract
+//!
+//! [`hpcsim::CausalityMode`] (on [`SimLoopConfig::executor`]) selects how
+//! strictly the loop honors the arrow of simulated time:
+//!
+//! * **[`RetroFill`](hpcsim::CausalityMode::RetroFill)** (legacy default).
+//!   A window is submitted only after the previous window fully completes,
+//!   but its tasks may be *placed* on slots that freed earlier — at
+//!   simulated times before the observations that selected the window
+//!   existed — and the effective α applied to a window ingests the
+//!   *entire* previous window's observed costs, which a live controller
+//!   would only have part of. Makespans are an optimistic lower bound; the
+//!   violations are quantified per run in
+//!   [`hpcsim::CampaignReport::retro_filled_tasks`] and
+//!   [`hpcsim::CampaignReport::decision_lag_seconds`].
+//! * **[`Causal`](hpcsim::CausalityMode::Causal)**. Each window is admitted
+//!   at an *event boundary*: the session's dispatch frontier — the
+//!   simulated time the engine last ran out of undispatched work, recorded
+//!   per wave as [`SimWave::decided_at_seconds`]. The window is submitted
+//!   with that boundary as its release floor
+//!   ([`hpcsim::SubmitOptions::release_seconds`]), so none of its tasks
+//!   starts before the decision that created it; the effective α ingests
+//!   only the [`WaveCosts`] of documents whose tasks *finished at or
+//!   before* the decision time (stragglers defer to a later boundary), and
+//!   the controller's stage samples are built from the same
+//!   finished-by-then task set. Makespans are achievable schedules:
+//!   `causal makespan ≥ retro-fill makespan` on the same inputs, with the
+//!   gap being exactly the price of causality. Any observations still
+//!   deferred when the last window has been selected are folded in after
+//!   the loop, so the *report's* final cost estimates and remaining budget
+//!   cover every completed document (no further selection is affected).
+//!
+//! Both modes replay bitwise, window *i+1* still overlaps window *i*'s
+//! stragglers (the floor is the dispatch frontier, not the completion
+//! time), and the controller's backlog signal counts the *true* pending
+//! work: documents not yet windowed plus session tasks still in flight at
+//! the observation boundary ([`SimWave::queue_depth`]).
 
-use hpcsim::{CampaignReport, ClusterConfig, ExecutorConfig, LustreModel, StageTiming, WorkflowExecutor};
+use std::collections::HashMap;
+
+use hpcsim::{
+    CampaignReport, CausalityMode, ClusterConfig, ExecutorConfig, GroupRole, LustreModel, StageTiming,
+    SubmitOptions, WorkflowExecutor,
+};
 use parsersim::cost::CostModel;
 
 use crate::config::AdaParseConfig;
@@ -71,6 +101,13 @@ pub struct SimLoopConfig {
     pub window: usize,
     /// Cluster size in (Polaris-like) nodes.
     pub nodes: usize,
+    /// Explicit cluster shape; `None` (the default) uses
+    /// [`ClusterConfig::polaris`] over [`nodes`](Self::nodes). Overriding
+    /// lets a test or what-if run drive the loop against degenerate
+    /// clusters (e.g. one without the GPU slots the high-quality parser
+    /// needs — its parse tasks are then skipped, and an epoch may complete
+    /// nothing at all; see [`SimWave::tasks_skipped`]).
+    pub cluster: Option<ClusterConfig>,
     /// Total compute budget in seconds; `None` routes at the configured α
     /// with no seconds ledger.
     pub total_budget_seconds: Option<f64>,
@@ -92,6 +129,7 @@ impl Default for SimLoopConfig {
         SimLoopConfig {
             window: 256,
             nodes: 4,
+            cluster: None,
             total_budget_seconds: None,
             prior_weight: DEFAULT_PRIOR_WEIGHT,
             executor: ExecutorConfig::default(),
@@ -107,16 +145,29 @@ impl Default for SimLoopConfig {
 pub struct SimWave {
     /// Zero-based epoch index.
     pub wave_index: usize,
+    /// Simulated time of the decision that created the epoch — the release
+    /// floor its batch was submitted under. Under
+    /// [`hpcsim::CausalityMode::Causal`] this is the session's dispatch
+    /// frontier at selection time and every task of the epoch starts at or
+    /// after it; under [`hpcsim::CausalityMode::RetroFill`] it is the
+    /// session clock at submission (the previous window's drain), recorded
+    /// for audit while placement is free to retro-fill earlier slots.
+    /// Monotone across epochs in both modes.
+    pub decided_at_seconds: f64,
     /// Simulated time the epoch's *earliest* task started. Wavelessness
     /// made visible: this is routinely earlier than the previous epoch's
     /// [`finished_at_seconds`](Self::finished_at_seconds) — the next window
     /// starts on slots that free up while the previous window's stragglers
-    /// are still running.
+    /// are still running. An epoch that completed nothing (all tasks
+    /// skipped, see [`tasks_skipped`](Self::tasks_skipped)) is pinned to
+    /// its decision time: `started == finished == decided_at`.
     pub started_at_seconds: f64,
-    /// Simulated time the epoch's last task finished (the event boundary
-    /// the controller observed at). Not necessarily monotone across epochs:
-    /// a short window can drain before an earlier window's straggler — the
-    /// controller's clock clamps monotonically on its own.
+    /// Simulated time the epoch's last task finished. Not necessarily
+    /// monotone across epochs: a short window can drain before an earlier
+    /// window's straggler — the controller's clock clamps monotonically on
+    /// its own. Equal to
+    /// [`decided_at_seconds`](Self::decided_at_seconds) for an epoch that
+    /// completed nothing.
     pub finished_at_seconds: f64,
     /// Documents routed in the epoch.
     pub documents: usize,
@@ -139,6 +190,18 @@ pub struct SimWave {
     pub warm_hits: usize,
     /// Seconds the epoch's tasks spent ready but queued for a slot.
     pub queue_wait_seconds: f64,
+    /// Tasks of the epoch that could not run (no slot of the required
+    /// kind, or a dependency that was itself skipped). An epoch whose
+    /// tasks were *all* skipped is well-defined: its
+    /// [`started_at_seconds`](Self::started_at_seconds) and
+    /// [`finished_at_seconds`](Self::finished_at_seconds) both equal its
+    /// [`decided_at_seconds`](Self::decided_at_seconds).
+    pub tasks_skipped: usize,
+    /// The backlog the controller observed after this epoch: documents not
+    /// yet windowed *plus* session tasks still in flight at the
+    /// observation boundary (stragglers from this or any earlier epoch) —
+    /// the true pending count, not just the unwindowed remainder.
+    pub queue_depth: usize,
     /// Per-stage extract timing of the epoch.
     pub extract: StageTiming,
     /// Per-stage parse timing of the epoch.
@@ -211,7 +274,8 @@ pub fn run_closed_loop(
 ) -> SimLoopReport {
     let window = sim.window.max(1);
     let nodes = sim.nodes.max(1);
-    let cluster = ClusterConfig::polaris(nodes);
+    let cluster = sim.cluster.unwrap_or_else(|| ClusterConfig::polaris(nodes));
+    let causal = sim.executor.causality == CausalityMode::Causal;
     let executor = WorkflowExecutor::new(sim.executor);
     // The one persistent session: slots, warm pools, pair anchors, and the
     // clock live across every decision epoch below.
@@ -242,8 +306,42 @@ pub fn run_closed_loop(
         remaining_budget_seconds: None,
     };
 
+    // Deferred causal observations: a document's (or task's) measurement
+    // only becomes visible to the loop once a decision boundary passes its
+    // finish time.
+    let mut deferred_docs: Vec<DeferredDocCost> = Vec::new();
+    let mut deferred_tasks: Vec<DeferredTaskObs> = Vec::new();
+    // The next window's decision time under causal admission; advances to
+    // the session's dispatch frontier after every epoch.
+    let mut decided_at = 0.0f64;
+    // Documents whose measured costs have been reconciled so far (causal
+    // admission): whatever is committed but never observed — skipped work —
+    // has its reservation released at campaign close.
+    let mut observed_docs = 0usize;
+
     for (wave_index, chunk) in improvements.chunks(window).enumerate() {
         let offset = wave_index * window;
+        // The decision that creates this window: under causal admission
+        // the dispatch frontier carried over from the previous epoch;
+        // under retro-fill the session clock at submission (audit only).
+        let wave_decided_at = if causal { decided_at } else { session.now_seconds() };
+        if causal {
+            // Partial-window observation: ingest exactly the documents
+            // whose tasks finished at or before this decision time —
+            // stragglers stay deferred for a later boundary. Partial
+            // reconciliation releases the ledger's reservations one
+            // document-slot at a time (a whole-window `ingest` here would
+            // refund still-running stragglers' reserved cost early).
+            let observable = drain_observable(&mut deferred_docs, wave_decided_at, |d| d.observable_at);
+            if !observable.is_empty() {
+                let mut costs = WaveCosts::default();
+                for obs in observable {
+                    costs.record(obs.expensive, obs.seconds);
+                }
+                observed_docs += costs.docs();
+                selector.ingest_observed_partial(&costs);
+            }
+        }
         let effective_alpha = selector.effective_alpha();
         let mask = selector.select_window(chunk);
         let selected = mask.iter().filter(|&&m| m).count();
@@ -260,49 +358,121 @@ pub fn run_closed_loop(
             .collect();
 
         // Fleets: the controller's allocation projected onto the cluster.
-        let plan = controller.plan_nodes(nodes);
+        let plan = controller.plan_nodes(cluster.nodes);
         let tasks = tasks_for_routing_with_affinity(config, &routed, workload, &plan);
         let scheduled_before = session.schedule().len();
-        let wave = session.submit(&tasks, &sim.filesystem);
-        let started_at_seconds = session.schedule()[scheduled_before..]
-            .iter()
-            .map(|s| s.start_seconds)
-            .fold(f64::INFINITY, f64::min)
-            .min(session.now_seconds());
-        // The event boundary the controller observes at: this epoch's last
-        // completion (an earlier epoch's straggler may still be running —
-        // the controller's clock clamps monotonically on its own).
-        let finished_at_seconds = wave.makespan_seconds;
+        let wave = if causal {
+            session.submit_with(&tasks, SubmitOptions { release_seconds: Some(wave_decided_at) });
+            session.advance_to_frontier(&sim.filesystem)
+        } else {
+            session.submit(&tasks, &sim.filesystem)
+        };
+        let wave_slice = &session.schedule()[scheduled_before..];
+        // An epoch that completed nothing is pinned to its decision time;
+        // otherwise its span is first start to last completion.
+        let (started_at_seconds, finished_at_seconds) = if wave.tasks_completed == 0 {
+            (wave_decided_at, wave_decided_at)
+        } else {
+            let first_start = wave_slice.iter().map(|s| s.start_seconds).fold(f64::INFINITY, f64::min);
+            (first_start, wave.makespan_seconds)
+        };
+        // The event boundary the controller observes at: under causal
+        // admission the dispatch frontier (the engine just ran out of
+        // undispatched work — a live controller would be refilling the
+        // queue now, with this epoch's stragglers still running); under
+        // retro-fill this epoch's last completion, as before.
+        let observed_at = if causal { session.frontier_seconds() } else { finished_at_seconds };
+        // The true backlog at that boundary: documents not yet windowed
+        // plus session tasks still in flight (stragglers from this or any
+        // earlier epoch) — not just the unwindowed remainder.
+        let docs_remaining = improvements.len().saturating_sub(offset + chunk.len());
+        let queue_depth = docs_remaining + session.tasks_in_flight_at(observed_at);
 
-        // Observed per-document costs flow back into the ledger before the
-        // next window is selected. A selected document's cost is its parse
-        // busy time plus its share of the extraction stage.
-        if !chunk.is_empty() {
-            let extract_share = wave.stage_timings.extract.busy_seconds / chunk.len() as f64;
-            selector.ingest_observed(&WaveCosts {
-                cheap_docs: chunk.len() - selected,
-                cheap_seconds: extract_share * (chunk.len() - selected) as f64,
-                expensive_docs: selected,
-                expensive_seconds: wave.stage_timings.parse.busy_seconds + extract_share * selected as f64,
-            });
-        }
-
-        // The controller samples the session clock, not wall time.
-        let allocation = controller.observe_at(
-            finished_at_seconds,
-            &WaveStats {
-                wave_index,
-                extract: StageSample {
-                    busy_seconds: wave.stage_timings.extract.busy_seconds,
-                    items: wave.stage_timings.extract.tasks,
+        let allocation = if causal {
+            // Queue this epoch's measurements; each becomes observable
+            // once a decision boundary passes its finish time.
+            let roles: HashMap<u64, GroupRole> =
+                tasks.iter().filter_map(|t| t.group.map(|g| (t.id, g.role))).collect();
+            for row in wave_slice {
+                if let Some(&role) = roles.get(&row.id) {
+                    deferred_tasks.push(DeferredTaskObs {
+                        observable_at: row.finish_seconds,
+                        role,
+                        busy_seconds: row.finish_seconds - row.start_seconds,
+                    });
+                }
+            }
+            let spans: HashMap<u64, (f64, f64)> =
+                wave_slice.iter().map(|s| (s.id, (s.start_seconds, s.finish_seconds))).collect();
+            for (k, &hq) in mask.iter().enumerate() {
+                let extract_id = (offset + k) as u64 * 2;
+                // A document whose extract was skipped ran nothing at all
+                // — its cost is never observable and its reservation is
+                // released at campaign close.
+                let Some(&(extract_start, extract_finish)) = spans.get(&extract_id) else { continue };
+                let extract_busy = extract_finish - extract_start;
+                let (observable_at, seconds) = match spans.get(&(extract_id + 1)) {
+                    Some(&(parse_start, parse_finish)) if hq => {
+                        (extract_finish.max(parse_finish), extract_busy + (parse_finish - parse_start))
+                    }
+                    // A selected document whose parse was skipped still
+                    // burned its extract seconds: charge what actually ran
+                    // (the retro-fill branch charges it too, through the
+                    // extract stage-busy share).
+                    _ => (extract_finish, extract_busy),
+                };
+                deferred_docs.push(DeferredDocCost { observable_at, expensive: hq, seconds });
+            }
+            // The controller's stage samples are likewise built from the
+            // tasks that finished by the boundary — never from work whose
+            // outcome does not causally exist yet.
+            let observable = drain_observable(&mut deferred_tasks, observed_at, |t| t.observable_at);
+            let mut extract = StageSample { busy_seconds: 0.0, items: 0 };
+            let mut parse = StageSample { busy_seconds: 0.0, items: 0 };
+            for obs in observable {
+                let sample = match obs.role {
+                    GroupRole::Extract => &mut extract,
+                    GroupRole::Parse => &mut parse,
+                };
+                sample.busy_seconds += obs.busy_seconds;
+                sample.items += 1;
+            }
+            decided_at = observed_at;
+            controller.observe_at(observed_at, &WaveStats { wave_index, extract, parse, queue_depth })
+        } else {
+            // Retro-fill: the acausal full-window ingest the legacy mode
+            // is pinned to — the entire window's observed costs flow back
+            // before the next selection, including stragglers a live
+            // controller could not have measured yet. A selected
+            // document's cost is its parse busy time plus its share of
+            // the extraction stage.
+            if !chunk.is_empty() {
+                let extract_share = wave.stage_timings.extract.busy_seconds / chunk.len() as f64;
+                selector.ingest_observed(&WaveCosts {
+                    cheap_docs: chunk.len() - selected,
+                    cheap_seconds: extract_share * (chunk.len() - selected) as f64,
+                    expensive_docs: selected,
+                    expensive_seconds: wave.stage_timings.parse.busy_seconds
+                        + extract_share * selected as f64,
+                });
+            }
+            // The controller samples the session clock, not wall time.
+            controller.observe_at(
+                observed_at,
+                &WaveStats {
+                    wave_index,
+                    extract: StageSample {
+                        busy_seconds: wave.stage_timings.extract.busy_seconds,
+                        items: wave.stage_timings.extract.tasks,
+                    },
+                    parse: StageSample {
+                        busy_seconds: wave.stage_timings.parse.busy_seconds,
+                        items: wave.stage_timings.parse.tasks,
+                    },
+                    queue_depth,
                 },
-                parse: StageSample {
-                    busy_seconds: wave.stage_timings.parse.busy_seconds,
-                    items: wave.stage_timings.parse.tasks,
-                },
-                queue_depth: improvements.len().saturating_sub(offset + chunk.len()),
-            },
-        );
+            )
+        };
 
         report.selected += selected;
         report.co_located_pairs += wave.co_located_pairs;
@@ -311,6 +481,7 @@ pub fn run_closed_loop(
         report.locality_penalty_seconds += wave.locality_penalty_seconds;
         report.waves.push(SimWave {
             wave_index,
+            decided_at_seconds: wave_decided_at,
             started_at_seconds,
             finished_at_seconds,
             documents: chunk.len(),
@@ -323,10 +494,31 @@ pub fn run_closed_loop(
             locality_penalty_seconds: wave.locality_penalty_seconds,
             warm_hits: wave.warm_hits,
             queue_wait_seconds: wave.queue_wait_seconds,
+            tasks_skipped: wave.tasks_skipped,
+            queue_depth,
             extract: wave.stage_timings.extract,
             parse: wave.stage_timings.parse,
         });
         report.mask.extend(mask);
+    }
+
+    // Causal admission defers straggler observations past each decision
+    // boundary; once the last window has been selected there is no further
+    // decision to protect, so the remaining measurements fold in here and
+    // the reservations of documents that will never complete (skipped
+    // work) are released. This only reconciles the *report* — the final
+    // cost estimates and remaining budget cover every completed document,
+    // leaving `remaining = budget − Σ measured` (clamped at zero).
+    if causal {
+        if !deferred_docs.is_empty() {
+            let mut costs = WaveCosts::default();
+            for obs in deferred_docs.drain(..) {
+                costs.record(obs.expensive, obs.seconds);
+            }
+            observed_docs += costs.docs();
+            selector.ingest_observed_partial(&costs);
+        }
+        selector.release_unobserved(improvements.len().saturating_sub(observed_docs));
     }
 
     report.makespan_seconds = session.now_seconds();
@@ -335,6 +527,45 @@ pub fn run_closed_loop(
     report.final_observed = selector.ledger().and_then(|ledger| ledger.observed().copied());
     report.remaining_budget_seconds = selector.ledger().map(BudgetLedger::remaining_seconds);
     report
+}
+
+/// A per-document cost measurement waiting for a decision boundary to pass
+/// its finish time (causal admission only).
+#[derive(Debug, Clone, Copy)]
+struct DeferredDocCost {
+    /// Simulated time the document's last task finished — the earliest
+    /// decision boundary that may observe it.
+    observable_at: f64,
+    /// Routed to the high-quality parser (its seconds include extraction).
+    expensive: bool,
+    /// Total slot-busy seconds the document cost.
+    seconds: f64,
+}
+
+/// A per-task stage sample waiting for a decision boundary to pass its
+/// finish time (causal admission only).
+#[derive(Debug, Clone, Copy)]
+struct DeferredTaskObs {
+    observable_at: f64,
+    role: GroupRole,
+    busy_seconds: f64,
+}
+
+/// Split off (in insertion order, so the fold stays deterministic) every
+/// deferred observation whose finish time — read by `at` — is at or
+/// before `boundary`.
+fn drain_observable<T>(deferred: &mut Vec<T>, boundary: f64, at: impl Fn(&T) -> f64) -> Vec<T> {
+    let mut observable = Vec::new();
+    let mut kept = Vec::new();
+    for item in deferred.drain(..) {
+        if at(&item) <= boundary {
+            observable.push(item);
+        } else {
+            kept.push(item);
+        }
+    }
+    *deferred = kept;
+    observable
 }
 
 /// Planned per-document costs in seconds at a given page count, as

@@ -40,8 +40,19 @@ pub struct BudgetLedger {
     observed: Option<ObservedCosts>,
     /// Spend reserved by each committed-but-not-yet-reconciled window, in
     /// commit order. [`ingest`](Self::ingest) pops the oldest reservation
-    /// and replaces it with the measured spend.
-    pending_commits: VecDeque<f64>,
+    /// whole and replaces it with the measured spend;
+    /// [`ingest_partial`](Self::ingest_partial) consumes it one
+    /// document-slot at a time.
+    pending_commits: VecDeque<Reservation>,
+}
+
+/// One committed window's outstanding reservation: the seconds still
+/// reserved and the document slots not yet reconciled against measured
+/// costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Reservation {
+    charged: f64,
+    docs: usize,
 }
 
 impl BudgetLedger {
@@ -124,12 +135,84 @@ impl BudgetLedger {
         observed.ingest(wave);
         let reservation = self.pending_commits.pop_front();
         let actual = wave.total_seconds().max(0.0);
-        self.remaining_seconds = (self.remaining_seconds + reservation.unwrap_or(0.0) - actual).max(0.0);
+        self.remaining_seconds =
+            (self.remaining_seconds + reservation.map_or(0.0, |r| r.charged) - actual).max(0.0);
         if reservation.is_none() {
             // Never committed through this ledger: the documents were never
             // deducted either, so account for them now.
             self.remaining_docs = self.remaining_docs.saturating_sub(wave.docs());
         }
+    }
+
+    /// Reconcile a *partial* observation: `wave` covers some — not
+    /// necessarily all — documents of the oldest outstanding
+    /// reservation(s). Each observed document releases one document-slot's
+    /// pro-rata share of the front reservation (a reservation whose slots
+    /// are exhausted is dropped, surrendering any rounding remainder), and
+    /// the wave's measured seconds are charged; the observed estimates
+    /// absorb the samples exactly as [`ingest`](Self::ingest) does.
+    ///
+    /// This is the causal closed loop's reconciliation: decision
+    /// boundaries observe whatever subset of committed work has finished
+    /// by then — never a whole window at once — so popping a full
+    /// reservation per call (the [`ingest`](Self::ingest) contract) would
+    /// refund still-running stragglers' estimated cost the moment their
+    /// window's first document completed. Slot-by-slot release keeps the
+    /// running balance honest: over a full campaign the total released
+    /// equals the total reserved, so the final remaining budget is exactly
+    /// `budget − Σ measured` (clamped at zero) once every document has
+    /// been observed or [released](Self::release_unobserved). Use one
+    /// reconciliation style per ledger — mixing whole-window and partial
+    /// ingests would misalign the slot accounting. A no-op on a plan-only
+    /// ledger, like [`ingest`](Self::ingest).
+    pub fn ingest_partial(&mut self, wave: &WaveCosts) {
+        let Some(observed) = &mut self.observed else { return };
+        observed.ingest(wave);
+        let released = self.release_slots(wave.docs());
+        let actual = wave.total_seconds().max(0.0);
+        self.remaining_seconds = (self.remaining_seconds + released - actual).max(0.0);
+    }
+
+    /// Release the reservations of `docs` document-slots that will *never*
+    /// be observed — documents whose tasks were skipped (no slot of the
+    /// required kind, poisoned dependencies) and therefore never complete.
+    /// Refunds their reserved seconds without feeding anything into the
+    /// observed estimates (a document that never ran is not a cost
+    /// sample). Call once at campaign close, after the last partial
+    /// ingest.
+    pub fn release_unobserved(&mut self, docs: usize) {
+        if self.observed.is_none() {
+            return;
+        }
+        let released = self.release_slots(docs);
+        self.remaining_seconds = (self.remaining_seconds + released).max(0.0);
+    }
+
+    /// Consume `docs` document-slots from the front of the reservation
+    /// queue and return the seconds they release (pro-rata within each
+    /// reservation; exhausted reservations surrender their rounding
+    /// remainder). Slots beyond the committed total release nothing.
+    fn release_slots(&mut self, mut docs: usize) -> f64 {
+        let mut released = 0.0;
+        while docs > 0 {
+            let Some(front) = self.pending_commits.front_mut() else { break };
+            if front.docs == 0 {
+                released += front.charged;
+                self.pending_commits.pop_front();
+                continue;
+            }
+            let take = docs.min(front.docs);
+            let share = front.charged * take as f64 / front.docs as f64;
+            front.charged = (front.charged - share).max(0.0);
+            front.docs -= take;
+            released += share;
+            docs -= take;
+            if front.docs == 0 {
+                released += front.charged;
+                self.pending_commits.pop_front();
+            }
+        }
+        released
     }
 
     /// Commit one routed window at the current effective costs: every
@@ -150,7 +233,7 @@ impl BudgetLedger {
         self.remaining_seconds -= charged;
         self.remaining_docs = self.remaining_docs.saturating_sub(docs);
         if self.observed.is_some() {
-            self.pending_commits.push_back(charged);
+            self.pending_commits.push_back(Reservation { charged, docs });
         }
     }
 }
@@ -262,6 +345,26 @@ impl WindowedSelector {
     pub fn ingest_observed(&mut self, wave: &WaveCosts) {
         if let Some(ledger) = &mut self.ledger {
             ledger.ingest(wave);
+        }
+    }
+
+    /// Feed a *partial* observation back into the ledger — a subset of one
+    /// or more committed windows' documents, in commit order, as the
+    /// causal closed loop observes them at decision boundaries (see
+    /// [`BudgetLedger::ingest_partial`]). No-op without a ledger; use one
+    /// reconciliation style (whole-window or partial) per selector.
+    pub fn ingest_observed_partial(&mut self, wave: &WaveCosts) {
+        if let Some(ledger) = &mut self.ledger {
+            ledger.ingest_partial(wave);
+        }
+    }
+
+    /// Release the reservations of documents that will never be observed
+    /// (skipped work), at campaign close — see
+    /// [`BudgetLedger::release_unobserved`]. No-op without a ledger.
+    pub fn release_unobserved(&mut self, docs: usize) {
+        if let Some(ledger) = &mut self.ledger {
+            ledger.release_unobserved(docs);
         }
     }
 
@@ -513,6 +616,47 @@ mod tests {
             });
         }
         assert!(selector.ledger().unwrap().pending_commits.is_empty());
+    }
+
+    #[test]
+    fn partial_ingests_release_reservations_slot_by_slot() {
+        // One window of 10 docs committed at planned cost 5 s each → 50 s
+        // reserved out of a 100 s budget.
+        let ledger = BudgetLedger::new(100.0, 10, 5.0, 5.0).with_observed_costs(1.0);
+        let mut selector = WindowedSelector::new(10, 0.0).with_budget(ledger);
+        selector.select_window(&[0.0; 10]);
+        assert!((selector.ledger().unwrap().remaining_seconds() - 50.0).abs() < 1e-9);
+        // 5 docs finish costing 30 s: only their 25 s of reservation is
+        // released (a whole-window ingest would have refunded all 50 s
+        // while the other half is still running).
+        let half = |seconds| WaveCosts { cheap_docs: 5, cheap_seconds: seconds, ..Default::default() };
+        selector.ingest_observed_partial(&half(30.0));
+        assert!((selector.ledger().unwrap().remaining_seconds() - 45.0).abs() < 1e-9);
+        // The stragglers finish costing 20 s: the remaining 25 s releases.
+        selector.ingest_observed_partial(&half(20.0));
+        // Net: budget − measured = 100 − 50, exactly — nothing stranded,
+        // nothing fabricated.
+        assert!((selector.ledger().unwrap().remaining_seconds() - 50.0).abs() < 1e-9);
+        assert!(selector.ledger().unwrap().pending_commits.is_empty());
+    }
+
+    #[test]
+    fn unobserved_documents_release_their_reservations_at_close() {
+        let ledger = BudgetLedger::new(100.0, 10, 5.0, 5.0).with_observed_costs(1.0);
+        let mut selector = WindowedSelector::new(10, 0.0).with_budget(ledger);
+        selector.select_window(&[0.0; 10]); // 50 s reserved
+                                            // 4 docs complete; 6 are skipped and will never be observed.
+        selector.ingest_observed_partial(&WaveCosts {
+            cheap_docs: 4,
+            cheap_seconds: 20.0,
+            ..Default::default()
+        });
+        selector.release_unobserved(6);
+        assert!((selector.ledger().unwrap().remaining_seconds() - 80.0).abs() < 1e-9);
+        assert!(selector.ledger().unwrap().pending_commits.is_empty());
+        // Releasing more slots than were ever committed is harmless.
+        selector.release_unobserved(99);
+        assert!((selector.ledger().unwrap().remaining_seconds() - 80.0).abs() < 1e-9);
     }
 
     #[test]

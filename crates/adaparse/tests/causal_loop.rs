@@ -1,0 +1,206 @@
+//! Causal-admission regression suite for the closed simulation loop.
+//!
+//! The contract under test (see `scaling::simloop`'s "two-mode contract"):
+//!
+//! * `CausalityMode::Causal` admits no causality violation — every task
+//!   starts at or after the decision time that created its window, and the
+//!   executor's `retro_filled_tasks` audit stays zero;
+//! * `CausalityMode::RetroFill` reproduces the legacy placement and audits
+//!   the violations it permits;
+//! * respecting causality can only cost time: `causal makespan ≥
+//!   retro-fill makespan` on identical inputs;
+//! * both modes replay bitwise;
+//! * the controller's backlog signal counts session tasks still in flight,
+//!   not just unwindowed documents;
+//! * an epoch whose tasks are all skipped is well-defined
+//!   (`started == finished == decided_at`, explicit `tasks_skipped`).
+
+use adaparse::{run_closed_loop, AdaParseConfig, ControllerConfig, SimLoopConfig, WorkloadSpec};
+use hpcsim::{CausalityMode, ClusterConfig, ExecutorConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+fn base_config() -> AdaParseConfig {
+    AdaParseConfig { alpha: 0.2, ..Default::default() }
+}
+
+fn workload(n: usize) -> WorkloadSpec {
+    WorkloadSpec { documents: n, pages_per_doc: 8, mb_per_doc: 50.0 }
+}
+
+fn sim(causality: CausalityMode) -> SimLoopConfig {
+    SimLoopConfig {
+        window: 40,
+        nodes: 2,
+        executor: ExecutorConfig { causality, ..Default::default() },
+        controller: ControllerConfig { total_workers: 8, patience: 1, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn causal_mode_admits_zero_causality_violations() {
+    let config = base_config();
+    let improvements = scores(200, 3);
+    let report = run_closed_loop(&config, &improvements, &workload(200), &sim(CausalityMode::Causal));
+    assert_eq!(
+        report.executor_report.retro_filled_tasks, 0,
+        "no task may start before its window's decision time"
+    );
+    // Decision times are monotone event boundaries, and every epoch's
+    // earliest start respects its own decision.
+    for pair in report.waves.windows(2) {
+        assert!(pair[1].decided_at_seconds >= pair[0].decided_at_seconds);
+    }
+    for wave in &report.waves {
+        assert!(
+            wave.started_at_seconds >= wave.decided_at_seconds,
+            "epoch {} started at {} before its decision at {}",
+            wave.wave_index,
+            wave.started_at_seconds,
+            wave.decided_at_seconds
+        );
+    }
+    // The floor is the dispatch frontier, not the completion time, so the
+    // loop still overlaps epochs.
+    assert!(report.epochs_overlap(), "causal admission must not degenerate into a wave barrier");
+    // Readiness deferred to respect causality is accounted.
+    assert!(report.executor_report.decision_lag_seconds > 0.0);
+}
+
+#[test]
+fn retro_fill_audits_the_violations_it_permits() {
+    let config = base_config();
+    let improvements = scores(200, 3);
+    let report = run_closed_loop(&config, &improvements, &workload(200), &sim(CausalityMode::RetroFill));
+    assert!(
+        report.executor_report.retro_filled_tasks > 0,
+        "the overlapping legacy loop must retro-fill some slots"
+    );
+    // The audit floor is recorded per wave even though placement ignores
+    // it: retro-filled epochs start before their submission clock.
+    assert!(report.waves.iter().any(|w| w.started_at_seconds < w.decided_at_seconds));
+}
+
+#[test]
+fn causal_makespan_dominates_retro_fill_and_both_replay_bitwise() {
+    let config = base_config();
+    let improvements = scores(240, 11);
+    let causal_sim = SimLoopConfig { total_budget_seconds: Some(5_000.0), ..sim(CausalityMode::Causal) };
+    let retro_sim = SimLoopConfig { total_budget_seconds: Some(5_000.0), ..sim(CausalityMode::RetroFill) };
+    let causal = run_closed_loop(&config, &improvements, &workload(240), &causal_sim);
+    let retro = run_closed_loop(&config, &improvements, &workload(240), &retro_sim);
+    assert!(
+        causal.makespan_seconds >= retro.makespan_seconds,
+        "respecting decision causality cannot beat retro-fill ({} vs {})",
+        causal.makespan_seconds,
+        retro.makespan_seconds
+    );
+    // Both modes are pure functions of their inputs.
+    let causal_replay = run_closed_loop(&config, &improvements, &workload(240), &causal_sim);
+    assert_eq!(causal, causal_replay, "causal closed loop must replay bitwise");
+    let retro_replay = run_closed_loop(&config, &improvements, &workload(240), &retro_sim);
+    assert_eq!(retro, retro_replay, "retro-fill closed loop must replay bitwise");
+}
+
+#[test]
+fn causal_budget_accounting_reconciles_exactly() {
+    // With a budget large enough that nothing clamps, slot-by-slot
+    // reconciliation must end at exactly `budget − measured seconds`:
+    // every reservation is released by the partial ingests (stragglers
+    // included), none is popped early against a fraction of its window,
+    // and none is stranded.
+    let config = base_config();
+    let improvements = scores(200, 13);
+    let budget = 1_000_000.0;
+    let causal_sim = SimLoopConfig { total_budget_seconds: Some(budget), ..sim(CausalityMode::Causal) };
+    let report = run_closed_loop(&config, &improvements, &workload(200), &causal_sim);
+    let measured = report.executor_report.cpu_busy_seconds + report.executor_report.gpu_busy_seconds;
+    let remaining = report.remaining_budget_seconds.expect("budgeted run reports remaining budget");
+    assert!(
+        (remaining - (budget - measured)).abs() < 1e-6,
+        "partial reconciliation must leave exactly budget − measured ({remaining} vs {budget} − {measured})"
+    );
+
+    // The identity survives skipped work: on a GPU-less cluster every
+    // selected document's parse is skipped, but its completed extract
+    // still burned measured seconds that must be charged — only documents
+    // that ran *nothing* have their reservations released unobserved.
+    let gpu_less = SimLoopConfig {
+        cluster: Some(ClusterConfig { nodes: 2, cpu_slots_per_node: 30, gpu_slots_per_node: 0 }),
+        ..causal_sim
+    };
+    let skippy = run_closed_loop(&config, &improvements, &workload(200), &gpu_less);
+    assert!(skippy.executor_report.tasks_skipped > 0, "parse tasks need GPUs this cluster lacks");
+    let measured = skippy.executor_report.cpu_busy_seconds + skippy.executor_report.gpu_busy_seconds;
+    let remaining = skippy.remaining_budget_seconds.expect("budgeted run reports remaining budget");
+    assert!(
+        (remaining - (budget - measured)).abs() < 1e-6,
+        "skipped parses must not hide their extracts' measured cost ({remaining} vs {budget} − {measured})"
+    );
+}
+
+#[test]
+fn queue_depth_counts_in_flight_stragglers_not_just_unwindowed_documents() {
+    let config = base_config();
+    let improvements = scores(200, 7);
+    for causality in [CausalityMode::RetroFill, CausalityMode::Causal] {
+        let report = run_closed_loop(&config, &improvements, &workload(200), &sim(causality));
+        let mut windowed = 0usize;
+        let mut saw_stragglers = false;
+        for wave in &report.waves {
+            windowed += wave.documents;
+            let docs_remaining = improvements.len() - windowed;
+            assert!(
+                wave.queue_depth >= docs_remaining,
+                "backlog can never be below the unwindowed remainder ({:?})",
+                causality
+            );
+            saw_stragglers |= wave.queue_depth > docs_remaining;
+        }
+        if causality == CausalityMode::Causal {
+            // The causal boundary is the dispatch frontier, which the
+            // epoch's own stragglers always outlive — the old undercount
+            // (unwindowed documents only) would have reported 0 on the
+            // final epoch and frozen the controller on the drain.
+            assert!(saw_stragglers, "the causal loop must observe in-flight session tasks in its backlog");
+            let last = report.waves.last().unwrap();
+            assert!(last.queue_depth > 0, "the final epoch's stragglers are still in flight");
+        }
+    }
+}
+
+#[test]
+fn all_skipped_epochs_are_well_defined() {
+    // A cluster with no slots at all: every task of every epoch is
+    // skipped, nothing ever completes, and each SimWave must still be
+    // well-formed rather than a degenerate record.
+    let config = base_config();
+    let improvements = scores(96, 5);
+    for causality in [CausalityMode::RetroFill, CausalityMode::Causal] {
+        let sim = SimLoopConfig {
+            cluster: Some(ClusterConfig { nodes: 1, cpu_slots_per_node: 0, gpu_slots_per_node: 0 }),
+            ..sim(causality)
+        };
+        let report = run_closed_loop(&config, &improvements, &workload(96), &sim);
+        assert_eq!(report.makespan_seconds, 0.0, "nothing ran ({causality:?})");
+        assert_eq!(report.executor_report.tasks_completed, 0);
+        assert!(report.executor_report.tasks_skipped > 0);
+        assert_eq!(report.waves.len(), 3);
+        for wave in &report.waves {
+            assert!(wave.tasks_skipped > 0, "every epoch's tasks were skipped");
+            assert_eq!(wave.started_at_seconds, wave.decided_at_seconds);
+            assert_eq!(wave.finished_at_seconds, wave.decided_at_seconds);
+        }
+        // Routing is independent of placement: the mask is still emitted
+        // for every document, deterministically.
+        assert_eq!(report.mask.len(), 96);
+        let replay = run_closed_loop(&config, &improvements, &workload(96), &sim);
+        assert_eq!(report, replay);
+    }
+}

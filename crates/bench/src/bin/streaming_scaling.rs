@@ -18,7 +18,14 @@
 //!    allocation, and placement *wavelessly* through one persistent
 //!    `hpcsim::ExecutorSession` (slots, warm pools, and pair anchors
 //!    persist across decision epochs; parse tasks depend on their extract
-//!    partners), twice, asserting a bitwise-identical replay.
+//!    partners), twice, asserting a bitwise-identical replay,
+//! 7. the causal-vs-retro-fill ablation: the same closed loop under
+//!    `CausalityMode::Causal` (every window admitted at the dispatch
+//!    frontier as a release floor, partial-window observation) against the
+//!    legacy `RetroFill` placement — asserting the causal run admits zero
+//!    causality violations, the retro-fill run audits its own, the causal
+//!    makespan bounds the retro-fill makespan from above (the price of
+//!    causality), and both modes replay bitwise.
 //!
 //! Run with: `cargo run --release --bin streaming_scaling`
 //! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
@@ -32,7 +39,7 @@ use adaparse::{
     StageSample, WaveStats, WorkloadSpec,
 };
 use bench::bench_doc_count;
-use hpcsim::{ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+use hpcsim::{CausalityMode, ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
 use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
 
 fn main() {
@@ -321,4 +328,54 @@ fn main() {
     );
     let budgeted_replay = run_closed_loop(engine.config(), &scores, &sim_workload, &budgeted_sim);
     assert_eq!(budgeted, budgeted_replay, "the budgeted closed loop must replay bitwise too");
+
+    // 7. Causal vs retro-fill: the same campaign with decision causality
+    // enforced. Each window is admitted at the session's dispatch frontier
+    // (its release floor), the effective α only ingests observations that
+    // exist at the decision time, and no task may start before its
+    // window's decision — so the causal makespan is an achievable
+    // schedule, bounding the optimistic retro-fill one from above.
+    let causal_sim = SimLoopConfig {
+        executor: ExecutorConfig { causality: CausalityMode::Causal, ..Default::default() },
+        ..sim
+    };
+    let causal = run_closed_loop(engine.config(), &scores, &sim_workload, &causal_sim);
+    println!("\nCausal-vs-retro-fill ablation (same corpus, same loop)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>16} {:>10}",
+        "mode", "makespan", "retro-filled", "decision lag", "overlap"
+    );
+    for (label, run) in [("retro-fill", &report), ("causal", &causal)] {
+        println!(
+            "{label:>10} {:>10.1} s {:>14} {:>14.1} s {:>10}",
+            run.makespan_seconds,
+            run.executor_report.retro_filled_tasks,
+            run.executor_report.decision_lag_seconds,
+            run.epochs_overlap()
+        );
+    }
+    let causality_price =
+        100.0 * (causal.makespan_seconds - report.makespan_seconds) / report.makespan_seconds;
+    println!("  price of causality: +{causality_price:.2} % makespan");
+    assert_eq!(
+        causal.executor_report.retro_filled_tasks, 0,
+        "causal mode must admit zero causality violations"
+    );
+    assert!(
+        report.executor_report.retro_filled_tasks > 0,
+        "the overlapping retro-fill loop must audit its violations"
+    );
+    assert!(
+        causal.makespan_seconds >= report.makespan_seconds - 1e-9,
+        "causal makespan must bound retro-fill from above ({} vs {})",
+        causal.makespan_seconds,
+        report.makespan_seconds
+    );
+    assert!(causal.epochs_overlap(), "causal admission must still overlap epochs, not barrier");
+    for wave in &causal.waves {
+        assert!(wave.started_at_seconds >= wave.decided_at_seconds, "no epoch precedes its decision");
+    }
+    let causal_replay = run_closed_loop(engine.config(), &scores, &sim_workload, &causal_sim);
+    assert_eq!(causal, causal_replay, "the causal closed loop must replay bitwise");
+    println!("  replay: identical in both modes");
 }

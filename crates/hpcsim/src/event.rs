@@ -3,7 +3,11 @@
 //! [`ReadyQueue`] is the ordering heart of the dependency-aware executor: a
 //! time-ordered min-heap whose ties break by an explicit id (then insertion
 //! order), so the engine's scheduling decisions are bitwise-independent of
-//! the order work was submitted in.
+//! the order work was submitted in. Since the executor became
+//! event-interleaved it is also the *session-persistent* admission queue:
+//! batches enqueued between drains push into one shared queue, so a later
+//! batch's task released earlier (or tying on time with a smaller id) is
+//! dispatched first, regardless of which `submit` call carried it.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

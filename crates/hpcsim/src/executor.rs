@@ -4,12 +4,22 @@
 //! Tasks carry precedence edges ([`Task::depends_on`]) and are released by a
 //! ready queue only once every dependency has finished; ready tasks are
 //! dispatched to per-node CPU and GPU worker slots in deterministic
-//! `(ready time, task id)` order. The engine is resumable: an
-//! [`ExecutorSession`] keeps slot availability, per-node warm pools, pair
-//! anchors, and the simulated clock alive across [`submit`] batches, so a
-//! closed-loop controller can feed it one decision epoch at a time without
-//! ever barriering the cluster. The executor reproduces the orchestration
-//! optimizations of the paper's §5.2 / §6.1 so they can be ablated:
+//! `(ready time, task id)` order. The engine is resumable *and
+//! event-interleaved*: an [`ExecutorSession`] keeps slot availability,
+//! per-node warm pools, pair anchors, a persistent pending set, and the
+//! simulated clock alive across batches. [`ExecutorSession::submit_with`]
+//! enqueues a batch under a *release floor* (the simulated time of the
+//! decision that created it) without running the engine, and
+//! [`ExecutorSession::advance_to_frontier`] drains everything pending in
+//! global event order — so a closed-loop controller can admit window *i+1*
+//! at an event boundary while window *i*'s stragglers are still in flight,
+//! without ever barriering the cluster. [`CausalityMode`] selects whether
+//! release floors are enforced (no task starts before the decision that
+//! created it — achievable schedules) or merely audited (the legacy
+//! retro-fill placement, an optimistic lower bound, with the violations
+//! counted in [`CampaignReport::retro_filled_tasks`]). The executor
+//! reproduces the orchestration optimizations of the paper's §5.2 / §6.1 so
+//! they can be ablated:
 //!
 //! * **warm pools** — each node keeps a [`WarmPool`] of resident ML model
 //!   weights keyed by the task's model label: reusing a resident model is
@@ -45,6 +55,53 @@ use crate::lustre::LustreModel;
 use crate::profiler::GpuTrace;
 use crate::task::{ClusterConfig, GroupRole, SlotKind, Task};
 
+/// When a batch's tasks may be placed relative to the decision that
+/// created the batch (its *release floor* — see
+/// [`SubmitOptions::release_seconds`]).
+///
+/// The two modes share one scheduling engine; they differ only in whether
+/// the release floor is *enforced* as a lower bound on task readiness or
+/// merely *recorded* for audit:
+///
+/// * [`RetroFill`](Self::RetroFill) (the legacy default) lets a batch's
+///   tasks start on any slot that is free — including slots that freed at
+///   simulated times *before* the batch was submitted. This retroactive
+///   fill approximates a perfectly pipelined controller and yields an
+///   optimistic makespan — a guaranteed lower bound on the causal one for
+///   dependency-free batches, and an empirical one on DAG workloads
+///   (greedy list scheduling admits rare anomalies where delaying a
+///   release shortens the schedule); the violation is quantified per run
+///   in [`CampaignReport::retro_filled_tasks`] and
+///   [`CampaignReport::decision_lag_seconds`].
+/// * [`Causal`](Self::Causal) clamps every task's ready time to its
+///   batch's release floor, so no task starts before the decision that
+///   created it existed. Closed-loop makespans under this mode are
+///   achievable schedules, and every scheduled task satisfies
+///   `start_seconds >= submitted_at_seconds`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CausalityMode {
+    /// Legacy placement: batch tasks may retro-fill slots that freed
+    /// before the batch's release floor (bitwise-identical to the pre-PR 5
+    /// engine).
+    RetroFill,
+    /// Causal placement: no task starts before its batch's release floor.
+    Causal,
+}
+
+/// Per-batch submission options for [`ExecutorSession::submit_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SubmitOptions {
+    /// The simulated time the decision that created this batch was made —
+    /// the batch's *release floor*. `None` uses the session clock at
+    /// submission (the latest completion seen so far), which reproduces
+    /// the plain [`ExecutorSession::submit`] baseline in both causality
+    /// modes. Under [`CausalityMode::Causal`] no task of the batch may
+    /// start before this floor; under [`CausalityMode::RetroFill`] the
+    /// floor is recorded on each [`ScheduledTask::submitted_at_seconds`]
+    /// and in the retro-fill audit counters, but placement ignores it.
+    pub release_seconds: Option<f64>,
+}
+
 /// Executor options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutorConfig {
@@ -70,6 +127,11 @@ pub struct ExecutorConfig {
     /// re-pays its cold start, but per-model miss counts are still
     /// reported — unlike `warm_start: false`, which bypasses the pools).
     pub warm_pool_capacity: Option<usize>,
+    /// Whether batch release floors are enforced
+    /// ([`CausalityMode::Causal`]) or merely audited
+    /// ([`CausalityMode::RetroFill`], the legacy default — placement is
+    /// bitwise-identical to the pre-causality engine).
+    pub causality: CausalityMode,
 }
 
 impl Default for ExecutorConfig {
@@ -80,6 +142,7 @@ impl Default for ExecutorConfig {
             prefetch: true,
             co_schedule_pairs: true,
             warm_pool_capacity: None,
+            causality: CausalityMode::RetroFill,
         }
     }
 }
@@ -200,6 +263,18 @@ pub struct CampaignReport {
     /// was called) — so a later batch is never charged for the session
     /// time that elapsed before it was submitted.
     pub queue_wait_seconds: f64,
+    /// Tasks that started at a simulated time *before* their batch's
+    /// release floor ([`ScheduledTask::submitted_at_seconds`]) — the
+    /// causality violations [`CausalityMode::RetroFill`] permits. Always
+    /// zero under [`CausalityMode::Causal`].
+    pub retro_filled_tasks: usize,
+    /// Seconds by which task readiness preceded the batch's release floor,
+    /// summed over completed tasks (`max(0, floor − dependency-only ready
+    /// time)` per task). Under [`CausalityMode::Causal`] this is the delay
+    /// the floor *injected* to respect decision causality; under
+    /// [`CausalityMode::RetroFill`] it is the same quantity unenforced —
+    /// the magnitude of the retro-fill approximation.
+    pub decision_lag_seconds: f64,
     /// Warm-pool hits: tasks that reused resident model weights for free.
     pub warm_hits: usize,
     /// Models evicted from per-node warm pools to make room.
@@ -232,6 +307,8 @@ impl CampaignReport {
             split_pairs: 0,
             critical_path_seconds: 0.0,
             queue_wait_seconds: 0.0,
+            retro_filled_tasks: 0,
+            decision_lag_seconds: 0.0,
             warm_hits: 0,
             warm_evictions: 0,
             warm_models: Vec::new(),
@@ -401,8 +478,21 @@ pub struct ScheduledTask {
     /// can precede both the batch's submission and the task's start;
     /// [`CampaignReport::queue_wait_seconds`] floors its wait baseline at
     /// the batch submission clock, so `start_seconds - ready_seconds`
-    /// deliberately does not reproduce that figure.
+    /// deliberately does not reproduce that figure. Under
+    /// [`CausalityMode::Causal`] the release clamp is applied *before*
+    /// this field is recorded, so it is never below
+    /// [`submitted_at_seconds`](Self::submitted_at_seconds).
     pub ready_seconds: f64,
+    /// The release floor the task's batch was submitted under — the
+    /// simulated time of the decision that created it
+    /// ([`SubmitOptions::release_seconds`], defaulting to the session
+    /// clock at submission). Every schedule row carries it so a trace can
+    /// be audited for causality: under [`CausalityMode::Causal`] the
+    /// engine guarantees `start_seconds >= submitted_at_seconds`; under
+    /// [`CausalityMode::RetroFill`] rows violating that inequality are the
+    /// retro-filled tasks counted in
+    /// [`CampaignReport::retro_filled_tasks`].
+    pub submitted_at_seconds: f64,
     /// Simulated time the task started.
     pub start_seconds: f64,
     /// Simulated time the task finished.
@@ -424,6 +514,34 @@ struct Slot {
 struct Finished {
     finish_seconds: f64,
     critical_path_seconds: f64,
+}
+
+/// One submitted-but-not-yet-dispatched task in the session's pending set,
+/// together with the dependency-graph bookkeeping the event loop drains.
+#[derive(Debug, Clone)]
+struct PendingTask {
+    task: Task,
+    /// The batch's release floor (see [`SubmitOptions::release_seconds`]):
+    /// the queue-wait baseline in both modes, and the ready-time clamp
+    /// under [`CausalityMode::Causal`].
+    floor: f64,
+    /// Latest dependency finish seen so far — the task's *unclamped* ready
+    /// time. The release-time clamp is applied on top of this when the
+    /// task enters the ready queue, so the engine can report how much
+    /// readiness the floor deferred ([`CampaignReport::decision_lag_seconds`]).
+    raw_ready: f64,
+    /// Busy-weighted critical-path length inherited from dependencies.
+    chain: f64,
+    /// Undispatched dependencies remaining.
+    remaining: usize,
+    /// Arena indices of pending tasks waiting on this one.
+    dependents: Vec<usize>,
+    /// A dependency was skipped (here or in an earlier batch): this task
+    /// can never find its input and will be skipped too.
+    poisoned: bool,
+    /// Popped from the ready queue (run or skipped). Entries never popped
+    /// by the end of a drain are dependency cycles.
+    dispatched: bool,
 }
 
 /// The workflow executor.
@@ -500,6 +618,23 @@ pub struct ExecutorSession {
     /// too — the skip cascade spans batch boundaries, like the completion
     /// map does.
     skipped: HashSet<u64>,
+    /// The session-persistent pending set: tasks enqueued by
+    /// [`submit_with`](Self::submit_with) that
+    /// [`advance_to_frontier`](Self::advance_to_frontier) has not yet
+    /// drained. Cleared after every drain (the engine dispatches eagerly,
+    /// so nothing lingers), but batches enqueued *between* drains share
+    /// this arena and interleave in `(ready time, task id)` event order.
+    pending: Vec<PendingTask>,
+    /// Undispatched arena indices by task id, for wiring dependency edges
+    /// across batches enqueued into the same drain.
+    pending_by_id: HashMap<u64, Vec<usize>>,
+    /// The session-persistent ready queue feeding the dispatch loop.
+    ready: ReadyQueue<usize>,
+    /// Latest task start so far — the *dispatch frontier*: the simulated
+    /// time at which the engine last ran out of undispatched work, which
+    /// is the natural event boundary for a closed loop to make its next
+    /// admission decision at.
+    frontier: f64,
     gpu_count: usize,
 }
 
@@ -535,6 +670,10 @@ impl ExecutorSession {
             cumulative: CampaignReport::blank(gpu_count),
             warm_stats: BTreeMap::new(),
             skipped: HashSet::new(),
+            pending: Vec::new(),
+            pending_by_id: HashMap::new(),
+            ready: ReadyQueue::new(),
+            frontier: 0.0,
             gpu_count,
         }
     }
@@ -542,6 +681,36 @@ impl ExecutorSession {
     /// The session's simulated time: the latest completion seen so far.
     pub fn now_seconds(&self) -> f64 {
         self.clock.now_seconds()
+    }
+
+    /// The session's *dispatch frontier*: the latest task start so far —
+    /// the simulated time at which the engine last ran out of
+    /// undispatched work. This is the event boundary a closed loop should
+    /// stamp its next admission decision with
+    /// ([`SubmitOptions::release_seconds`]): at the frontier every
+    /// submitted task has been dispatched (stragglers may still be
+    /// *running*), so a live controller would be refilling the queue.
+    pub fn frontier_seconds(&self) -> f64 {
+        self.frontier
+    }
+
+    /// Tasks enqueued by [`submit_with`](Self::submit_with) but not yet
+    /// drained by [`advance_to_frontier`](Self::advance_to_frontier).
+    pub fn pending_task_count(&self) -> usize {
+        self.pending.iter().filter(|p| !p.dispatched).count()
+    }
+
+    /// Number of *dispatched* tasks still in flight at simulated time
+    /// `seconds`: scheduled tasks whose finish lies strictly after it.
+    /// This is the session half of a controller's true backlog — work
+    /// admitted but not yet done — alongside whatever upstream documents
+    /// have not been windowed yet. Tasks merely enqueued (pending, not
+    /// yet drained) are not counted; call this after a drain. Linear in
+    /// the tasks scheduled so far — fine at simulation scale, but a
+    /// per-epoch caller over a very large campaign would want to track
+    /// unfinished work incrementally instead.
+    pub fn tasks_in_flight_at(&self, seconds: f64) -> usize {
+        self.schedule.iter().filter(|s| s.finish_seconds > seconds).count()
     }
 
     /// Every task scheduled so far, in schedule order (ready-queue pop
@@ -579,65 +748,151 @@ impl ExecutorSession {
     /// earlier one — are counted in
     /// [`tasks_skipped`](CampaignReport::tasks_skipped).
     pub fn submit(&mut self, tasks: &[Task], filesystem: &LustreModel) -> CampaignReport {
-        // Queue-wait baseline: a task in this batch cannot have existed
-        // before the batch was submitted (= the session clock, the previous
-        // batch's makespan), so waiting is only charged from there — zero
-        // for the session's first batch, preserving one-shot `run`
-        // semantics. Start times themselves stay unclamped: a batch may
-        // still *run* on slots that freed before it was submitted (the
-        // waveless overlap), it just never queued for them.
-        let batch_floor = self.clock.now_seconds();
-        let mut report = CampaignReport::blank(self.gpu_count);
-        let mut batch_trace = GpuTrace::new(self.gpu_count);
-        let mut batch_warm: BTreeMap<String, ModelWarmStats> = BTreeMap::new();
+        self.submit_with(tasks, SubmitOptions::default());
+        self.advance_to_frontier(filesystem)
+    }
 
-        // --- Dependency graph over the batch. ---
-        let mut by_id: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (index, task) in tasks.iter().enumerate() {
-            by_id.entry(task.id).or_default().push(index);
+    /// Enqueue a batch of tasks *without* running the engine: the batch
+    /// joins the session's persistent pending set and ready queue, to be
+    /// dispatched by the next [`advance_to_frontier`](Self::advance_to_frontier).
+    /// Batches enqueued between drains interleave in global
+    /// `(ready time, task id)` event order — a later batch's task released
+    /// earlier is dispatched first — which is what lets a closed loop
+    /// admit window *i+1* at an event boundary while window *i*'s
+    /// stragglers are still in flight. Dependency edges bind across every
+    /// batch sharing the drain, in either enqueue direction: a task naming
+    /// an id that only arrives in a *later* `submit_with` call waits for
+    /// it all the same (ids the session never sees by the time the drain
+    /// runs remain vacuously satisfied).
+    ///
+    /// The batch carries a *release floor*
+    /// ([`SubmitOptions::release_seconds`], defaulting to the session
+    /// clock): the simulated time of the decision that created it. It is
+    /// the queue-wait baseline in both causality modes, is recorded on
+    /// every [`ScheduledTask::submitted_at_seconds`], and under
+    /// [`CausalityMode::Causal`] clamps every task's ready time so nothing
+    /// starts before the decision existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.release_seconds` is non-finite.
+    pub fn submit_with(&mut self, tasks: &[Task], options: SubmitOptions) {
+        // Default floor: a task in this batch cannot have existed before
+        // the batch was submitted (= the session clock, the previous
+        // drain's last completion) — zero for the session's first batch,
+        // preserving one-shot `run` semantics.
+        let floor = match options.release_seconds {
+            Some(seconds) => {
+                assert!(seconds.is_finite(), "release floor must be finite");
+                seconds.max(0.0)
+            }
+            None => self.clock.now_seconds(),
+        };
+        // --- Dependency graph over the session's pending set. Insert the
+        // whole batch first so in-batch forward references resolve. ---
+        let base = self.pending.len();
+        for task in tasks {
+            let index = self.pending.len();
+            self.pending.push(PendingTask {
+                task: task.clone(),
+                floor,
+                raw_ready: 0.0,
+                chain: 0.0,
+                remaining: 0,
+                dependents: Vec::new(),
+                poisoned: false,
+                dispatched: false,
+            });
+            self.pending_by_id.entry(task.id).or_default().push(index);
         }
-        let n = tasks.len();
-        let mut remaining = vec![0usize; n];
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-        // Per-task release time (max dependency finish) and inherited
-        // critical-path length, grown as dependencies complete.
-        let mut ready_time = vec![0.0f64; n];
-        let mut chain = vec![0.0f64; n];
-        let mut poisoned = vec![false; n];
-        for (index, task) in tasks.iter().enumerate() {
-            for dep in &task.depends_on {
-                if let Some(instances) = by_id.get(dep) {
-                    // In-batch dependency (a self-edge joins the cycle
-                    // leftovers: its count never drains).
-                    for &instance in instances {
-                        remaining[index] += 1;
-                        dependents[instance].push(index);
+        for index in base..self.pending.len() {
+            let deps = std::mem::take(&mut self.pending[index].task.depends_on);
+            for dep in &deps {
+                if let Some(instances) = self.pending_by_id.get(dep).cloned() {
+                    // A pending dependency — in this batch or an earlier
+                    // batch enqueued into the same drain (a self-edge
+                    // joins the cycle leftovers: its count never drains).
+                    for instance in instances {
+                        self.pending[index].remaining += 1;
+                        self.pending[instance].dependents.push(index);
                     }
                 } else if let Some(done) = self.completed.get(dep) {
-                    ready_time[index] = ready_time[index].max(done.finish_seconds);
-                    chain[index] = chain[index].max(done.critical_path_seconds);
+                    let entry = &mut self.pending[index];
+                    entry.raw_ready = entry.raw_ready.max(done.finish_seconds);
+                    entry.chain = entry.chain.max(done.critical_path_seconds);
                 } else if self.skipped.contains(dep) {
                     // The dependency was skipped in an earlier batch: its
                     // output never materialized, so this task is skipped
                     // too (same cascade as within a batch).
-                    poisoned[index] = true;
+                    self.pending[index].poisoned = true;
                 }
                 // Unknown ids are vacuously satisfied at time zero.
             }
+            self.pending[index].task.depends_on = deps;
         }
-
-        let mut ready: ReadyQueue<usize> = ReadyQueue::new();
-        for (index, task) in tasks.iter().enumerate() {
-            if remaining[index] == 0 {
-                ready.push(ready_time[index], task.id, index);
+        // Forward edges: an *earlier* undrained batch may depend on ids
+        // this batch introduces — same-drain edges are real in either
+        // enqueue direction, so wire the new instances in. (Instances
+        // enqueued before the dependent were wired above or at its own
+        // enqueue; only indices >= base are new.) Ready-queue population
+        // is deferred to the drain, so a task that loses its
+        // released-vacuously status here was never prematurely queued.
+        for earlier in 0..base {
+            let deps = std::mem::take(&mut self.pending[earlier].task.depends_on);
+            for dep in &deps {
+                if let Some(instances) = self.pending_by_id.get(dep) {
+                    let fresh: Vec<usize> = instances.iter().copied().filter(|&i| i >= base).collect();
+                    for instance in fresh {
+                        self.pending[earlier].remaining += 1;
+                        self.pending[instance].dependents.push(earlier);
+                    }
+                }
             }
+            self.pending[earlier].task.depends_on = deps;
         }
+    }
+
+    /// A pending task's ready-queue release time: its latest dependency
+    /// finish, clamped to its batch's release floor under
+    /// [`CausalityMode::Causal`] (the floor is audit-only in
+    /// [`CausalityMode::RetroFill`]).
+    fn release_time(&self, index: usize) -> f64 {
+        let entry = &self.pending[index];
+        match self.config.causality {
+            CausalityMode::RetroFill => entry.raw_ready,
+            CausalityMode::Causal => entry.raw_ready.max(entry.floor),
+        }
+    }
+
+    /// Drain the session's pending set: dispatch every enqueued task in
+    /// `(ready time, task id)` event order against the persistent cluster
+    /// state, and return a report over the tasks dispatched by *this*
+    /// call (the batch-local report when one batch was enqueued). After
+    /// this returns, the dispatch frontier
+    /// ([`frontier_seconds`](Self::frontier_seconds)) is the event
+    /// boundary at which the engine ran out of undispatched work — the
+    /// time a closed loop should stamp its next
+    /// [`submit_with`](Self::submit_with) decision with, while the tasks
+    /// counted by [`tasks_in_flight_at`](Self::tasks_in_flight_at) are
+    /// still running past it.
+    ///
+    /// With nothing pending this is a no-op returning an empty report
+    /// whose makespan is the current session clock.
+    pub fn advance_to_frontier(&mut self, filesystem: &LustreModel) -> CampaignReport {
+        // Enqueueing never advances the clock, so this is also the
+        // session clock at the time the drained batches were submitted.
+        let advance_floor = self.clock.now_seconds();
+        let mut report = CampaignReport::blank(self.gpu_count);
+        let mut batch_trace = GpuTrace::new(self.gpu_count);
+        let mut batch_warm: BTreeMap<String, ModelWarmStats> = BTreeMap::new();
+        let causal = self.config.causality == CausalityMode::Causal;
 
         // Affinity-and-pair-oblivious batches pay no locality penalty
         // anywhere, so the canonical slot choice (earliest start, then
         // longest-idle, then lowest index) reduces to popping a per-kind
         // `(free-at, slot index)` heap — replacing the O(slots) scan.
-        let oblivious = tasks.iter().all(|t| t.preferred_node.is_none() && t.group.is_none());
+        let oblivious =
+            self.pending.iter().all(|p| p.task.preferred_node.is_none() && p.task.group.is_none());
         let mut slot_queues = if oblivious {
             let mut free_cpu = ReadyQueue::new();
             let mut free_gpu = ReadyQueue::new();
@@ -655,25 +910,42 @@ impl ExecutorSession {
         // In steady state every node stages data concurrently; that is the
         // contention level the shared filesystem sees.
         let staging_concurrency = self.cluster.nodes;
-        let mut handled = 0usize;
         let mut batch_first_start = f64::INFINITY;
 
-        while let Some((time, _, index)) = ready.pop() {
-            handled += 1;
-            let task = &tasks[index];
+        // Seed the ready queue with every pending task whose dependencies
+        // are already satisfied. Deferred to the drain (rather than done
+        // at enqueue) so that batches enqueued later into the same drain
+        // may still add forward edges to earlier ones.
+        for index in 0..self.pending.len() {
+            if self.pending[index].remaining == 0 {
+                let release = self.release_time(index);
+                self.ready.push(release, self.pending[index].task.id, index);
+            }
+        }
+
+        while let Some((time, _, index)) = self.ready.pop() {
+            self.pending[index].dispatched = true;
+            // Move the task out of the arena (it is dispatched exactly
+            // once and the arena clears at the end of the drain) — no
+            // per-dispatch clone of its label and dependency list.
+            let task = std::mem::replace(&mut self.pending[index].task, Task::new(0, SlotKind::Cpu, 0.0));
+            let floor = self.pending[index].floor;
+            let raw_ready = self.pending[index].raw_ready;
             let candidates = match task.slot {
                 SlotKind::Cpu => &self.cpu_slots,
                 SlotKind::Gpu => &self.gpu_slots,
             };
-            if poisoned[index] || candidates.is_empty() {
+            if self.pending[index].poisoned || candidates.is_empty() {
                 report.tasks_skipped += 1;
                 self.skipped.insert(task.id);
                 // Dependents of a skipped task can never find their input.
-                for dependent in std::mem::take(&mut dependents[index]) {
-                    poisoned[dependent] = true;
-                    remaining[dependent] -= 1;
-                    if remaining[dependent] == 0 {
-                        ready.push(ready_time[dependent].max(time), tasks[dependent].id, dependent);
+                for dependent in std::mem::take(&mut self.pending[index].dependents) {
+                    let entry = &mut self.pending[dependent];
+                    entry.poisoned = true;
+                    entry.remaining -= 1;
+                    if entry.remaining == 0 {
+                        let release = self.release_time(dependent).max(time);
+                        self.ready.push(release, self.pending[dependent].task.id, dependent);
                     }
                 }
                 continue;
@@ -818,7 +1090,18 @@ impl ExecutorSession {
             };
             let end = start + busy;
             report.stage_in_seconds += stage_in;
-            report.queue_wait_seconds += (start - time.max(batch_floor)).max(0.0);
+            report.queue_wait_seconds += (start - time.max(floor)).max(0.0);
+            // Causality accounting. `decision_lag_seconds` measures, in
+            // both modes, how far the task's dependency-only readiness
+            // preceded the decision that released it; `retro_filled_tasks`
+            // counts the starts RetroFill actually placed before that
+            // decision (impossible under Causal — the floor clamps the
+            // ready time, and start >= ready).
+            report.decision_lag_seconds += (floor - raw_ready).max(0.0);
+            if start < floor {
+                report.retro_filled_tasks += 1;
+            }
+            debug_assert!(!causal || start >= floor, "causal mode must never start a task before its floor");
             match self.slots[slot_index].kind {
                 SlotKind::Cpu => report.cpu_busy_seconds += busy,
                 SlotKind::Gpu => {
@@ -836,9 +1119,10 @@ impl ExecutorSession {
             }
             report.tasks_completed += 1;
             report.makespan_seconds = report.makespan_seconds.max(end);
-            let critical_path = chain[index] + busy;
+            let critical_path = self.pending[index].chain + busy;
             report.critical_path_seconds = report.critical_path_seconds.max(critical_path);
             self.free_at[slot_index] = end;
+            self.frontier = self.frontier.max(start);
             if let Some((free_cpu, free_gpu)) = &mut slot_queues {
                 match task.slot {
                     SlotKind::Cpu => free_cpu.push(end, slot_index as u64, slot_index),
@@ -853,38 +1137,44 @@ impl ExecutorSession {
                 kind: task.slot,
                 node,
                 ready_seconds: time,
+                submitted_at_seconds: floor,
                 start_seconds: start,
                 finish_seconds: end,
                 cold_start_paid_seconds: cold,
             });
             // Release dependents whose last dependency just finished.
-            for dependent in std::mem::take(&mut dependents[index]) {
-                ready_time[dependent] = ready_time[dependent].max(end);
-                chain[dependent] = chain[dependent].max(critical_path);
-                remaining[dependent] -= 1;
-                if remaining[dependent] == 0 {
-                    ready.push(ready_time[dependent], tasks[dependent].id, dependent);
+            for dependent in std::mem::take(&mut self.pending[index].dependents) {
+                let entry = &mut self.pending[dependent];
+                entry.raw_ready = entry.raw_ready.max(end);
+                entry.chain = entry.chain.max(critical_path);
+                entry.remaining -= 1;
+                if entry.remaining == 0 {
+                    let release = self.release_time(dependent);
+                    self.ready.push(release, self.pending[dependent].task.id, dependent);
                 }
             }
         }
         // Tasks never released: dependency cycles (including self-edges).
         // They count as skipped, and — like every other skip — poison their
         // dependents in later batches.
-        if handled < n {
-            for (index, task) in tasks.iter().enumerate() {
-                if remaining[index] > 0 {
-                    self.skipped.insert(task.id);
-                }
+        for entry in &self.pending {
+            if !entry.dispatched {
+                self.skipped.insert(entry.task.id);
+                report.tasks_skipped += 1;
             }
-            report.tasks_skipped += n - handled;
         }
+        // Everything pending has now been dispatched or skipped; later
+        // batches resolve dependencies through the completion and skip
+        // maps, so the arena empties between drains.
+        self.pending.clear();
+        self.pending_by_id.clear();
 
-        // A batch that completed nothing (every task skipped, or no tasks
+        // A drain that completed nothing (every task skipped, or no tasks
         // at all) ends where the session already was — `makespan_seconds`
         // is documented as absolute session time, never the blank report's
         // t = 0, which for a later batch would precede its own submission.
         if report.tasks_completed == 0 {
-            report.makespan_seconds = batch_floor;
+            report.makespan_seconds = advance_floor;
         }
 
         // Batch throughput is measured over the batch's own span (first
@@ -915,6 +1205,8 @@ impl ExecutorSession {
         total.split_pairs += batch.split_pairs;
         total.critical_path_seconds = total.critical_path_seconds.max(batch.critical_path_seconds);
         total.queue_wait_seconds += batch.queue_wait_seconds;
+        total.retro_filled_tasks += batch.retro_filled_tasks;
+        total.decision_lag_seconds += batch.decision_lag_seconds;
         total.warm_hits += batch.warm_hits;
         total.warm_evictions += batch.warm_evictions;
         total.stage_timings.absorb(&batch.stage_timings);
@@ -1515,6 +1807,153 @@ mod tests {
         let a = executor.run(&tasks, &cluster, &LustreModel::default());
         let b = executor.run(&tasks, &cluster, &LustreModel::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn submit_with_enqueues_without_draining() {
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        session.submit_with(&cpu_tasks(3, 1.0), SubmitOptions::default());
+        assert_eq!(session.pending_task_count(), 3, "submit_with must not run the engine");
+        assert!(session.schedule().is_empty());
+        let report = session.advance_to_frontier(&LustreModel::default());
+        assert_eq!(report.tasks_completed, 3);
+        assert_eq!(session.pending_task_count(), 0);
+        assert_eq!(session.schedule().len(), 3);
+        // A second advance with nothing pending is a no-op at the clock.
+        let idle = session.advance_to_frontier(&LustreModel::default());
+        assert_eq!(idle.tasks_completed, 0);
+        assert_eq!(idle.makespan_seconds, session.now_seconds());
+    }
+
+    #[test]
+    fn batches_enqueued_together_interleave_in_event_order() {
+        // Two batches drained at once: the later batch's earlier-ready task
+        // (smaller id, same ready time) dispatches first — submission order
+        // does not bias the interleaving.
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 1, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        session.submit_with(&[Task::new(5, SlotKind::Cpu, 1.0)], SubmitOptions::default());
+        session.submit_with(&[Task::new(2, SlotKind::Cpu, 1.0)], SubmitOptions::default());
+        session.advance_to_frontier(&LustreModel::default());
+        let order: Vec<u64> = session.schedule().iter().map(|s| s.id).collect();
+        assert_eq!(order, vec![2, 5], "the (time, id) ready order must span batches");
+        // Dependencies wire across batches enqueued into the same drain —
+        // in either enqueue direction.
+        for dependent_first in [false, true] {
+            let mut chained = executor.session(&cluster);
+            let producer = [Task::new(0, SlotKind::Cpu, 2.0)];
+            let consumer = [Task::new(1, SlotKind::Cpu, 1.0).with_dependency(0)];
+            if dependent_first {
+                chained.submit_with(&consumer, SubmitOptions::default());
+                chained.submit_with(&producer, SubmitOptions::default());
+            } else {
+                chained.submit_with(&producer, SubmitOptions::default());
+                chained.submit_with(&consumer, SubmitOptions::default());
+            }
+            let report = chained.advance_to_frontier(&LustreModel::default());
+            assert_eq!(report.tasks_completed, 2);
+            let dependent = chained.schedule().iter().find(|s| s.id == 1).unwrap();
+            assert!(
+                dependent.start_seconds >= 2.0,
+                "the edge must hold with dependent_first = {dependent_first}"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_mode_never_starts_a_task_before_its_release_floor() {
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let causal =
+            WorkflowExecutor::new(ExecutorConfig { causality: CausalityMode::Causal, ..Default::default() });
+        let mut session = causal.session(&cluster);
+        // Batch 1: one long task and one short — a slot frees at t = 1.
+        session.submit(
+            &[Task::new(0, SlotKind::Cpu, 10.0), Task::new(1, SlotKind::Cpu, 1.0)],
+            &LustreModel::default(),
+        );
+        // Batch 2 released at t = 4: the idle slot may not run it earlier.
+        session
+            .submit_with(&[Task::new(2, SlotKind::Cpu, 1.0)], SubmitOptions { release_seconds: Some(4.0) });
+        let report = session.advance_to_frontier(&LustreModel::default());
+        assert_eq!(report.retro_filled_tasks, 0, "causal mode admits no retro-fill");
+        let late = session.schedule().iter().find(|s| s.id == 2).unwrap();
+        assert_eq!(late.submitted_at_seconds, 4.0);
+        assert!(late.start_seconds >= 4.0, "started at {} before its floor", late.start_seconds);
+        assert!(late.ready_seconds >= 4.0, "ready time must be clamped to the floor");
+        // The floor deferred 4 s of readiness (the task had no deps).
+        assert_eq!(report.decision_lag_seconds, 4.0);
+        for row in session.schedule() {
+            assert!(row.start_seconds >= row.submitted_at_seconds);
+        }
+    }
+
+    #[test]
+    fn retro_fill_mode_counts_the_causality_violations_it_permits() {
+        // Same shape as the causal test, via plain submit: batch 2 is
+        // submitted at the session clock (t = 10) but retro-fills the slot
+        // that freed at t = 1.
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        session.submit(
+            &[Task::new(0, SlotKind::Cpu, 10.0), Task::new(1, SlotKind::Cpu, 1.0)],
+            &LustreModel::default(),
+        );
+        let second = session.submit(&[Task::new(2, SlotKind::Cpu, 1.0)], &LustreModel::default());
+        assert_eq!(second.retro_filled_tasks, 1, "the retro-fill must be audited");
+        assert_eq!(second.decision_lag_seconds, 10.0);
+        let late = session.schedule().iter().find(|s| s.id == 2).unwrap();
+        assert_eq!(late.submitted_at_seconds, 10.0);
+        assert!(late.start_seconds < late.submitted_at_seconds, "retro-fill starts before the floor");
+        assert_eq!(session.report().retro_filled_tasks, 1, "the session total folds batches");
+    }
+
+    #[test]
+    fn causal_makespan_dominates_retro_fill_on_a_split_submission() {
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let batches: [Vec<Task>; 2] = [
+            vec![Task::new(0, SlotKind::Cpu, 8.0), Task::new(1, SlotKind::Cpu, 1.0)],
+            vec![Task::new(2, SlotKind::Cpu, 2.0), Task::new(3, SlotKind::Cpu, 2.0)],
+        ];
+        let run = |causality| {
+            let executor = WorkflowExecutor::new(ExecutorConfig { causality, ..Default::default() });
+            let mut session = executor.session(&cluster);
+            for batch in &batches {
+                // Release each batch at the dispatch frontier, the way the
+                // closed loop does.
+                let floor = session.frontier_seconds();
+                session.submit_with(batch, SubmitOptions { release_seconds: Some(floor) });
+                session.advance_to_frontier(&LustreModel::default());
+            }
+            session.report()
+        };
+        let retro = run(CausalityMode::RetroFill);
+        let causal = run(CausalityMode::Causal);
+        assert!(
+            causal.makespan_seconds >= retro.makespan_seconds,
+            "respecting decision causality cannot beat retro-fill ({} vs {})",
+            causal.makespan_seconds,
+            retro.makespan_seconds
+        );
+        assert_eq!(causal.retro_filled_tasks, 0);
+    }
+
+    #[test]
+    fn tasks_in_flight_counts_unfinished_work() {
+        let cluster = ClusterConfig { nodes: 1, cpu_slots_per_node: 2, gpu_slots_per_node: 0 };
+        let executor = WorkflowExecutor::new(ExecutorConfig::default());
+        let mut session = executor.session(&cluster);
+        session.submit(
+            &[Task::new(0, SlotKind::Cpu, 10.0), Task::new(1, SlotKind::Cpu, 2.0)],
+            &LustreModel::default(),
+        );
+        assert_eq!(session.tasks_in_flight_at(1.0), 2);
+        assert_eq!(session.tasks_in_flight_at(5.0), 1, "the short task finished at t = 2");
+        assert_eq!(session.tasks_in_flight_at(10.0), 0, "finish is exclusive");
+        assert_eq!(session.frontier_seconds(), 0.0, "both tasks started at t = 0");
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //! * [`executor`] — the event-driven, dependency-aware Parsl-like engine:
 //!   per-node [`WarmPool`]s of resident model weights, node affinity, pair
 //!   co-scheduling, a per-stage timing breakdown, and resumable
-//!   [`ExecutorSession`]s whose slot and warm-pool state persists across
-//!   submit batches (the waveless closed loop builds on this),
+//!   [`ExecutorSession`]s whose slot, warm-pool, and pending-set state
+//!   persists across submit batches — with causal, event-interleaved batch
+//!   admission under release floors ([`CausalityMode`], [`SubmitOptions`];
+//!   the waveless closed loop builds on this),
 //! * [`profiler`] — per-GPU utilization traces (the Nsight view of Figure 4).
 //!
 //! # Example
@@ -50,8 +52,8 @@ pub mod task;
 pub use clock::SimClock;
 pub use event::ReadyQueue;
 pub use executor::{
-    CampaignReport, ExecutorConfig, ExecutorSession, ModelWarmStats, ScheduledTask, StageTiming,
-    StageTimings, WarmAccess, WarmPool, WorkflowExecutor,
+    CampaignReport, CausalityMode, ExecutorConfig, ExecutorSession, ModelWarmStats, ScheduledTask,
+    StageTiming, StageTimings, SubmitOptions, WarmAccess, WarmPool, WorkflowExecutor,
 };
 pub use lustre::LustreModel;
 pub use profiler::GpuTrace;

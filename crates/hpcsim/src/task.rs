@@ -72,8 +72,12 @@ pub struct Task {
     /// executor's ready queue releases a task only once every dependency has
     /// completed (dependencies resolved in earlier
     /// [`crate::ExecutorSession::submit`] batches count as satisfied at
-    /// their recorded finish time; ids never seen by the session are
-    /// vacuously satisfied at time zero). An empty list reproduces the
+    /// their recorded finish time; dependencies on tasks enqueued into the
+    /// same drain — even by a different
+    /// [`crate::ExecutorSession::submit_with`] call — are real edges; ids
+    /// never seen by the session are vacuously satisfied at time zero).
+    /// Under [`crate::CausalityMode::Causal`] the release is additionally
+    /// clamped to the batch's release floor. An empty list reproduces the
     /// order-free throughput model. Tasks caught in a dependency cycle — or
     /// depending on a task that was skipped — are skipped, never deadlocked.
     pub depends_on: Vec<u64>,
