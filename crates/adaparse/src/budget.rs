@@ -33,16 +33,47 @@ pub fn max_affordable_alpha(total_budget: f64, n: usize, cheap_cost: f64, expens
     alpha.clamp(0.0, 1.0)
 }
 
-/// Indices of `scores` sorted by descending score under a *total* order
-/// (`f64::total_cmp`), ties broken by ascending index.
+/// One kept entry of the bounded top-k heap: ordered so the heap's *maximum*
+/// is the worst-ranked kept entry (lowest key, then highest index), making
+/// `peek()` the replacement candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Kept {
+    key: f64,
+    index: usize,
+}
+
+impl Eq for Kept {}
+
+impl Ord for Kept {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse of rank order: a *worse*-ranked entry (smaller key, or an
+        // equal key at a larger index) compares greater, so it surfaces at
+        // the top of the max-heap.
+        other.key.total_cmp(&self.key).then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for Kept {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Indices of the `k` highest entries of `scores`, in descending-score
+/// order under a *total* order (`f64::total_cmp`), ties broken by ascending
+/// index — exactly the first `k` entries of a full descending sort, without
+/// sorting all n: a bounded max-heap keeps the k best seen so far, so the
+/// cost is O(n log k) instead of O(n log n). For the windowed selector this
+/// is the per-window hot path (k = ⌊α·window⌋ is small while n is the
+/// window size).
 ///
 /// `partial_cmp(..).unwrap_or(Equal)` would make NaN or tied improvements
-/// order-unstable (dependent on the sort's internal state); a total order
+/// order-unstable (dependent on the heap's internal state); a total order
 /// with an index tiebreak keeps every routing mask a pure function of the
 /// score vector. NaN scores rank below every real score (under raw
 /// `total_cmp`, positive NaN would outrank +∞ — a NaN prediction must never
 /// win a routing slot).
-pub(crate) fn descending_order(scores: &[f64]) -> Vec<usize> {
+pub(crate) fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
     fn key(v: f64) -> f64 {
         if v.is_nan() {
             f64::NEG_INFINITY
@@ -50,16 +81,32 @@ pub(crate) fn descending_order(scores: &[f64]) -> Vec<usize> {
             v
         }
     }
-    let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| key(scores[b]).total_cmp(&key(scores[a])).then_with(|| a.cmp(&b)));
-    order
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: std::collections::BinaryHeap<Kept> = std::collections::BinaryHeap::with_capacity(k);
+    for (index, &score) in scores.iter().enumerate() {
+        let entry = Kept { key: key(score), index };
+        if heap.len() < k {
+            heap.push(entry);
+        } else if entry < *heap.peek().expect("heap holds k > 0 entries") {
+            // Better-ranked than the worst kept entry: replace it.
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+    let mut kept = heap.into_vec();
+    // `Kept`'s order is reverse rank, so ascending sort is best-first.
+    kept.sort_unstable();
+    kept.into_iter().map(|entry| entry.index).collect()
 }
 
 /// Mark the `quota` highest entries of `scores` in a fresh boolean mask,
-/// using the deterministic [`descending_order`] ranking.
+/// using the deterministic [`top_k_indices`] ranking.
 pub(crate) fn top_quota_mask(scores: &[f64], quota: usize) -> Vec<bool> {
     let mut mask = vec![false; scores.len()];
-    for &index in descending_order(scores).iter().take(quota.min(scores.len())) {
+    for index in top_k_indices(scores, quota) {
         mask[index] = true;
     }
     mask
@@ -79,7 +126,7 @@ pub fn select_batch(improvements: &[f64], alpha: f64, batch_size: usize) -> Vec<
         if quota == 0 {
             continue;
         }
-        for &local in descending_order(batch).iter().take(quota) {
+        for local in top_k_indices(batch, quota) {
             mask[batch_index * batch_size + local] = true;
         }
     }
@@ -243,5 +290,49 @@ mod tests {
         let improvements = vec![0.2, 0.4, 0.6];
         let mask = vec![true, false, true];
         assert!((captured_improvement(&improvements, &mask) - 0.8).abs() < 1e-12);
+    }
+
+    /// The full O(n log n) descending sort that [`top_k_indices`] replaced:
+    /// NaN ranks last, ties break by ascending index.
+    fn full_sort_order(scores: &[f64]) -> Vec<usize> {
+        fn key(v: f64) -> f64 {
+            if v.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                v
+            }
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| key(scores[b]).total_cmp(&key(scores[a])).then_with(|| a.cmp(&b)));
+        order
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        // Order-sensitive equivalence: the bounded heap must return the
+        // exact *prefix* of the full descending sort — same indices in the
+        // same order — across NaN, ±∞, and heavy ties.
+        #[test]
+        fn bounded_heap_is_a_prefix_of_the_full_sort(
+            raw in prop::collection::vec((0u8..10, 0.0f64..1.0), 0..150),
+            k in 0usize..180,
+        ) {
+            let scores: Vec<f64> = raw
+                .into_iter()
+                .map(|(tag, v)| match tag {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => 0.5, // force ties so the index tiebreak is exercised
+                    _ => v,
+                })
+                .collect();
+            let expected: Vec<usize> =
+                full_sort_order(&scores).into_iter().take(k.min(scores.len())).collect();
+            prop_assert_eq!(top_k_indices(&scores, k), expected);
+        }
     }
 }

@@ -360,13 +360,20 @@ pub fn run_closed_loop(
         // Fleets: the controller's allocation projected onto the cluster.
         let plan = controller.plan_nodes(cluster.nodes);
         let tasks = tasks_for_routing_with_affinity(config, &routed, workload, &plan);
-        let scheduled_before = session.schedule().len();
-        let wave = if causal {
-            session.submit_with(&tasks, SubmitOptions { release_seconds: Some(wave_decided_at) });
-            session.advance_to_frontier(&sim.filesystem)
+        // Captured before the session takes ownership of the batch: the
+        // causal branch needs each task's stage role to classify its
+        // deferred observation.
+        let roles: HashMap<u64, GroupRole> = if causal {
+            tasks.iter().filter_map(|t| t.group.map(|g| (t.id, g.role))).collect()
         } else {
-            session.submit(&tasks, &sim.filesystem)
+            HashMap::new()
         };
+        let scheduled_before = session.schedule().len();
+        // Ownership moves into the session — the per-epoch batch is built
+        // fresh anyway, so nothing needs the post-submission clone.
+        let release = if causal { Some(wave_decided_at) } else { None };
+        session.submit_owned(tasks, SubmitOptions { release_seconds: release });
+        let wave = session.advance_to_frontier(&sim.filesystem);
         let wave_slice = &session.schedule()[scheduled_before..];
         // An epoch that completed nothing is pinned to its decision time;
         // otherwise its span is first start to last completion.
@@ -391,8 +398,6 @@ pub fn run_closed_loop(
         let allocation = if causal {
             // Queue this epoch's measurements; each becomes observable
             // once a decision boundary passes its finish time.
-            let roles: HashMap<u64, GroupRole> =
-                tasks.iter().filter_map(|t| t.group.map(|g| (t.id, g.role))).collect();
             for row in wave_slice {
                 if let Some(&role) = roles.get(&row.id) {
                     deferred_tasks.push(DeferredTaskObs {

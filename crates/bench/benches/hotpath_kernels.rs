@@ -1,0 +1,63 @@
+//! Micro-benchmarks for the million-task hot-path kernels: the executor's
+//! [`ReadyQueue`] (every task passes through it twice — once as an event,
+//! once as a dispatch) and the budget selector's `select_global` (the
+//! bounded-heap top-k that replaced a full sort). Sized at 1k and 100k to
+//! show the asymptotic gap, with deterministic seeded inputs so runs are
+//! comparable across commits alongside `BENCH_hotpath.json`.
+
+use adaparse::select_global;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcsim::ReadyQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SIZES: [usize; 2] = [1_000, 100_000];
+
+/// Deterministic `(time, id)` pairs with heavy time collisions so the
+/// id/sequence tiebreaks are exercised, not just the float compare.
+fn arrivals(n: usize) -> Vec<(f64, u64)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|i| ((rng.gen_range(0.0f64..64.0)).floor(), i as u64)).collect()
+}
+
+fn scores(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| rng.gen_range(0.0f64..1.0)).collect()
+}
+
+fn bench_ready_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ready_queue");
+    for &n in &SIZES {
+        let input = arrivals(n);
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &input, |b, input| {
+            b.iter(|| {
+                let mut queue = ReadyQueue::new();
+                for &(time, id) in black_box(input) {
+                    queue.push(time, id, id as usize);
+                }
+                let mut last = 0u64;
+                while let Some((_, id, _)) = queue.pop() {
+                    last = id;
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_global");
+    for &n in &SIZES {
+        let input = scores(n);
+        // alpha = 0.1 keeps k = n/10: large enough to stress the heap's
+        // replace path, small enough that the bound over a full sort shows.
+        group.bench_with_input(BenchmarkId::new("alpha_0_1", n), &input, |b, input| {
+            b.iter(|| select_global(black_box(input), 0.1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ready_queue, bench_select_global);
+criterion_main!(benches);

@@ -1,0 +1,348 @@
+//! Million-task hot-path macro-benchmark with a tracked perf trajectory.
+//!
+//! Runs one deterministic closed-loop campaign at (by default) 10⁶
+//! documents — 2·10⁶ executor tasks — through the same circuit the paper's
+//! throughput claims rest on: a seeded `scicorpus` corpus scored by the
+//! trained router, the streaming [`WindowedSelector`], and the causal
+//! [`hpcsim`] `ExecutorSession` closed loop. It measures wall-clock,
+//! tasks/second, allocation counters (a peak-RSS proxy from a counting
+//! global allocator), and per-phase timings, then appends a
+//! schema-versioned entry to `BENCH_hotpath.json` at the repo root so every
+//! future PR extends the performance trajectory instead of asserting a
+//! one-off number.
+//!
+//! Corpus scaling: router scores are *measured* on a seeded base sample
+//! (≤ 2048 generated documents, extracted and routed for real) and then
+//! deterministically tiled with seeded jitter up to the requested document
+//! count. The executor and selector therefore run at full scale on a
+//! realistic score distribution without the benchmark spending its budget
+//! generating text no hot path ever reads.
+//!
+//! Everything downstream of the seed is a pure function of the CLI
+//! arguments: `--smoke` runs the selection + closed-loop phases twice and
+//! asserts the two campaign fingerprints are bitwise identical.
+//!
+//! ```text
+//! cargo run --release --bin bench_million                    # full 1M-doc entry
+//! cargo run --release --bin bench_million -- --docs 2000 --smoke
+//! cargo run --release --bin bench_million -- --validate      # check BENCH_hotpath.json
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use adaparse::{
+    run_closed_loop, AdaParseConfig, AdaParseEngine, ControllerConfig, SimLoopConfig, SimLoopReport,
+    WindowedSelector, WorkloadSpec,
+};
+use bench::trajectory::{append_entry, unix_timestamp, validate_trajectory, JsonValue};
+use hpcsim::{CausalityMode, ExecutorConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+/// Counting wrapper over the system allocator: total allocations, total
+/// bytes, and the high-water mark of live bytes (a deterministic-enough
+/// peak-RSS proxy that needs no OS support).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            let live = LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Snapshot of the allocation counters at one instant.
+#[derive(Clone, Copy)]
+struct AllocSnapshot {
+    allocations: u64,
+    allocated_bytes: u64,
+}
+
+fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        allocated_bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// FNV-1a over a byte stream, for order-sensitive output fingerprints.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Bit-exact digest of one campaign run; two runs with the same seed must
+/// produce identical fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    makespan_bits: u64,
+    mask_fnv: u64,
+    selected: u64,
+    co_located_pairs: u64,
+    warm_hits: u64,
+}
+
+impl Fingerprint {
+    fn new(mask: &[bool], report: &SimLoopReport) -> Fingerprint {
+        Fingerprint {
+            makespan_bits: report.makespan_seconds.to_bits(),
+            mask_fnv: fnv1a(mask.iter().map(|&b| b as u8)),
+            selected: report.selected as u64,
+            co_located_pairs: report.co_located_pairs as u64,
+            warm_hits: report.executor_report.warm_hits as u64,
+        }
+    }
+}
+
+struct Args {
+    docs: usize,
+    seed: u64,
+    window: usize,
+    nodes: usize,
+    label: String,
+    out: PathBuf,
+    smoke: bool,
+    validate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        docs: 1_000_000,
+        seed: 42,
+        window: 256,
+        nodes: 4,
+        label: "hotpath".to_string(),
+        out: PathBuf::from("BENCH_hotpath.json"),
+        smoke: false,
+        validate: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--docs" => args.docs = value("--docs")?.parse().map_err(|e| format!("--docs: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--window" => args.window = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?,
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--label" => args.label = value("--label")?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--smoke" => args.smoke = true,
+            "--validate" => args.validate = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.docs == 0 || args.window == 0 || args.nodes == 0 {
+        return Err("--docs, --window, and --nodes must be positive".to_string());
+    }
+    Ok(args)
+}
+
+/// Fields every `BENCH_hotpath.json` entry must carry (shared with the CI
+/// `--validate` step).
+const REQUIRED_FIELDS: &[&str] = &[
+    "label",
+    "docs",
+    "seed",
+    "window",
+    "nodes",
+    "smoke",
+    "tasks_completed",
+    "wall_seconds_total",
+    "tasks_per_second",
+    "phases",
+    "alloc",
+    "fingerprint",
+];
+
+/// Phase 1: seeded corpus + router → a score per document. Scores are
+/// measured on the base sample and tiled with seeded jitter to `docs`
+/// (sentinel scores — CLS I overrides at ±`f64::MAX / 4` — tile unjittered
+/// so their routing semantics survive).
+fn build_scores(docs: usize, seed: u64) -> (AdaParseEngine, Vec<f64>) {
+    let base_n = docs.min(2048);
+    let corpus = DocumentGenerator::new(GeneratorConfig {
+        n_documents: base_n,
+        seed,
+        min_pages: 1,
+        max_pages: 3,
+        scanned_fraction: 0.3,
+        ..Default::default()
+    })
+    .generate_many(base_n);
+    let mut engine = AdaParseEngine::new(AdaParseConfig { alpha: 0.1, ..Default::default() });
+    engine.train_on_corpus(&corpus[..20.min(base_n)], 5);
+    let routed = engine.route_documents(&corpus, seed ^ 0xBE7C);
+    let base: Vec<f64> = routed.iter().map(|r| r.predicted_improvement).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x711E);
+    let scores = (0..docs)
+        .map(|i| {
+            let score = base[i % base.len()];
+            if score.is_finite() && score.abs() < 1e9 {
+                score * (1.0 + 1e-3 * rng.gen_range(-1.0..1.0))
+            } else {
+                score
+            }
+        })
+        .collect();
+    (engine, scores)
+}
+
+/// Phases 2+3: isolated streaming selection, then the causal closed loop.
+/// Returns the mask, the loop report, and the two phase durations.
+fn run_campaign(
+    engine: &AdaParseEngine,
+    scores: &[f64],
+    args: &Args,
+) -> (Vec<bool>, SimLoopReport, f64, f64) {
+    let selection_start = Instant::now();
+    let mask = WindowedSelector::new(args.window, engine.config().alpha).select_all(scores);
+    let selection_seconds = selection_start.elapsed().as_secs_f64();
+
+    let workload = WorkloadSpec { documents: scores.len(), pages_per_doc: 8, mb_per_doc: 20.0 };
+    let sim = SimLoopConfig {
+        window: args.window,
+        nodes: args.nodes,
+        controller: ControllerConfig { total_workers: 8, patience: 1, ..Default::default() },
+        executor: ExecutorConfig { causality: CausalityMode::Causal, ..Default::default() },
+        ..Default::default()
+    };
+    let loop_start = Instant::now();
+    let report = run_closed_loop(engine.config(), scores, &workload, &sim);
+    let loop_seconds = loop_start.elapsed().as_secs_f64();
+    (mask, report, selection_seconds, loop_seconds)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.validate {
+        let entries = validate_trajectory(&args.out, "hotpath", REQUIRED_FIELDS)?;
+        println!("{}: valid ({entries} entries)", args.out.display());
+        return Ok(());
+    }
+
+    let total_start = Instant::now();
+    println!(
+        "bench_million: {} documents, seed {}, window {}, {} nodes{}",
+        args.docs,
+        args.seed,
+        args.window,
+        args.nodes,
+        if args.smoke { " (smoke: double run + determinism check)" } else { "" }
+    );
+
+    let corpus_start = Instant::now();
+    let (engine, scores) = build_scores(args.docs, args.seed);
+    let corpus_seconds = corpus_start.elapsed().as_secs_f64();
+    println!("  corpus + router scores: {corpus_seconds:.2} s");
+
+    let before = alloc_snapshot();
+    let (mask, report, selection_seconds, loop_seconds) = run_campaign(&engine, &scores, &args);
+    let after = alloc_snapshot();
+    let fingerprint = Fingerprint::new(&mask, &report);
+    println!("  streaming selection:    {selection_seconds:.2} s ({} selected)", report.selected);
+    println!(
+        "  causal closed loop:     {loop_seconds:.2} s ({} epochs, makespan {:.1} sim-s)",
+        report.waves.len(),
+        report.makespan_seconds
+    );
+
+    if args.smoke {
+        let (mask2, report2, _, _) = run_campaign(&engine, &scores, &args);
+        if report2 != report || mask2 != mask {
+            return Err("smoke determinism check failed: same seed produced different outputs".into());
+        }
+        println!("  replay: bitwise identical (fingerprint {:#018x})", fingerprint.makespan_bits);
+    }
+
+    let tasks_completed = report.executor_report.tasks_completed as u64;
+    let wall_seconds_total = total_start.elapsed().as_secs_f64();
+    let tasks_per_second = tasks_completed as f64 / loop_seconds.max(f64::MIN_POSITIVE);
+    let allocations = after.allocations - before.allocations;
+    let allocated_mb = (after.allocated_bytes - before.allocated_bytes) as f64 / (1024.0 * 1024.0);
+    let peak_mb = PEAK_BYTES.load(Ordering::Relaxed) as f64 / (1024.0 * 1024.0);
+    println!(
+        "  {tasks_completed} tasks in {loop_seconds:.2} s → {tasks_per_second:.0} tasks/s; \
+         {allocations} allocations ({allocated_mb:.1} MiB) in the campaign phases, peak {peak_mb:.1} MiB"
+    );
+
+    let entry = JsonValue::object(vec![
+        ("timestamp", JsonValue::U64(unix_timestamp())),
+        ("label", JsonValue::Str(args.label.clone())),
+        ("docs", JsonValue::U64(args.docs as u64)),
+        ("seed", JsonValue::U64(args.seed)),
+        ("window", JsonValue::U64(args.window as u64)),
+        ("nodes", JsonValue::U64(args.nodes as u64)),
+        ("smoke", JsonValue::Bool(args.smoke)),
+        ("tasks_completed", JsonValue::U64(tasks_completed)),
+        ("wall_seconds_total", JsonValue::F64(wall_seconds_total)),
+        ("tasks_per_second", JsonValue::F64(tasks_per_second)),
+        (
+            "phases",
+            JsonValue::object(vec![
+                ("corpus_seconds", JsonValue::F64(corpus_seconds)),
+                ("selection_seconds", JsonValue::F64(selection_seconds)),
+                ("closed_loop_seconds", JsonValue::F64(loop_seconds)),
+            ]),
+        ),
+        (
+            "alloc",
+            JsonValue::object(vec![
+                ("allocations", JsonValue::U64(allocations)),
+                ("allocated_mb", JsonValue::F64(allocated_mb)),
+                ("peak_mb", JsonValue::F64(peak_mb)),
+            ]),
+        ),
+        (
+            "fingerprint",
+            JsonValue::object(vec![
+                ("makespan_bits", JsonValue::hex(fingerprint.makespan_bits)),
+                ("mask_fnv", JsonValue::hex(fingerprint.mask_fnv)),
+                ("selected", JsonValue::U64(fingerprint.selected)),
+                ("co_located_pairs", JsonValue::U64(fingerprint.co_located_pairs)),
+                ("warm_hits", JsonValue::U64(fingerprint.warm_hits)),
+            ]),
+        ),
+    ]);
+    append_entry(&args.out, "hotpath", entry).map_err(|e| e.to_string())?;
+    let entries = validate_trajectory(&args.out, "hotpath", REQUIRED_FIELDS)?;
+    println!("  appended to {} ({entries} entries)", args.out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_million: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,14 +4,32 @@
 //! cores the ≥2× 8-worker speedup is asserted; single-core hosts (e.g. CI
 //! containers) skip the assertion with a message.
 //!
+//! Every run appends an entry to `BENCH_pipeline_scaling.json` (same
+//! schema-versioned trajectory format as `BENCH_hotpath.json`). Sub-2-core
+//! hosts append a stub entry (`"skipped": true` plus the core count) so the
+//! trajectory records *why* there is no speedup figure for that commit
+//! instead of leaving a silent gap.
+//!
 //! Run with: `cargo run --release --bin pipeline_scaling`
 //! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
 
+use std::path::Path;
 use std::time::Instant;
 
 use adaparse::{AdaParseConfig, AdaParseEngine, CampaignPipeline, PipelineConfig};
 use bench::bench_doc_count;
+use bench::trajectory::{append_entry, unix_timestamp, JsonValue};
 use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
+
+/// Append one entry to the pipeline-scaling trajectory file, warning (not
+/// failing) on I/O errors so a read-only checkout can't fail the benchmark.
+fn record(entry: JsonValue) {
+    let path = Path::new("BENCH_pipeline_scaling.json");
+    match append_entry(path, "pipeline_scaling", entry) {
+        Ok(()) => println!("appended to {}", path.display()),
+        Err(e) => eprintln!("warning: could not append to {}: {e}", path.display()),
+    }
+}
 
 fn main() {
     let n_docs = bench_doc_count(240).max(200);
@@ -34,6 +52,7 @@ fn main() {
     let mut baseline_seconds = None;
     let mut baseline_result = None;
     let mut speedup_at_8 = 1.0;
+    let mut wall_seconds = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let pipeline =
             CampaignPipeline::new(PipelineConfig { workers, shard_size: 16, ..Default::default() });
@@ -49,6 +68,11 @@ fn main() {
             Some(expected) => *expected == result,
         };
         let speedup = baseline / elapsed;
+        wall_seconds.push(JsonValue::object(vec![
+            ("workers", JsonValue::U64(workers as u64)),
+            ("wall_seconds", JsonValue::F64(elapsed)),
+            ("speedup", JsonValue::F64(speedup)),
+        ]));
         if workers == 8 {
             speedup_at_8 = speedup;
         }
@@ -66,6 +90,12 @@ fn main() {
         println!("      speedup assertion requires — skipping the ≥2x 8-worker speedup");
         println!("      assertion (observed {speedup_at_8:.2}x; speedups ≈1x are expected here; run");
         println!("      on a machine with ≥ 4 cores to observe the ≥2x parallel scaling).");
+        record(JsonValue::object(vec![
+            ("timestamp", JsonValue::U64(unix_timestamp())),
+            ("skipped", JsonValue::Bool(true)),
+            ("cores", JsonValue::U64(cores as u64)),
+            ("docs", JsonValue::U64(n_docs as u64)),
+        ]));
     } else {
         // ≥2x needs headroom over the 2-core theoretical ceiling of exactly
         // 2.0x; on 2–3 cores settle for clear-but-sublinear scaling.
@@ -75,5 +105,13 @@ fn main() {
             "8-worker speedup {speedup_at_8:.2}x < {bound}x on a {cores}-core host"
         );
         println!("\n8-worker speedup {speedup_at_8:.2}x ≥ {bound}x — parallel scaling holds.");
+        record(JsonValue::object(vec![
+            ("timestamp", JsonValue::U64(unix_timestamp())),
+            ("skipped", JsonValue::Bool(false)),
+            ("cores", JsonValue::U64(cores as u64)),
+            ("docs", JsonValue::U64(n_docs as u64)),
+            ("speedup_at_8", JsonValue::F64(speedup_at_8)),
+            ("runs", JsonValue::Array(wall_seconds)),
+        ]));
     }
 }

@@ -7,6 +7,8 @@
 //! corpus size (`ADAPARSE_BENCH_DOCS`) so CI runs stay fast while full runs
 //! approach the paper's scale.
 
+pub mod trajectory;
+
 use adaparse::{AdaParseConfig, AdaParseEngine};
 use docmodel::document::Document;
 use parsersim::evaluate::{evaluate_corpus, DocumentEvaluation};

@@ -45,14 +45,16 @@
 //!
 //! [`submit`]: ExecutorSession::submit
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 
 use crate::clock::SimClock;
 use crate::event::ReadyQueue;
+use crate::intern::{ModelId, ModelInterner};
 use crate::lustre::LustreModel;
 use crate::profiler::GpuTrace;
+use crate::slotindex::{FinishIndex, SlotIndex};
 use crate::task::{ClusterConfig, GroupRole, SlotKind, Task};
 
 /// When a batch's tasks may be placed relative to the decision that
@@ -341,46 +343,52 @@ pub enum WarmAccess {
     /// becomes resident, evicting the least-recently-used model when the
     /// pool is over capacity (`evicted` names it).
     Miss {
-        /// Model key evicted to make room, if the pool was at capacity.
-        evicted: Option<String>,
+        /// Interned id of the model evicted to make room, if the pool was
+        /// at capacity (resolve it with [`ModelInterner::resolve`]).
+        evicted: Option<ModelId>,
     },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Resident {
-    model: String,
+    model: ModelId,
     /// Simulated time the model's weights finish loading; tasks starting
     /// earlier must pay the cold start themselves.
     loaded_at_seconds: f64,
     last_use: u64,
 }
 
-/// A node's pool of resident ML model weights, keyed by model label.
+/// A node's pool of resident ML model weights, keyed by *interned* model
+/// id ([`ModelId`], assigned by the session's [`ModelInterner`] from each
+/// task's label).
 ///
 /// Reusing a resident model is free; loading an absent one pays the task's
 /// cold start; exceeding the pool capacity evicts the least-recently-used
 /// model, which re-pays its cold start if it ever returns. Models with a
 /// zero cold-start cost are always warm and never occupy capacity — there
-/// are no weights to keep resident.
+/// are no weights to keep resident. Working in dense integer ids keeps the
+/// per-dispatch residency check free of string hashing and cloning; the
+/// labels are materialized back only when a report is built.
 ///
 /// # Example
 ///
 /// ```
-/// use hpcsim::{WarmAccess, WarmPool};
+/// use hpcsim::{ModelInterner, WarmAccess, WarmPool};
 ///
+/// let mut models = ModelInterner::new();
+/// let nougat = models.intern("Nougat");
+/// let marker = models.intern("Marker");
+/// let pymupdf = models.intern("PyMuPDF");
 /// let mut pool = WarmPool::new(Some(1));
 /// // First Nougat task loads the weights (15 s), finishing at t = 15.
-/// assert_eq!(pool.acquire("Nougat", 15.0, 0.0), WarmAccess::Miss { evicted: None });
+/// assert_eq!(pool.acquire(nougat, 15.0, 0.0), WarmAccess::Miss { evicted: None });
 /// // A task starting after the load reuses them for free.
-/// assert_eq!(pool.acquire("Nougat", 15.0, 20.0), WarmAccess::Hit);
+/// assert_eq!(pool.acquire(nougat, 15.0, 20.0), WarmAccess::Hit);
 /// // A different model evicts Nougat from the capacity-1 pool.
-/// assert_eq!(
-///     pool.acquire("Marker", 12.0, 30.0),
-///     WarmAccess::Miss { evicted: Some("Nougat".to_string()) }
-/// );
+/// assert_eq!(pool.acquire(marker, 12.0, 30.0), WarmAccess::Miss { evicted: Some(nougat) });
 /// // Zero-cost models are always warm and never occupy capacity.
-/// assert_eq!(pool.acquire("PyMuPDF", 0.0, 0.0), WarmAccess::Hit);
-/// assert!(pool.is_resident("Marker"));
+/// assert_eq!(pool.acquire(pymupdf, 0.0, 0.0), WarmAccess::Hit);
+/// assert!(pool.is_resident(marker));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WarmPool {
@@ -402,7 +410,7 @@ impl WarmPool {
     }
 
     /// Whether `model` is currently resident (loading counts as resident).
-    pub fn is_resident(&self, model: &str) -> bool {
+    pub fn is_resident(&self, model: ModelId) -> bool {
         self.resident.iter().any(|r| r.model == model)
     }
 
@@ -418,7 +426,7 @@ impl WarmPool {
     /// would have made the weights resident sooner. The accounting is
     /// therefore conservative (never undercounts cold starts) and fully
     /// deterministic.
-    pub fn acquire(&mut self, model: &str, cold_start_seconds: f64, start_seconds: f64) -> WarmAccess {
+    pub fn acquire(&mut self, model: ModelId, cold_start_seconds: f64, start_seconds: f64) -> WarmAccess {
         if cold_start_seconds <= 0.0 {
             return WarmAccess::Hit;
         }
@@ -450,7 +458,7 @@ impl WarmPool {
             None
         };
         self.resident.push(Resident {
-            model: model.to_string(),
+            model,
             loaded_at_seconds: start_seconds + cold_start_seconds,
             last_use: sequence,
         });
@@ -516,11 +524,14 @@ struct Finished {
     critical_path_seconds: f64,
 }
 
-/// One submitted-but-not-yet-dispatched task in the session's pending set,
-/// together with the dependency-graph bookkeeping the event loop drains.
-#[derive(Debug, Clone)]
-struct PendingTask {
-    task: Task,
+/// Dependency-graph bookkeeping for one submitted-but-not-yet-dispatched
+/// task. The pending set is laid out struct-of-arrays — the `Task` payloads
+/// ([`ExecutorSession::pending_tasks`]), this metadata, and the dependent
+/// edges live in three parallel arenas — so the drain's seeding and
+/// leftover-cycle sweeps scan this small `Copy` record without dragging the
+/// task payloads through cache.
+#[derive(Debug, Clone, Copy)]
+struct PendingMeta {
     /// The batch's release floor (see [`SubmitOptions::release_seconds`]):
     /// the queue-wait baseline in both modes, and the ready-time clamp
     /// under [`CausalityMode::Causal`].
@@ -534,14 +545,110 @@ struct PendingTask {
     chain: f64,
     /// Undispatched dependencies remaining.
     remaining: usize,
-    /// Arena indices of pending tasks waiting on this one.
-    dependents: Vec<usize>,
     /// A dependency was skipped (here or in an earlier batch): this task
     /// can never find its input and will be skipped too.
     poisoned: bool,
     /// Popped from the ready queue (run or skipped). Entries never popped
     /// by the end of a drain are dependency cycles.
     dispatched: bool,
+}
+
+/// A small set of arena indices that avoids heap allocation for the
+/// overwhelmingly common zero- and one-element cases: in a campaign DAG
+/// almost every task has at most one dependent (a document's parse waits on
+/// its extract) and almost every id names exactly one pending instance, so
+/// a `Vec` per entry would be a million tiny allocations per drain.
+#[derive(Debug, Clone, Default)]
+enum IndexList {
+    /// No indices.
+    #[default]
+    None,
+    /// Exactly one index.
+    One(usize),
+    /// Two or more indices, in insertion order.
+    Many(Vec<usize>),
+}
+
+impl IndexList {
+    fn push(&mut self, index: usize) {
+        match self {
+            IndexList::None => *self = IndexList::One(index),
+            IndexList::One(first) => *self = IndexList::Many(vec![*first, index]),
+            IndexList::Many(list) => list.push(index),
+        }
+    }
+
+    fn iter(&self) -> IndexListIter<'_> {
+        match self {
+            IndexList::None => IndexListIter::Slice([].iter()),
+            IndexList::One(index) => IndexListIter::One(Some(*index)),
+            IndexList::Many(list) => IndexListIter::Slice(list.iter()),
+        }
+    }
+}
+
+impl IntoIterator for IndexList {
+    type Item = usize;
+    type IntoIter = IndexListIntoIter;
+
+    fn into_iter(self) -> Self::IntoIter {
+        match self {
+            IndexList::None => IndexListIntoIter::One(None),
+            IndexList::One(index) => IndexListIntoIter::One(Some(index)),
+            IndexList::Many(list) => IndexListIntoIter::Many(list.into_iter()),
+        }
+    }
+}
+
+enum IndexListIter<'a> {
+    One(Option<usize>),
+    Slice(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for IndexListIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            IndexListIter::One(index) => index.take(),
+            IndexListIter::Slice(iter) => iter.next().copied(),
+        }
+    }
+}
+
+enum IndexListIntoIter {
+    One(Option<usize>),
+    Many(std::vec::IntoIter<usize>),
+}
+
+impl Iterator for IndexListIntoIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            IndexListIntoIter::One(index) => index.take(),
+            IndexListIntoIter::Many(iter) => iter.next(),
+        }
+    }
+}
+
+/// Per-model warm-pool counters, indexed by [`ModelId`] in the session's
+/// integer-keyed side tables and materialized into [`ModelWarmStats`] (with
+/// the label string) only when a report is built.
+#[derive(Debug, Clone, Copy, Default)]
+struct WarmCounts {
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+/// Batch-local warm counters plus a touched flag, so the per-drain scratch
+/// table can be reset by walking only the touched ids instead of
+/// reallocating (or zeroing) the whole table every drain.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchWarm {
+    counts: WarmCounts,
+    touched: bool,
 }
 
 /// The workflow executor.
@@ -612,7 +719,17 @@ pub struct ExecutorSession {
     schedule: Vec<ScheduledTask>,
     clock: SimClock,
     cumulative: CampaignReport,
-    warm_stats: BTreeMap<String, ModelWarmStats>,
+    /// Session-level label interner: warm pools and warm statistics work in
+    /// dense [`ModelId`]s, with label strings materialized only in reports.
+    interner: ModelInterner,
+    /// Session-cumulative warm counters, indexed by [`ModelId`] and updated
+    /// incrementally at dispatch time (no per-batch rebuild-and-merge).
+    warm_totals: Vec<WarmCounts>,
+    /// Per-drain warm-counter scratch, indexed by [`ModelId`]; reset via
+    /// `batch_warm_touched` after each drain and reused across drains.
+    batch_warm: Vec<BatchWarm>,
+    /// Ids touched in `batch_warm` this drain, in first-touch order.
+    batch_warm_touched: Vec<ModelId>,
     /// Ids of tasks skipped in any batch (no slot, cycle, or poisoned
     /// dependency), so dependents submitted in *later* batches are skipped
     /// too — the skip cascade spans batch boundaries, like the completion
@@ -624,12 +741,25 @@ pub struct ExecutorSession {
     /// drained. Cleared after every drain (the engine dispatches eagerly,
     /// so nothing lingers), but batches enqueued *between* drains share
     /// this arena and interleave in `(ready time, task id)` event order.
-    pending: Vec<PendingTask>,
+    /// Struct-of-arrays: `pending_meta[i]` and `pending_dependents[i]`
+    /// belong to `pending_tasks[i]`.
+    pending_tasks: Vec<Task>,
+    /// Dependency bookkeeping parallel to `pending_tasks`.
+    pending_meta: Vec<PendingMeta>,
+    /// Arena indices of the pending tasks waiting on each pending task,
+    /// parallel to `pending_tasks`.
+    pending_dependents: Vec<IndexList>,
     /// Undispatched arena indices by task id, for wiring dependency edges
     /// across batches enqueued into the same drain.
-    pending_by_id: HashMap<u64, Vec<usize>>,
+    pending_by_id: HashMap<u64, IndexList>,
     /// The session-persistent ready queue feeding the dispatch loop.
     ready: ReadyQueue<usize>,
+    /// Per-(node, kind) ordered index of slot availability: the dispatch
+    /// loop's earliest-effective-slot query without the O(slots) scan.
+    slot_index: SlotIndex,
+    /// Log-structured index of task finish times backing
+    /// [`tasks_in_flight_at`](Self::tasks_in_flight_at).
+    finish_index: FinishIndex,
     /// Latest task start so far — the *dispatch frontier*: the simulated
     /// time at which the engine last ran out of undispatched work, which
     /// is the natural event boundary for a closed loop to make its next
@@ -651,10 +781,14 @@ impl ExecutorSession {
                 gpu_count += 1;
             }
         }
-        let cpu_slots = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Cpu).collect();
-        let gpu_slots = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Gpu).collect();
+        let cpu_slots: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Cpu).collect();
+        let gpu_slots: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].kind == SlotKind::Gpu).collect();
         let free_at = vec![0.0f64; slots.len()];
         let pools = (0..cluster.nodes).map(|_| WarmPool::new(config.warm_pool_capacity)).collect();
+        let mut slot_index = SlotIndex::new(cluster.nodes);
+        for (index, slot) in slots.iter().enumerate() {
+            slot_index.insert(slot.kind, slot.node, 0.0, index);
+        }
         ExecutorSession {
             config,
             cluster: *cluster,
@@ -668,11 +802,18 @@ impl ExecutorSession {
             schedule: Vec::new(),
             clock: SimClock::new(),
             cumulative: CampaignReport::blank(gpu_count),
-            warm_stats: BTreeMap::new(),
+            interner: ModelInterner::new(),
+            warm_totals: Vec::new(),
+            batch_warm: Vec::new(),
+            batch_warm_touched: Vec::new(),
             skipped: HashSet::new(),
-            pending: Vec::new(),
+            pending_tasks: Vec::new(),
+            pending_meta: Vec::new(),
+            pending_dependents: Vec::new(),
             pending_by_id: HashMap::new(),
             ready: ReadyQueue::new(),
+            slot_index,
+            finish_index: FinishIndex::new(),
             frontier: 0.0,
             gpu_count,
         }
@@ -697,7 +838,7 @@ impl ExecutorSession {
     /// Tasks enqueued by [`submit_with`](Self::submit_with) but not yet
     /// drained by [`advance_to_frontier`](Self::advance_to_frontier).
     pub fn pending_task_count(&self) -> usize {
-        self.pending.iter().filter(|p| !p.dispatched).count()
+        self.pending_meta.iter().filter(|m| !m.dispatched).count()
     }
 
     /// Number of *dispatched* tasks still in flight at simulated time
@@ -705,12 +846,12 @@ impl ExecutorSession {
     /// This is the session half of a controller's true backlog — work
     /// admitted but not yet done — alongside whatever upstream documents
     /// have not been windowed yet. Tasks merely enqueued (pending, not
-    /// yet drained) are not counted; call this after a drain. Linear in
-    /// the tasks scheduled so far — fine at simulation scale, but a
-    /// per-epoch caller over a very large campaign would want to track
-    /// unfinished work incrementally instead.
+    /// yet drained) are not counted; call this after a drain. Backed by a
+    /// [`FinishIndex`] (O(log² schedule) per query), so a per-epoch caller
+    /// stays cheap even over a million-task campaign; the query time need
+    /// not be monotone across calls.
     pub fn tasks_in_flight_at(&self, seconds: f64) -> usize {
-        self.schedule.iter().filter(|s| s.finish_seconds > seconds).count()
+        self.finish_index.count_after(seconds)
     }
 
     /// Every task scheduled so far, in schedule order (ready-queue pop
@@ -727,8 +868,29 @@ impl ExecutorSession {
         } else {
             0.0
         };
-        report.warm_models = self.warm_stats.values().cloned().collect();
+        report.warm_models = self.materialize_warm_models(
+            self.warm_totals.iter().enumerate().map(|(id, &counts)| (id as ModelId, counts)),
+        );
         report
+    }
+
+    /// Build report-facing [`ModelWarmStats`] rows from integer-keyed
+    /// counters, resolving ids back to label strings and sorting by label
+    /// (the order the old `BTreeMap<String, _>` bookkeeping produced).
+    fn materialize_warm_models(
+        &self,
+        counts: impl Iterator<Item = (ModelId, WarmCounts)>,
+    ) -> Vec<ModelWarmStats> {
+        let mut models: Vec<ModelWarmStats> = counts
+            .map(|(id, counts)| ModelWarmStats {
+                model: self.interner.resolve(id).to_string(),
+                hits: counts.hits,
+                misses: counts.misses,
+                evictions: counts.evictions,
+            })
+            .collect();
+        models.sort_by(|a, b| a.model.cmp(&b.model));
+        models
     }
 
     /// Submit a batch of tasks and simulate until all of them (and nothing
@@ -777,6 +939,27 @@ impl ExecutorSession {
     ///
     /// Panics if `options.release_seconds` is non-finite.
     pub fn submit_with(&mut self, tasks: &[Task], options: SubmitOptions) {
+        self.enqueue_batch(tasks.iter().cloned(), options);
+    }
+
+    /// [`submit_with`](Self::submit_with), but taking the batch by value:
+    /// each task's label string and dependency list move straight into the
+    /// pending arena instead of being cloned. At million-task scale that
+    /// per-task clone is the dominant allocation cost of submission, so
+    /// hot-loop callers that build their batches fresh every epoch (the
+    /// closed-loop simulation does) should hand them over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.release_seconds` is non-finite.
+    pub fn submit_owned(&mut self, tasks: Vec<Task>, options: SubmitOptions) {
+        self.enqueue_batch(tasks, options);
+    }
+
+    fn enqueue_batch<I>(&mut self, tasks: I, options: SubmitOptions)
+    where
+        I: IntoIterator<Item = Task>,
+    {
         // Default floor: a task in this batch cannot have existed before
         // the batch was submitted (= the session clock, the previous
         // drain's last completion) — zero for the session's first batch,
@@ -790,45 +973,51 @@ impl ExecutorSession {
         };
         // --- Dependency graph over the session's pending set. Insert the
         // whole batch first so in-batch forward references resolve. ---
-        let base = self.pending.len();
+        let base = self.pending_tasks.len();
+        let tasks = tasks.into_iter();
+        let (lower, _) = tasks.size_hint();
+        self.pending_tasks.reserve(lower);
+        self.pending_meta.reserve(lower);
+        self.pending_dependents.reserve(lower);
+        self.pending_by_id.reserve(lower);
         for task in tasks {
-            let index = self.pending.len();
-            self.pending.push(PendingTask {
-                task: task.clone(),
+            let index = self.pending_tasks.len();
+            self.pending_by_id.entry(task.id).or_default().push(index);
+            self.pending_tasks.push(task);
+            self.pending_meta.push(PendingMeta {
                 floor,
                 raw_ready: 0.0,
                 chain: 0.0,
                 remaining: 0,
-                dependents: Vec::new(),
                 poisoned: false,
                 dispatched: false,
             });
-            self.pending_by_id.entry(task.id).or_default().push(index);
+            self.pending_dependents.push(IndexList::None);
         }
-        for index in base..self.pending.len() {
-            let deps = std::mem::take(&mut self.pending[index].task.depends_on);
+        for index in base..self.pending_tasks.len() {
+            let deps = std::mem::take(&mut self.pending_tasks[index].depends_on);
             for dep in &deps {
                 if let Some(instances) = self.pending_by_id.get(dep).cloned() {
                     // A pending dependency — in this batch or an earlier
                     // batch enqueued into the same drain (a self-edge
                     // joins the cycle leftovers: its count never drains).
                     for instance in instances {
-                        self.pending[index].remaining += 1;
-                        self.pending[instance].dependents.push(index);
+                        self.pending_meta[index].remaining += 1;
+                        self.pending_dependents[instance].push(index);
                     }
                 } else if let Some(done) = self.completed.get(dep) {
-                    let entry = &mut self.pending[index];
-                    entry.raw_ready = entry.raw_ready.max(done.finish_seconds);
-                    entry.chain = entry.chain.max(done.critical_path_seconds);
+                    let meta = &mut self.pending_meta[index];
+                    meta.raw_ready = meta.raw_ready.max(done.finish_seconds);
+                    meta.chain = meta.chain.max(done.critical_path_seconds);
                 } else if self.skipped.contains(dep) {
                     // The dependency was skipped in an earlier batch: its
                     // output never materialized, so this task is skipped
                     // too (same cascade as within a batch).
-                    self.pending[index].poisoned = true;
+                    self.pending_meta[index].poisoned = true;
                 }
                 // Unknown ids are vacuously satisfied at time zero.
             }
-            self.pending[index].task.depends_on = deps;
+            self.pending_tasks[index].depends_on = deps;
         }
         // Forward edges: an *earlier* undrained batch may depend on ids
         // this batch introduces — same-drain edges are real in either
@@ -837,18 +1026,20 @@ impl ExecutorSession {
         // enqueue; only indices >= base are new.) Ready-queue population
         // is deferred to the drain, so a task that loses its
         // released-vacuously status here was never prematurely queued.
+        let mut fresh: Vec<usize> = Vec::new();
         for earlier in 0..base {
-            let deps = std::mem::take(&mut self.pending[earlier].task.depends_on);
+            let deps = std::mem::take(&mut self.pending_tasks[earlier].depends_on);
             for dep in &deps {
                 if let Some(instances) = self.pending_by_id.get(dep) {
-                    let fresh: Vec<usize> = instances.iter().copied().filter(|&i| i >= base).collect();
-                    for instance in fresh {
-                        self.pending[earlier].remaining += 1;
-                        self.pending[instance].dependents.push(earlier);
+                    fresh.clear();
+                    fresh.extend(instances.iter().filter(|&i| i >= base));
+                    for &instance in &fresh {
+                        self.pending_meta[earlier].remaining += 1;
+                        self.pending_dependents[instance].push(earlier);
                     }
                 }
             }
-            self.pending[earlier].task.depends_on = deps;
+            self.pending_tasks[earlier].depends_on = deps;
         }
     }
 
@@ -857,10 +1048,25 @@ impl ExecutorSession {
     /// [`CausalityMode::Causal`] (the floor is audit-only in
     /// [`CausalityMode::RetroFill`]).
     fn release_time(&self, index: usize) -> f64 {
-        let entry = &self.pending[index];
+        let meta = &self.pending_meta[index];
         match self.config.causality {
-            CausalityMode::RetroFill => entry.raw_ready,
-            CausalityMode::Causal => entry.raw_ready.max(entry.floor),
+            CausalityMode::RetroFill => meta.raw_ready,
+            CausalityMode::Causal => meta.raw_ready.max(meta.floor),
+        }
+    }
+
+    /// Mark `id` touched in the per-drain warm scratch, growing the
+    /// integer-keyed side tables if the interner has grown.
+    fn touch_warm(&mut self, id: ModelId) {
+        let needed = self.interner.len();
+        if self.batch_warm.len() < needed {
+            self.batch_warm.resize(needed, BatchWarm::default());
+            self.warm_totals.resize(needed, WarmCounts::default());
+        }
+        let entry = &mut self.batch_warm[id as usize];
+        if !entry.touched {
+            entry.touched = true;
+            self.batch_warm_touched.push(id);
         }
     }
 
@@ -884,28 +1090,7 @@ impl ExecutorSession {
         let advance_floor = self.clock.now_seconds();
         let mut report = CampaignReport::blank(self.gpu_count);
         let mut batch_trace = GpuTrace::new(self.gpu_count);
-        let mut batch_warm: BTreeMap<String, ModelWarmStats> = BTreeMap::new();
         let causal = self.config.causality == CausalityMode::Causal;
-
-        // Affinity-and-pair-oblivious batches pay no locality penalty
-        // anywhere, so the canonical slot choice (earliest start, then
-        // longest-idle, then lowest index) reduces to popping a per-kind
-        // `(free-at, slot index)` heap — replacing the O(slots) scan.
-        let oblivious =
-            self.pending.iter().all(|p| p.task.preferred_node.is_none() && p.task.group.is_none());
-        let mut slot_queues = if oblivious {
-            let mut free_cpu = ReadyQueue::new();
-            let mut free_gpu = ReadyQueue::new();
-            for (index, slot) in self.slots.iter().enumerate() {
-                match slot.kind {
-                    SlotKind::Cpu => free_cpu.push(self.free_at[index], index as u64, index),
-                    SlotKind::Gpu => free_gpu.push(self.free_at[index], index as u64, index),
-                }
-            }
-            Some((free_cpu, free_gpu))
-        } else {
-            None
-        };
 
         // In steady state every node stages data concurrently; that is the
         // contention level the shared filesystem sees.
@@ -916,36 +1101,35 @@ impl ExecutorSession {
         // are already satisfied. Deferred to the drain (rather than done
         // at enqueue) so that batches enqueued later into the same drain
         // may still add forward edges to earlier ones.
-        for index in 0..self.pending.len() {
-            if self.pending[index].remaining == 0 {
+        for index in 0..self.pending_meta.len() {
+            if self.pending_meta[index].remaining == 0 {
                 let release = self.release_time(index);
-                self.ready.push(release, self.pending[index].task.id, index);
+                self.ready.push(release, self.pending_tasks[index].id, index);
             }
         }
 
         while let Some((time, _, index)) = self.ready.pop() {
-            self.pending[index].dispatched = true;
+            self.pending_meta[index].dispatched = true;
             // Move the task out of the arena (it is dispatched exactly
             // once and the arena clears at the end of the drain) — no
             // per-dispatch clone of its label and dependency list.
-            let task = std::mem::replace(&mut self.pending[index].task, Task::new(0, SlotKind::Cpu, 0.0));
-            let floor = self.pending[index].floor;
-            let raw_ready = self.pending[index].raw_ready;
-            let candidates = match task.slot {
-                SlotKind::Cpu => &self.cpu_slots,
-                SlotKind::Gpu => &self.gpu_slots,
+            let task = std::mem::replace(&mut self.pending_tasks[index], Task::new(0, SlotKind::Cpu, 0.0));
+            let PendingMeta { floor, raw_ready, chain, poisoned, .. } = self.pending_meta[index];
+            let no_slots = match task.slot {
+                SlotKind::Cpu => self.cpu_slots.is_empty(),
+                SlotKind::Gpu => self.gpu_slots.is_empty(),
             };
-            if self.pending[index].poisoned || candidates.is_empty() {
+            if poisoned || no_slots {
                 report.tasks_skipped += 1;
                 self.skipped.insert(task.id);
                 // Dependents of a skipped task can never find their input.
-                for dependent in std::mem::take(&mut self.pending[index].dependents) {
-                    let entry = &mut self.pending[dependent];
-                    entry.poisoned = true;
-                    entry.remaining -= 1;
-                    if entry.remaining == 0 {
+                for dependent in std::mem::take(&mut self.pending_dependents[index]) {
+                    let meta = &mut self.pending_meta[dependent];
+                    meta.poisoned = true;
+                    meta.remaining -= 1;
+                    if meta.remaining == 0 {
                         let release = self.release_time(dependent).max(time);
-                        self.ready.push(release, self.pending[dependent].task.id, dependent);
+                        self.ready.push(release, self.pending_tasks[dependent].id, dependent);
                     }
                 }
                 continue;
@@ -966,62 +1150,40 @@ impl ExecutorSession {
             let anchor = task.group.as_ref().and_then(|g| self.group_nodes.get(&g.id).copied());
             let data_node = anchor.or(task.preferred_node);
             let believed_node = if self.config.co_schedule_pairs { data_node } else { task.preferred_node };
-            let (slot_index, penalty) = if let Some((free_cpu, free_gpu)) = &mut slot_queues {
-                let queue = match task.slot {
-                    SlotKind::Cpu => free_cpu,
-                    SlotKind::Gpu => free_gpu,
-                };
-                let (_, _, slot) = queue.pop().expect("candidates is non-empty, so the queue is too");
-                (slot, 0.0)
+            let off_node_penalty = match data_node {
+                Some(_) => filesystem.locality_penalty_seconds(task.input_mb, staging_concurrency),
+                None => 0.0,
+            };
+            // What the penalty costs in *completion time*: with prefetch
+            // the re-fetch hides under compute, so only the part that
+            // pushes stage-in past the compute time delays the task.
+            let marginal_penalty = if self.config.prefetch {
+                task.compute_seconds.max(base_stage_in + off_node_penalty)
+                    - task.compute_seconds.max(base_stage_in)
             } else {
-                let off_node_penalty = match data_node {
-                    Some(_) => filesystem.locality_penalty_seconds(task.input_mb, staging_concurrency),
-                    None => 0.0,
-                };
-                // What the penalty costs in *completion time*: with prefetch
-                // the re-fetch hides under compute, so only the part that
-                // pushes stage-in past the compute time delays the task.
-                let marginal_penalty = if self.config.prefetch {
-                    task.compute_seconds.max(base_stage_in + off_node_penalty)
-                        - task.compute_seconds.max(base_stage_in)
-                } else {
-                    off_node_penalty
-                };
-                // Pick the slot starting the task earliest (its free time or
-                // the task's ready time, whichever is later, plus the
-                // marginal penalty off-node); ties prefer the task's own
-                // node (a free local slot always beats an equally free
-                // remote one, even when prefetch makes the re-fetch
-                // latency-free — it still burns shared-filesystem
-                // bandwidth), then the longest-idle slot, then the lowest
-                // slot index. Fully deterministic.
-                let is_local = |slot: &Slot| match believed_node {
-                    Some(node) => slot.node == node,
-                    None => true,
-                };
-                let key_for = |slot: usize| {
-                    let local = is_local(&self.slots[slot]);
-                    let start = self.free_at[slot].max(time);
-                    (start + if local { 0.0 } else { marginal_penalty }, !local, self.free_at[slot])
-                };
-                let mut slot_index = candidates[0];
-                let mut best_key = key_for(slot_index);
-                for &candidate in &candidates[1..] {
-                    let key = key_for(candidate);
-                    if key < best_key {
-                        best_key = key;
-                        slot_index = candidate;
-                    }
-                }
-                // The penalty actually *paid* is against the data's real
-                // location, not the scheduler's belief: a scheduler that
-                // ignored the pair anchor still re-fetches from the shared
-                // filesystem when the data is elsewhere.
-                let paid = match data_node {
-                    Some(node) if self.slots[slot_index].node != node => off_node_penalty,
-                    _ => 0.0,
-                };
-                (slot_index, paid)
+                off_node_penalty
+            };
+            // Pick the slot starting the task earliest (its free time or
+            // the task's ready time, whichever is later, plus the
+            // marginal penalty off-node); ties prefer the task's own
+            // node (a free local slot always beats an equally free
+            // remote one, even when prefetch makes the re-fetch
+            // latency-free — it still burns shared-filesystem
+            // bandwidth), then the longest-idle slot, then the lowest
+            // slot index. Fully deterministic, and answered by the
+            // per-(node, kind) [`SlotIndex`] in O(nodes + log slots)
+            // instead of a scan over every slot of the kind.
+            let slot_index = self
+                .slot_index
+                .best_slot(task.slot, time, marginal_penalty, believed_node)
+                .expect("slots of this kind exist, so the index has a champion");
+            // The penalty actually *paid* is against the data's real
+            // location, not the scheduler's belief: a scheduler that
+            // ignored the pair anchor still re-fetches from the shared
+            // filesystem when the data is elsewhere.
+            let penalty = match data_node {
+                Some(node) if self.slots[slot_index].node != node => off_node_penalty,
+                _ => 0.0,
             };
             // Anchor bookkeeping: the first member of a group claims the
             // node; later members are counted as co-located or split.
@@ -1050,27 +1212,32 @@ impl ExecutorSession {
             } else if !self.config.warm_start {
                 task.cold_start_seconds
             } else {
-                let stats = batch_warm
-                    .entry(task.label.clone())
-                    .or_insert_with(|| ModelWarmStats { model: task.label.clone(), ..Default::default() });
-                match self.pools[node].acquire(&task.label, task.cold_start_seconds, start) {
+                // One interner lookup per task; the pool and both counter
+                // tables (per-drain scratch and session totals) work in the
+                // dense id. Session totals accumulate right here — there is
+                // no per-batch map rebuilt and re-merged at absorb time.
+                let label_id = self.interner.intern(&task.label);
+                self.touch_warm(label_id);
+                match self.pools[node].acquire(label_id, task.cold_start_seconds, start) {
                     WarmAccess::Hit => {
-                        stats.hits += 1;
+                        self.batch_warm[label_id as usize].counts.hits += 1;
+                        self.warm_totals[label_id as usize].hits += 1;
                         report.warm_hits += 1;
                         0.0
                     }
                     WarmAccess::Loading => {
-                        stats.misses += 1;
+                        self.batch_warm[label_id as usize].counts.misses += 1;
+                        self.warm_totals[label_id as usize].misses += 1;
                         task.cold_start_seconds
                     }
                     WarmAccess::Miss { evicted } => {
-                        stats.misses += 1;
+                        self.batch_warm[label_id as usize].counts.misses += 1;
+                        self.warm_totals[label_id as usize].misses += 1;
                         if let Some(victim) = evicted {
                             report.warm_evictions += 1;
-                            batch_warm
-                                .entry(victim.clone())
-                                .or_insert_with(|| ModelWarmStats { model: victim, ..Default::default() })
-                                .evictions += 1;
+                            self.touch_warm(victim);
+                            self.batch_warm[victim as usize].counts.evictions += 1;
+                            self.warm_totals[victim as usize].evictions += 1;
                         }
                         task.cold_start_seconds
                     }
@@ -1119,21 +1286,18 @@ impl ExecutorSession {
             }
             report.tasks_completed += 1;
             report.makespan_seconds = report.makespan_seconds.max(end);
-            let critical_path = self.pending[index].chain + busy;
+            let critical_path = chain + busy;
             report.critical_path_seconds = report.critical_path_seconds.max(critical_path);
+            let old_free = self.free_at[slot_index];
             self.free_at[slot_index] = end;
+            self.slot_index.update(task.slot, node, old_free, end, slot_index);
+            self.finish_index.insert(end);
             self.frontier = self.frontier.max(start);
-            if let Some((free_cpu, free_gpu)) = &mut slot_queues {
-                match task.slot {
-                    SlotKind::Cpu => free_cpu.push(end, slot_index as u64, slot_index),
-                    SlotKind::Gpu => free_gpu.push(end, slot_index as u64, slot_index),
-                }
-            }
             self.completed
                 .insert(task.id, Finished { finish_seconds: end, critical_path_seconds: critical_path });
             self.schedule.push(ScheduledTask {
                 id: task.id,
-                label: task.label.clone(),
+                label: task.label,
                 kind: task.slot,
                 node,
                 ready_seconds: time,
@@ -1143,30 +1307,33 @@ impl ExecutorSession {
                 cold_start_paid_seconds: cold,
             });
             // Release dependents whose last dependency just finished.
-            for dependent in std::mem::take(&mut self.pending[index].dependents) {
-                let entry = &mut self.pending[dependent];
-                entry.raw_ready = entry.raw_ready.max(end);
-                entry.chain = entry.chain.max(critical_path);
-                entry.remaining -= 1;
-                if entry.remaining == 0 {
+            for dependent in std::mem::take(&mut self.pending_dependents[index]) {
+                let meta = &mut self.pending_meta[dependent];
+                meta.raw_ready = meta.raw_ready.max(end);
+                meta.chain = meta.chain.max(critical_path);
+                meta.remaining -= 1;
+                if meta.remaining == 0 {
                     let release = self.release_time(dependent);
-                    self.ready.push(release, self.pending[dependent].task.id, dependent);
+                    self.ready.push(release, self.pending_tasks[dependent].id, dependent);
                 }
             }
         }
         // Tasks never released: dependency cycles (including self-edges).
         // They count as skipped, and — like every other skip — poison their
         // dependents in later batches.
-        for entry in &self.pending {
-            if !entry.dispatched {
-                self.skipped.insert(entry.task.id);
+        for (index, meta) in self.pending_meta.iter().enumerate() {
+            if !meta.dispatched {
+                self.skipped.insert(self.pending_tasks[index].id);
                 report.tasks_skipped += 1;
             }
         }
         // Everything pending has now been dispatched or skipped; later
         // batches resolve dependencies through the completion and skip
-        // maps, so the arena empties between drains.
-        self.pending.clear();
+        // maps, so the arenas empty between drains (keeping their capacity
+        // for the next batch).
+        self.pending_tasks.clear();
+        self.pending_meta.clear();
+        self.pending_dependents.clear();
         self.pending_by_id.clear();
 
         // A drain that completed nothing (every task skipped, or no tasks
@@ -1184,13 +1351,23 @@ impl ExecutorSession {
         report.throughput_per_second =
             if batch_span > 0.0 { report.tasks_completed as f64 / batch_span } else { 0.0 };
         report.gpu_trace = batch_trace;
-        report.warm_models = batch_warm.values().cloned().collect();
-        self.absorb(&report, &batch_warm);
+        // Materialize the batch's warm rows from the touched scratch slots,
+        // then reset exactly those slots for the next drain.
+        report.warm_models = self.materialize_warm_models(
+            self.batch_warm_touched.iter().map(|&id| (id, self.batch_warm[id as usize].counts)),
+        );
+        for &touched in &self.batch_warm_touched {
+            self.batch_warm[touched as usize] = BatchWarm::default();
+        }
+        self.batch_warm_touched.clear();
+        self.absorb(&report);
         report
     }
 
-    /// Fold a batch report into the session-cumulative one.
-    fn absorb(&mut self, batch: &CampaignReport, batch_warm: &BTreeMap<String, ModelWarmStats>) {
+    /// Fold a batch report into the session-cumulative one. (Warm-model
+    /// counters are *not* folded here — they accumulate incrementally in
+    /// `warm_totals` at dispatch time.)
+    fn absorb(&mut self, batch: &CampaignReport) {
         let total = &mut self.cumulative;
         total.tasks_completed += batch.tasks_completed;
         total.tasks_skipped += batch.tasks_skipped;
@@ -1211,15 +1388,6 @@ impl ExecutorSession {
         total.warm_evictions += batch.warm_evictions;
         total.stage_timings.absorb(&batch.stage_timings);
         total.gpu_trace.merge(&batch.gpu_trace);
-        for (model, stats) in batch_warm {
-            let entry = self
-                .warm_stats
-                .entry(model.clone())
-                .or_insert_with(|| ModelWarmStats { model: model.clone(), ..Default::default() });
-            entry.hits += stats.hits;
-            entry.misses += stats.misses;
-            entry.evictions += stats.evictions;
-        }
         self.clock.advance_to(batch.makespan_seconds);
     }
 }
@@ -1357,11 +1525,14 @@ mod tests {
         assert_eq!(report.warm_hits, 1);
         assert_eq!(report.warm_evictions, 0);
         // The pool API itself also guards directly.
+        let mut models = ModelInterner::new();
+        let nougat = models.intern("Nougat");
+        let pymupdf = models.intern("PyMuPDF");
         let mut pool = WarmPool::new(Some(1));
-        assert_eq!(pool.acquire("Nougat", 5.0, 0.0), WarmAccess::Miss { evicted: None });
-        assert_eq!(pool.acquire("PyMuPDF", 0.0, 1.0), WarmAccess::Hit);
+        assert_eq!(pool.acquire(nougat, 5.0, 0.0), WarmAccess::Miss { evicted: None });
+        assert_eq!(pool.acquire(pymupdf, 0.0, 1.0), WarmAccess::Hit);
         assert_eq!(pool.resident_models(), 1);
-        assert!(pool.is_resident("Nougat"));
+        assert!(pool.is_resident(nougat));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! String interning for hot-path model labels.
+//!
+//! Every task carries a model label ([`crate::Task::label`], a `String`), and
+//! the executor's warm-pool and warm-statistics bookkeeping used to compare
+//! and clone those strings once per dispatched task. At million-task scale
+//! that is millions of string hashes, compares, and allocations for what is
+//! a handful of distinct models. [`ModelInterner`] maps each distinct label
+//! to a dense `u32` id exactly once per session; the hot loop then works in
+//! integer ids and the strings are materialized only when a report is built.
+
+use std::collections::HashMap;
+
+/// Dense integer id of an interned model label (see [`ModelInterner`]).
+pub type ModelId = u32;
+
+/// A session-level string interner mapping model labels to dense `u32` ids.
+///
+/// Ids are assigned in first-appearance order starting at zero, so they are
+/// valid indexes into id-ordered side tables. Interning the same label twice
+/// returns the same id; resolving an id returns the original label.
+///
+/// # Example
+///
+/// ```
+/// use hpcsim::ModelInterner;
+///
+/// let mut models = ModelInterner::new();
+/// let nougat = models.intern("Nougat");
+/// assert_eq!(models.intern("Nougat"), nougat);
+/// assert_eq!(models.resolve(nougat), "Nougat");
+/// assert_eq!(models.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelInterner {
+    ids: HashMap<String, ModelId>,
+    names: Vec<String>,
+}
+
+impl ModelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        ModelInterner::default()
+    }
+
+    /// Id of `name`, interning it if it has not been seen before.
+    pub fn intern(&mut self, name: &str) -> ModelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = ModelId::try_from(self.names.len()).expect("more than u32::MAX distinct model labels");
+        self.ids.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// The label interned as `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: ModelId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut interner = ModelInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern("PyMuPDF");
+        let b = interner.intern("Nougat");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(interner.intern("PyMuPDF"), a);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), "PyMuPDF");
+        assert_eq!(interner.resolve(b), "Nougat");
+    }
+}

@@ -45,8 +45,10 @@
 pub mod clock;
 pub mod event;
 pub mod executor;
+pub mod intern;
 pub mod lustre;
 pub mod profiler;
+pub mod slotindex;
 pub mod task;
 
 pub use clock::SimClock;
@@ -55,6 +57,8 @@ pub use executor::{
     CampaignReport, CausalityMode, ExecutorConfig, ExecutorSession, ModelWarmStats, ScheduledTask,
     StageTiming, StageTimings, SubmitOptions, WarmAccess, WarmPool, WorkflowExecutor,
 };
+pub use intern::{ModelId, ModelInterner};
 pub use lustre::LustreModel;
 pub use profiler::GpuTrace;
+pub use slotindex::{FinishIndex, SlotIndex};
 pub use task::{ClusterConfig, GroupRole, SlotKind, Task, TaskGroup};

@@ -1,0 +1,278 @@
+//! Hot-path index structures behind [`crate::ExecutorSession`].
+//!
+//! The executor's dispatch loop answers two questions once per task: *which
+//! slot starts this task earliest?* and (from the closed-loop controller,
+//! once per epoch) *how many tasks are still in flight at time t?* The naive
+//! answers — a linear scan over every slot and a linear scan over the whole
+//! schedule — are O(slots) and O(schedule length) respectively, and the
+//! second one made epoch cost grow with campaign length: at a million
+//! documents the controller spent more time counting in-flight work than
+//! scheduling it.
+//!
+//! [`SlotIndex`] keeps one ordered set of `(free_at, slot)` per (node, kind)
+//! so the per-node best slot is a `first()` lookup and the global winner is
+//! a comparison over at most one champion per node. [`FinishIndex`] keeps
+//! task finish times as log-structured sorted runs (a binary-counter merge
+//! on insert, amortized O(log n)), answering "how many finishes exceed t?"
+//! by binary search per run in O(log² n) — while still allowing the
+//! non-monotone query times that retro-fill mode produces.
+//!
+//! Both structures reproduce the scan results *bitwise* — the equivalence is
+//! pinned by proptests in `tests/hotpath_equivalence.rs`.
+
+use std::collections::BTreeSet;
+
+use crate::task::SlotKind;
+
+/// Order-preserving bit pattern of a non-negative finite time.
+///
+/// For non-negative finite floats, IEEE-754 bit patterns sort identically to
+/// the values themselves, so times can live in integer-keyed ordered sets
+/// with exact (no-epsilon) semantics. `-0.0` normalizes to `+0.0` first —
+/// its sign bit would otherwise sort it above every positive time.
+fn order_bits(seconds: f64) -> u64 {
+    debug_assert!(seconds.is_finite() && seconds >= 0.0, "time out of domain: {seconds}");
+    if seconds == 0.0 {
+        0
+    } else {
+        seconds.to_bits()
+    }
+}
+
+/// Per-(node, kind) index of slot availability, answering *earliest
+/// effective start* queries without scanning every slot.
+///
+/// Each node×kind bucket is a [`BTreeSet`] of `(free_at_bits, slot_index)`.
+/// Within one bucket the dispatch key — effective start, locality flag,
+/// idle time — is monotone in `(free_at, slot_index)`, so the bucket's
+/// first element is always that node's champion; the global winner is the
+/// minimum over champions under the executor's full comparison key with the
+/// slot index as the final tiebreak, which reproduces the linear scan's
+/// keep-first-on-tie (lowest slot index) behavior exactly.
+#[derive(Debug, Clone, Default)]
+pub struct SlotIndex {
+    cpu: Vec<BTreeSet<(u64, usize)>>,
+    gpu: Vec<BTreeSet<(u64, usize)>>,
+}
+
+impl SlotIndex {
+    /// An empty index over `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        SlotIndex { cpu: vec![BTreeSet::new(); nodes], gpu: vec![BTreeSet::new(); nodes] }
+    }
+
+    fn buckets(&self, kind: SlotKind) -> &[BTreeSet<(u64, usize)>] {
+        match kind {
+            SlotKind::Cpu => &self.cpu,
+            SlotKind::Gpu => &self.gpu,
+        }
+    }
+
+    fn buckets_mut(&mut self, kind: SlotKind) -> &mut [BTreeSet<(u64, usize)>] {
+        match kind {
+            SlotKind::Cpu => &mut self.cpu,
+            SlotKind::Gpu => &mut self.gpu,
+        }
+    }
+
+    /// Register slot `slot` of `kind` on `node`, free at `free_at`.
+    pub fn insert(&mut self, kind: SlotKind, node: usize, free_at: f64, slot: usize) {
+        let bits = order_bits(free_at);
+        self.buckets_mut(kind)[node].insert((bits, slot));
+    }
+
+    /// Move slot `slot` of `kind` on `node` from availability `old_free_at`
+    /// to `new_free_at` (after dispatching a task onto it).
+    pub fn update(&mut self, kind: SlotKind, node: usize, old_free_at: f64, new_free_at: f64, slot: usize) {
+        let bucket = &mut self.buckets_mut(kind)[node];
+        let removed = bucket.remove(&(order_bits(old_free_at), slot));
+        debug_assert!(removed, "slot {slot} was not indexed at free_at {old_free_at}");
+        bucket.insert((order_bits(new_free_at), slot));
+    }
+
+    /// The slot of `kind` minimizing the executor's dispatch key for a task
+    /// ready at `ready_at`: effective start (availability, or availability
+    /// plus `marginal_penalty` off `believed_node`), preferring local slots,
+    /// then the longest-idle slot, then the lowest slot index. Returns
+    /// `None` when no slot of `kind` exists.
+    pub fn best_slot(
+        &self,
+        kind: SlotKind,
+        ready_at: f64,
+        marginal_penalty: f64,
+        believed_node: Option<usize>,
+    ) -> Option<usize> {
+        let mut best: Option<(f64, bool, f64, usize)> = None;
+        for (node, bucket) in self.buckets(kind).iter().enumerate() {
+            let Some(&(bits, slot)) = bucket.first() else { continue };
+            let free = f64::from_bits(bits);
+            let local = believed_node.is_none_or(|n| n == node);
+            let penalty = if local { 0.0 } else { marginal_penalty };
+            let key = (free.max(ready_at) + penalty, !local, free, slot);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, _, slot)| slot)
+    }
+}
+
+/// Log-structured index of task finish times, counting in-flight work at an
+/// arbitrary query time in O(log² n) without scanning the schedule.
+///
+/// Finish times arrive in schedule order (not sorted) and queries are not
+/// monotone — retro-fill mode observes epochs at wave makespans that can
+/// move backwards — so neither a sorted insert nor a pop-based heap works.
+/// Instead finishes accumulate as sorted runs merged binary-counter style:
+/// each insert starts a singleton run and merges equal-or-shorter ones,
+/// keeping O(log n) runs with amortized O(log n) insert cost.
+#[derive(Debug, Clone, Default)]
+pub struct FinishIndex {
+    /// Sorted runs of order-preserving finish bits, lengths strictly
+    /// decreasing (powers of two) from front to back.
+    runs: Vec<Vec<u64>>,
+    total: usize,
+}
+
+impl FinishIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        FinishIndex::default()
+    }
+
+    /// Number of finish times recorded.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no finish times have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Record a task finishing at `finish_seconds`.
+    pub fn insert(&mut self, finish_seconds: f64) {
+        let mut run = vec![order_bits(finish_seconds)];
+        while let Some(last) = self.runs.last() {
+            if last.len() > run.len() {
+                break;
+            }
+            let last = self.runs.pop().expect("checked non-empty");
+            run = merge_sorted(&last, &run);
+        }
+        self.runs.push(run);
+        self.total += 1;
+    }
+
+    /// Number of recorded finishes strictly greater than `seconds`.
+    ///
+    /// Matches `schedule.iter().filter(|s| s.finish_seconds > seconds)`
+    /// exactly, including for out-of-domain queries: a NaN query counts
+    /// nothing, a negative query counts everything.
+    pub fn count_after(&self, seconds: f64) -> usize {
+        if seconds.is_nan() {
+            return 0;
+        }
+        if seconds < 0.0 {
+            return self.total;
+        }
+        let bits = if seconds == 0.0 {
+            0
+        } else if seconds.is_infinite() {
+            f64::MAX.to_bits()
+        } else {
+            seconds.to_bits()
+        };
+        let not_after: usize = self.runs.iter().map(|run| run.partition_point(|&b| b <= bits)).sum();
+        self.total - not_after
+    }
+}
+
+fn merge_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_index_picks_earliest_then_lowest_index() {
+        let mut index = SlotIndex::new(2);
+        index.insert(SlotKind::Cpu, 0, 0.0, 0);
+        index.insert(SlotKind::Cpu, 0, 0.0, 1);
+        index.insert(SlotKind::Cpu, 1, 0.0, 2);
+        // All free at 0: lowest slot index wins.
+        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 0.0, None), Some(0));
+        index.update(SlotKind::Cpu, 0, 0.0, 10.0, 0);
+        // Slot 0 busy until 10: next-lowest free slot wins.
+        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 0.0, None), Some(1));
+        // A locality penalty off node 1 makes slot 2 the only local choice.
+        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 100.0, Some(1)), Some(2));
+        // No GPU slots registered at all.
+        assert_eq!(index.best_slot(SlotKind::Gpu, 0.0, 0.0, None), None);
+    }
+
+    #[test]
+    fn slot_index_prefers_longest_idle_on_equal_start() {
+        let mut index = SlotIndex::new(1);
+        index.insert(SlotKind::Gpu, 0, 0.0, 0);
+        index.insert(SlotKind::Gpu, 0, 0.0, 1);
+        index.update(SlotKind::Gpu, 0, 0.0, 3.0, 0);
+        // Both start the task at t = 7, but slot 1 has been idle longer.
+        assert_eq!(index.best_slot(SlotKind::Gpu, 7.0, 0.0, None), Some(1));
+    }
+
+    #[test]
+    fn finish_index_matches_naive_count() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) * 50.0
+        };
+        let mut index = FinishIndex::new();
+        let mut naive: Vec<f64> = Vec::new();
+        for step in 0..500 {
+            let finish = next();
+            index.insert(finish);
+            naive.push(finish);
+            if step % 7 == 0 {
+                let t = next();
+                let expected = naive.iter().filter(|&&f| f > t).count();
+                assert_eq!(index.count_after(t), expected, "t = {t}");
+            }
+        }
+        assert_eq!(index.len(), 500);
+        assert_eq!(index.count_after(-1.0), 500);
+        assert_eq!(index.count_after(f64::NAN), 0);
+        assert_eq!(index.count_after(f64::INFINITY), 0);
+        assert_eq!(index.count_after(1e9), 0);
+    }
+
+    #[test]
+    fn finish_index_handles_zero_and_ties() {
+        let mut index = FinishIndex::new();
+        for f in [0.0, 0.0, 1.0, 1.0, 2.0] {
+            index.insert(f);
+        }
+        assert_eq!(index.count_after(-0.0), 3); // strict: the two zeros are excluded
+        assert_eq!(index.count_after(0.0), 3);
+        assert_eq!(index.count_after(1.0), 1);
+        assert_eq!(index.count_after(2.0), 0);
+        assert!(!index.is_empty());
+    }
+}
