@@ -102,6 +102,8 @@ pub mod engine;
 pub mod hpc;
 pub mod output;
 pub mod scaling;
+pub mod serve;
+pub mod stats;
 
 pub use budget::{
     max_affordable_alpha, optimality_gap, select_batch, select_global, windowed_optimality_gap,
@@ -116,7 +118,12 @@ pub use hpc::{
 };
 pub use output::{JsonlSink, MemorySink, ParsedRecord, RecordSink};
 pub use scaling::{
-    planned_costs, run_closed_loop, Allocation, AllocationEvent, BudgetLedger, ControllerConfig, NodePlan,
-    ObservedCosts, ScalingController, SimLoopConfig, SimLoopReport, SimWave, Stage, StageSample, WaveCosts,
-    WaveStats, WindowedSelector, DEFAULT_PRIOR_WEIGHT,
+    planned_costs, run_closed_loop, Allocation, AllocationEvent, AutoscaleConfig, BudgetLedger,
+    ControllerConfig, FleetEvent, NodePlan, ObservedCosts, ScalingController, SimLoopConfig, SimLoopReport,
+    SimWave, SloAutoscaler, Stage, StageSample, WaveCosts, WaveStats, WindowedSelector, DEFAULT_PRIOR_WEIGHT,
 };
+pub use serve::{
+    run_service, DocArrival, ServeConfig, ServeReport, TenantRegistry, TenantServeReport, TenantSpec,
+    TenantTrace,
+};
+pub use stats::{nearest_rank_percentile, LatencySummary};

@@ -81,11 +81,13 @@
 //! achievable schedules and bound the retro-fill makespan from above. See
 //! [`simloop`]'s "two-mode contract" section.
 
+pub mod autoscale;
 pub mod controller;
 pub mod observed;
 pub mod simloop;
 pub mod window;
 
+pub use autoscale::{AutoscaleConfig, FleetEvent, SloAutoscaler};
 pub use controller::{
     Allocation, AllocationEvent, ControllerConfig, NodePlan, ScalingController, Stage, StageSample, WaveStats,
 };

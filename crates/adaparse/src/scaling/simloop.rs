@@ -92,6 +92,7 @@ use crate::scaling::{
     Allocation, AllocationEvent, BudgetLedger, ControllerConfig, NodePlan, ScalingController, StageSample,
     WaveStats, WindowedSelector,
 };
+use crate::stats::LatencySummary;
 
 /// Knobs of a closed-loop simulated campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -238,6 +239,12 @@ pub struct SimLoopReport {
     /// per-model warm hits/evictions, GPU trace — everything the persistent
     /// engine measured over the whole campaign.
     pub executor_report: CampaignReport,
+    /// Distribution of per-task slot waits (`start − max(ready, floor)`),
+    /// summarized with the shared exact nearest-rank percentiles
+    /// ([`crate::stats`]) — the same definition the serve layer's
+    /// per-tenant latency SLOs use, so a campaign's queue tail and a
+    /// service's latency tail are directly comparable.
+    pub queue_wait: LatencySummary,
     /// Final observed-cost estimates, when a budget ledger was attached.
     pub final_observed: Option<ObservedCosts>,
     /// Seconds of budget left unspent, when a budget was set.
@@ -302,6 +309,7 @@ pub fn run_closed_loop(
         locality_penalty_seconds: 0.0,
         history: Vec::new(),
         executor_report: session.report(),
+        queue_wait: LatencySummary::default(),
         final_observed: None,
         remaining_budget_seconds: None,
     };
@@ -529,6 +537,12 @@ pub fn run_closed_loop(
     report.makespan_seconds = session.now_seconds();
     report.history = controller.history().to_vec();
     report.executor_report = session.report();
+    let waits: Vec<f64> = session
+        .schedule()
+        .iter()
+        .map(|row| (row.start_seconds - row.ready_seconds.max(row.submitted_at_seconds)).max(0.0))
+        .collect();
+    report.queue_wait = LatencySummary::from_values(&waits);
     report.final_observed = selector.ledger().and_then(|ledger| ledger.observed().copied());
     report.remaining_budget_seconds = selector.ledger().map(BudgetLedger::remaining_seconds);
     report
@@ -638,6 +652,17 @@ mod tests {
         for event in &a.history {
             assert!(event.at_seconds > 0.0 && event.at_seconds <= a.makespan_seconds);
         }
+        // The shared nearest-rank queue-wait summary covers every scheduled
+        // task and agrees with the executor's summed queue wait.
+        assert_eq!(a.queue_wait.count, a.executor_report.tasks_completed);
+        assert!(a.queue_wait.p50_seconds <= a.queue_wait.p99_seconds);
+        assert!(a.queue_wait.p99_seconds <= a.queue_wait.max_seconds);
+        let summed = a.queue_wait.mean_seconds * a.queue_wait.count as f64;
+        assert!(
+            (summed - a.executor_report.queue_wait_seconds).abs() <= 1e-6 * summed.max(1.0),
+            "percentile summary and executor sum disagree: {summed} vs {}",
+            a.executor_report.queue_wait_seconds
+        );
     }
 
     #[test]

@@ -1,0 +1,601 @@
+//! The resident ingest loop: epochs, admission, harvest, autoscaling.
+//!
+//! See the module docs on [`super`] for the full contract. The loop here
+//! is the serve-layer analogue of [`crate::scaling::simloop`]'s closed
+//! loop, with three structural differences: documents *arrive over time*
+//! instead of existing up front, several tenants compete for one fleet
+//! under weighted-fair queuing, and the fleet itself breathes — an
+//! [`SloAutoscaler`] moves the session's active-node prefix against SLO
+//! attainment while the cluster object stays fixed at the maximum size.
+
+use std::collections::HashMap;
+
+use hpcsim::{
+    CampaignReport, CausalityMode, ClusterConfig, ExecutorConfig, LustreModel, SubmitOptions,
+    WorkflowExecutor,
+};
+
+use crate::config::AdaParseConfig;
+use crate::engine::RoutedDocument;
+use crate::hpc::tasks_for_routing_with_affinity;
+use crate::scaling::{
+    AutoscaleConfig, ControllerConfig, FleetEvent, ScalingController, SloAutoscaler, StageSample, WaveCosts,
+    WaveStats,
+};
+use crate::stats::LatencySummary;
+
+use super::tenant::{DocArrival, TenantRegistry, TenantServeReport, TenantTrace};
+
+/// Minimum sliding-window completions a tenant needs before its p99
+/// participates in the autoscaler's worst-ratio signal; below this the
+/// tail estimate is too noisy to scale on.
+const SLO_MIN_SAMPLES: usize = 8;
+
+/// Knobs of a serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Engine configuration supplying the cheap/high-quality parser pair
+    /// (per-tenant α comes from each [`TenantSpec`](super::TenantSpec),
+    /// not from `engine.alpha`).
+    pub engine: AdaParseConfig,
+    /// Seconds between decision boundaries: each epoch the loop drains the
+    /// session up to the boundary, harvests completions, ingests arrivals,
+    /// admits, and rescales.
+    pub epoch_seconds: f64,
+    /// Initial fleet size in nodes (also the fixed size when
+    /// [`autoscale`](Self::autoscale) is `None`).
+    pub nodes: usize,
+    /// Explicit cluster shape; `None` builds [`ClusterConfig::polaris`]
+    /// over the maximum fleet (the autoscaler's `max_nodes`, or
+    /// [`nodes`](Self::nodes) without autoscaling).
+    pub cluster: Option<ClusterConfig>,
+    /// Executor options. The causality mode is ignored: a serve run always
+    /// admits causally (a service cannot retro-fill the past).
+    pub executor: ExecutorConfig,
+    /// Shared-filesystem model.
+    pub filesystem: LustreModel,
+    /// Stage-split controller tuning; its allocation is projected onto the
+    /// *active* nodes each epoch via
+    /// [`ScalingController::plan_nodes`].
+    pub controller: ControllerConfig,
+    /// SLO-driven fleet autoscaling; `None` pins the fleet at
+    /// [`nodes`](Self::nodes) (the ablation baseline).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Admission cap as in-flight documents per active CPU slot; admission
+    /// stops (documents wait in tenant queues) once
+    /// `in_flight ≥ ceil(inflight_per_slot × active CPU slots)`.
+    pub inflight_per_slot: f64,
+    /// Sliding-window length (completions per tenant) for the SLO signal.
+    pub slo_window: usize,
+    /// Safety bound on epochs; a run that hits it closes with whatever is
+    /// unfinished reported per tenant. Generous by default.
+    pub max_epochs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: AdaParseConfig::default(),
+            epoch_seconds: 30.0,
+            nodes: 2,
+            cluster: None,
+            executor: ExecutorConfig::default(),
+            filesystem: LustreModel::default(),
+            controller: ControllerConfig::default(),
+            autoscale: None,
+            inflight_per_slot: 4.0,
+            slo_window: 64,
+            max_epochs: 100_000,
+        }
+    }
+}
+
+/// Aggregate outcome of a serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-tenant accounting, in tenant declaration order.
+    pub tenants: Vec<TenantServeReport>,
+    /// Decision epochs the run took.
+    pub epochs: usize,
+    /// Simulated time of the last completion.
+    pub makespan_seconds: f64,
+    /// Every fleet-size change the autoscaler made (empty for a fixed
+    /// fleet).
+    pub fleet: Vec<FleetEvent>,
+    /// Epoch-mean active nodes — the fleet capacity actually consumed.
+    /// Size an equal-capacity fixed-fleet ablation from this.
+    pub mean_active_nodes: f64,
+    /// Largest fleet the run ever used.
+    pub max_active_nodes: usize,
+    /// Documents admitted across tenants.
+    pub admitted: usize,
+    /// Arrivals rejected across tenants (bounded queues).
+    pub rejected: usize,
+    /// The session-cumulative executor report.
+    pub executor_report: CampaignReport,
+    /// Time-to-parsed over *all* tenants' completed documents.
+    pub latency: LatencySummary,
+    /// FNV-1a fingerprint over the per-tenant latency summaries and the
+    /// makespan — two runs with equal fingerprints produced bitwise-equal
+    /// latency distributions. Cheap to diff across machines or commits.
+    pub fingerprint: u64,
+}
+
+impl ServeReport {
+    /// Worst per-tenant achieved-p99 / SLO ratio (0 with no completions).
+    pub fn worst_slo_ratio(&self) -> f64 {
+        self.tenants.iter().map(TenantServeReport::slo_ratio).fold(0.0, f64::max)
+    }
+
+    /// Whether every tenant met its p99 target.
+    pub fn all_slos_met(&self) -> bool {
+        self.tenants.iter().all(TenantServeReport::slo_met)
+    }
+}
+
+/// A document admitted into the cluster, tracked until all its tasks have
+/// scheduled.
+#[derive(Debug, Clone, Copy)]
+struct DocProgress {
+    tenant: usize,
+    arrived_at: f64,
+    /// Routed to the high-quality parser (a parse task exists).
+    expensive: bool,
+    extract: Option<(f64, f64)>,
+    parse: Option<(f64, f64)>,
+}
+
+impl DocProgress {
+    /// Finish time of the document's last task, once every expected task
+    /// has a schedule row.
+    fn completion(&self) -> Option<f64> {
+        let (_, extract_finish) = self.extract?;
+        if self.expensive {
+            let (_, parse_finish) = self.parse?;
+            Some(extract_finish.max(parse_finish))
+        } else {
+            Some(extract_finish)
+        }
+    }
+}
+
+/// A completed document waiting for a decision boundary to pass its finish
+/// time before its latency and cost become observable.
+#[derive(Debug, Clone, Copy)]
+struct DeferredCompletion {
+    tenant: usize,
+    observable_at: f64,
+    latency_seconds: f64,
+    expensive: bool,
+    busy_seconds: f64,
+}
+
+/// A per-task stage sample deferred to the boundary past its finish.
+#[derive(Debug, Clone, Copy)]
+struct DeferredStageObs {
+    observable_at: f64,
+    /// Even task ids are extract, odd are parse.
+    parse: bool,
+    busy_seconds: f64,
+}
+
+/// Split off (in insertion order) every deferred item whose `at` time is
+/// at or before `boundary`.
+fn drain_observable<T>(deferred: &mut Vec<T>, boundary: f64, at: impl Fn(&T) -> f64) -> Vec<T> {
+    let mut observable = Vec::new();
+    let mut kept = Vec::new();
+    for item in deferred.drain(..) {
+        if at(&item) <= boundary {
+            observable.push(item);
+        } else {
+            kept.push(item);
+        }
+    }
+    *deferred = kept;
+    observable
+}
+
+/// FNV-1a over the bytes that define a run's observable outcome.
+fn fingerprint(tenants: &[TenantServeReport], makespan_seconds: f64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for t in tenants {
+        eat(&(t.latency.count as u64).to_le_bytes());
+        eat(&t.latency.mean_seconds.to_bits().to_le_bytes());
+        eat(&t.latency.p50_seconds.to_bits().to_le_bytes());
+        eat(&t.latency.p99_seconds.to_bits().to_le_bytes());
+        eat(&t.latency.max_seconds.to_bits().to_le_bytes());
+        eat(&(t.admitted as u64).to_le_bytes());
+        eat(&(t.rejected as u64).to_le_bytes());
+        eat(&(t.selected as u64).to_le_bytes());
+    }
+    eat(&makespan_seconds.to_bits().to_le_bytes());
+    hash
+}
+
+/// Run the resident multi-tenant ingest service over the given tenant
+/// traces. Fully deterministic: same config and traces, same report, bit
+/// for bit. See the [module docs](super) for the epoch contract.
+pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport {
+    let epoch_seconds = config.epoch_seconds.max(1e-9);
+    let max_nodes = match &config.autoscale {
+        Some(auto) => auto.max_nodes.max(config.nodes).max(1),
+        None => config.nodes.max(1),
+    };
+    let cluster = config.cluster.unwrap_or_else(|| ClusterConfig::polaris(max_nodes));
+    // A service cannot retro-fill the past: admission is causal by
+    // construction, whatever the caller's executor config says.
+    let executor_config = ExecutorConfig { causality: CausalityMode::Causal, ..config.executor };
+    let executor = WorkflowExecutor::new(executor_config);
+    let mut session = executor.session(&cluster);
+    session.set_active_nodes(config.nodes.max(1));
+
+    let mut registry = TenantRegistry::new(&config.engine, traces);
+    let mut controller = ScalingController::new(config.controller);
+    let mut autoscaler = config.autoscale.map(|auto| SloAutoscaler::new(auto, config.nodes.max(1)));
+
+    // Global arrival order: (time, tenant, per-tenant order). Ties inside
+    // a timestamp admit lower tenant indices first — deterministic, and
+    // exercised hard by the adversarial-herd traces.
+    let mut events: Vec<(f64, usize, DocArrival)> = Vec::new();
+    for (tenant, trace) in traces.iter().enumerate() {
+        for arrival in &trace.arrivals {
+            events.push((arrival.at_seconds, tenant, *arrival));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut cursor = 0usize;
+    let mut next_doc_id = 0u64;
+    // Documents in the cluster whose tasks have not all scheduled yet,
+    // keyed by doc id.
+    let mut awaiting: HashMap<u64, DocProgress> = HashMap::new();
+    let mut deferred_done: Vec<DeferredCompletion> = Vec::new();
+    let mut deferred_stage: Vec<DeferredStageObs> = Vec::new();
+    let mut scanned_rows = 0usize;
+    let mut in_flight = 0usize;
+    let mut epochs = 0usize;
+    let mut active_node_sum = 0usize;
+    let mut max_active = session.active_nodes();
+    let mut plan = controller.plan_nodes(session.active_nodes());
+
+    // One closure-free harvest pass, shared by the epoch loop and the
+    // final drain: scan new schedule rows into per-doc progress, then
+    // surface everything observable at `boundary`.
+    macro_rules! harvest {
+        ($boundary:expr) => {{
+            let boundary: f64 = $boundary;
+            let rows = session.schedule();
+            for row in &rows[scanned_rows..] {
+                let doc_id = row.id / 2;
+                let parse = row.id % 2 == 1;
+                if let Some(progress) = awaiting.get_mut(&doc_id) {
+                    let span = (row.start_seconds, row.finish_seconds);
+                    if parse {
+                        progress.parse = Some(span);
+                    } else {
+                        progress.extract = Some(span);
+                    }
+                }
+                deferred_stage.push(DeferredStageObs {
+                    observable_at: row.finish_seconds,
+                    parse,
+                    busy_seconds: row.finish_seconds - row.start_seconds,
+                });
+            }
+            scanned_rows = rows.len();
+            // Documents whose last task has now scheduled graduate from
+            // awaiting to deferred completion (iterate in doc-id order so
+            // the deferred list, and everything downstream, is
+            // deterministic).
+            let mut done_ids: Vec<u64> =
+                awaiting.iter().filter(|(_, p)| p.completion().is_some()).map(|(&id, _)| id).collect();
+            done_ids.sort_unstable();
+            for id in done_ids {
+                let progress = awaiting.remove(&id).expect("id came from the map");
+                let finish = progress.completion().expect("filtered on completion");
+                let busy = progress.extract.map(|(s, f)| f - s).unwrap_or(0.0)
+                    + progress.parse.map(|(s, f)| f - s).unwrap_or(0.0);
+                deferred_done.push(DeferredCompletion {
+                    tenant: progress.tenant,
+                    observable_at: finish,
+                    latency_seconds: finish - progress.arrived_at,
+                    expensive: progress.expensive,
+                    busy_seconds: busy,
+                });
+            }
+            // Latencies and measured costs become visible only once the
+            // boundary passes the finish — the service never acts on a
+            // completion that has not happened yet.
+            let observable = drain_observable(&mut deferred_done, boundary, |d| d.observable_at);
+            let mut per_tenant_costs: HashMap<usize, WaveCosts> = HashMap::new();
+            for done in observable {
+                let state = &mut registry.states_mut()[done.tenant];
+                state.completed += 1;
+                state.latencies.push(done.latency_seconds);
+                state.recent_latency.push_back(done.latency_seconds);
+                while state.recent_latency.len() > config.slo_window.max(1) {
+                    state.recent_latency.pop_front();
+                }
+                per_tenant_costs.entry(done.tenant).or_default().record(done.expensive, done.busy_seconds);
+                in_flight -= 1;
+            }
+            let mut tenants_with_costs: Vec<usize> = per_tenant_costs.keys().copied().collect();
+            tenants_with_costs.sort_unstable();
+            for tenant in tenants_with_costs {
+                let costs = &per_tenant_costs[&tenant];
+                let state = &mut registry.states_mut()[tenant];
+                state.observed_docs += costs.docs();
+                state.selector.ingest_observed_partial(costs);
+            }
+        }};
+    }
+
+    while cursor < events.len()
+        || registry.queued() > 0
+        || !awaiting.is_empty()
+        || !deferred_done.is_empty()
+        || session.pending_task_count() > 0
+    {
+        if epochs >= config.max_epochs {
+            break;
+        }
+        let boundary = (epochs + 1) as f64 * epoch_seconds;
+        active_node_sum += session.active_nodes();
+        epochs += 1;
+
+        // 1. Advance the engine to the boundary: dispatch every event with
+        //    release time at or before it, in global event order.
+        session.advance_until(boundary, &config.filesystem);
+
+        // 2. Harvest: completions (latency + measured cost) and stage
+        //    samples that are observable at this boundary.
+        harvest!(boundary);
+
+        // 3. Ingest arrivals up to the boundary into bounded per-tenant
+        //    queues; overflow is rejected, never silently dropped.
+        while cursor < events.len() && events[cursor].0 <= boundary {
+            let (_, tenant, arrival) = events[cursor];
+            cursor += 1;
+            let state = &mut registry.states_mut()[tenant];
+            state.arrived += 1;
+            if state.queue.len() >= state.spec.max_pending {
+                state.rejected += 1;
+            } else {
+                state.queue.push_back(arrival);
+            }
+        }
+
+        // 4. Weighted-fair admission: repeatedly grant the backlogged
+        //    tenant with the least virtual service (planned cost over
+        //    weight; ties to the lower tenant index), until the in-flight
+        //    cap fills or every queue drains. No tenant starves: a
+        //    backlogged tenant's service stands still while others grow,
+        //    so it is eventually the minimum.
+        let active_cpu_slots = session.active_nodes() * cluster.cpu_slots_per_node;
+        let inflight_cap = ((config.inflight_per_slot * active_cpu_slots as f64).ceil() as usize).max(1);
+        let mut admitted_now: Vec<Vec<DocArrival>> = vec![Vec::new(); registry.len()];
+        while in_flight + admitted_now.iter().map(Vec::len).sum::<usize>() < inflight_cap {
+            let mut best: Option<usize> = None;
+            for (tenant, state) in registry.states().iter().enumerate() {
+                if state.queue.is_empty() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(tenant),
+                    Some(current) if state.virtual_service < registry.states()[current].virtual_service => {
+                        Some(tenant)
+                    }
+                    keep => keep,
+                };
+            }
+            let Some(tenant) = best else { break };
+            let state = &mut registry.states_mut()[tenant];
+            let doc = state.queue.pop_front().expect("best tenant has a queue");
+            state.virtual_service += state.planned_doc_cost / state.spec.weight;
+            state.admitted += 1;
+            admitted_now[tenant].push(doc);
+        }
+
+        // 5. Route and submit each tenant's admitted batch at its own
+        //    effective α, with the boundary as the causal release floor.
+        for (tenant, batch) in admitted_now.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let state = &mut registry.states_mut()[tenant];
+            let scores: Vec<f64> = batch.iter().map(|d| d.score).collect();
+            // The α actually applied to this batch; the last admission's
+            // value is what the report calls the tenant's final α (after
+            // the stream position passes the last document, the live
+            // clamp turns vacuous).
+            state.closing_alpha = state.selector.effective_alpha();
+            let mask = state.selector.select_window(&scores);
+            let routed: Vec<RoutedDocument> = batch
+                .iter()
+                .zip(&mask)
+                .map(|(doc, &hq)| {
+                    let doc_id = next_doc_id;
+                    next_doc_id += 1;
+                    awaiting.insert(
+                        doc_id,
+                        DocProgress {
+                            tenant,
+                            arrived_at: doc.at_seconds,
+                            expensive: hq,
+                            extract: None,
+                            parse: None,
+                        },
+                    );
+                    in_flight += 1;
+                    RoutedDocument {
+                        doc_id,
+                        parser: if hq {
+                            config.engine.high_quality_parser
+                        } else {
+                            config.engine.default_parser
+                        },
+                        predicted_improvement: doc.score,
+                        cls1_invalid: false,
+                    }
+                })
+                .collect();
+            let selected = mask.iter().filter(|&&m| m).count();
+            state.selected += selected;
+            let workload = state.spec.workload;
+            let tasks = tasks_for_routing_with_affinity(&config.engine, &routed, &workload, &plan);
+            session.submit_owned(tasks, SubmitOptions { release_seconds: Some(boundary) });
+        }
+
+        // 6. Feed the stage-split controller the samples observable at the
+        //    boundary and rescale the fleet against SLO attainment.
+        let observable = drain_observable(&mut deferred_stage, boundary, |o| o.observable_at);
+        let mut extract = StageSample { busy_seconds: 0.0, items: 0 };
+        let mut parse = StageSample { busy_seconds: 0.0, items: 0 };
+        for obs in observable {
+            let sample = if obs.parse { &mut parse } else { &mut extract };
+            sample.busy_seconds += obs.busy_seconds;
+            sample.items += 1;
+        }
+        let queue_depth = registry.queued() + in_flight;
+        controller.observe_at(boundary, &WaveStats { wave_index: epochs - 1, extract, parse, queue_depth });
+        if let Some(autoscaler) = autoscaler.as_mut() {
+            let worst = registry.worst_slo_ratio(SLO_MIN_SAMPLES.min(config.slo_window.max(1)));
+            let backlog_per_slot = queue_depth as f64 / active_cpu_slots.max(1) as f64;
+            let nodes = autoscaler.observe(epochs - 1, boundary, worst, backlog_per_slot);
+            session.set_active_nodes(nodes);
+        }
+        max_active = max_active.max(session.active_nodes());
+        plan = controller.plan_nodes(session.active_nodes());
+    }
+
+    // Close: let every in-flight task run to completion and fold in the
+    // remaining observations (no further decision needs protecting).
+    session.advance_to_frontier(&config.filesystem);
+    harvest!(f64::INFINITY);
+    // After an unbounded harvest the only unaccounted documents are those
+    // with a task the engine skipped outright (they are reported per
+    // tenant as unfinished).
+    assert_eq!(in_flight, awaiting.len(), "every scheduled document must be harvested at close");
+    debug_assert_eq!(scanned_rows, session.schedule().len());
+    for state in registry.states_mut() {
+        // Every arrival held a planning slot in the ledger — including
+        // rejected and never-admitted documents; refund whatever was never
+        // measured.
+        let unobserved = state.arrived.saturating_sub(state.observed_docs);
+        state.selector.release_unobserved(unobserved);
+    }
+
+    let tenants = registry.reports();
+    let admitted = tenants.iter().map(|t| t.admitted).sum();
+    let rejected = tenants.iter().map(|t| t.rejected).sum();
+    let all_latencies: Vec<f64> =
+        registry.states().iter().flat_map(|state| state.latencies.iter().copied()).collect();
+    let makespan_seconds = session.now_seconds();
+    let fingerprint = fingerprint(&tenants, makespan_seconds);
+    ServeReport {
+        tenants,
+        epochs,
+        makespan_seconds,
+        fleet: autoscaler.as_ref().map(|a| a.history().to_vec()).unwrap_or_default(),
+        mean_active_nodes: if epochs == 0 {
+            session.active_nodes() as f64
+        } else {
+            active_node_sum as f64 / epochs as f64
+        },
+        max_active_nodes: max_active,
+        admitted,
+        rejected,
+        executor_report: session.report(),
+        latency: LatencySummary::from_values(&all_latencies),
+        fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::tenant::TenantSpec;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trace(name: &str, n: usize, seed: u64, rate: f64) -> TenantTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = 0.0;
+        let arrivals = (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                now += -(1.0 - u).ln() / rate;
+                DocArrival { at_seconds: now, score: rng.gen_range(0.0..1.0) }
+            })
+            .collect();
+        TenantTrace { spec: TenantSpec { name: name.to_string(), ..Default::default() }, arrivals }
+    }
+
+    #[test]
+    fn empty_service_is_a_noop() {
+        let report = run_service(&ServeConfig::default(), &[]);
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.admitted, 0);
+        assert!(report.tenants.is_empty());
+        assert_eq!(report.latency, LatencySummary::default());
+        // A tenant with no arrivals is likewise trivial.
+        let empty = TenantTrace { spec: TenantSpec::default(), arrivals: Vec::new() };
+        let report = run_service(&ServeConfig::default(), &[empty]);
+        assert_eq!(report.tenants[0].arrived, 0);
+        assert_eq!(report.epochs, 0);
+    }
+
+    #[test]
+    fn steady_single_tenant_run_completes_every_document() {
+        let traces = vec![trace("solo", 80, 5, 1.0)];
+        let report = run_service(&ServeConfig::default(), &traces);
+        let tenant = &report.tenants[0];
+        assert_eq!(tenant.arrived, 80);
+        assert_eq!(tenant.admitted, 80, "an uncontended fleet admits everything");
+        assert_eq!(tenant.rejected, 0);
+        assert_eq!(tenant.completed, 80);
+        assert_eq!(tenant.unfinished, 0);
+        assert_eq!(tenant.latency.count, 80);
+        assert!(tenant.latency.p50_seconds <= tenant.latency.p99_seconds);
+        assert!(tenant.latency.p99_seconds <= tenant.latency.max_seconds);
+        // Latency includes the admission epoch: every document waits for
+        // at least the boundary after its arrival before it can start.
+        assert!(tenant.latency.p50_seconds > 0.0);
+        assert!(report.makespan_seconds > 0.0);
+        assert_eq!(report.fleet, Vec::new(), "a fixed fleet records no scaling events");
+        assert_eq!(report.mean_active_nodes, 2.0);
+    }
+
+    #[test]
+    fn multi_tenant_run_replays_bitwise() {
+        let traces = vec![trace("a", 60, 5, 1.5), trace("b", 45, 6, 1.0), trace("c", 30, 7, 0.7)];
+        let config = ServeConfig { autoscale: Some(AutoscaleConfig::default()), ..ServeConfig::default() };
+        let x = run_service(&config, &traces);
+        let y = run_service(&config, &traces);
+        assert_eq!(x, y, "a serve run must be a pure function of its inputs");
+        assert_eq!(x.fingerprint, y.fingerprint);
+        assert_eq!(x.admitted, 135);
+        assert_eq!(x.tenants.iter().map(|t| t.completed).sum::<usize>(), 135);
+    }
+
+    #[test]
+    fn bounded_queues_reject_overflow_instead_of_growing() {
+        // One tenant, tiny queue, all documents in one herd: everything
+        // past the queue bound plus the first admission wave is rejected.
+        let arrivals = (0..50).map(|_| DocArrival { at_seconds: 1.0, score: 0.5 }).collect();
+        let spec = TenantSpec { max_pending: 8, ..Default::default() };
+        let traces = vec![TenantTrace { spec, arrivals }];
+        let report = run_service(&ServeConfig::default(), &traces);
+        let tenant = &report.tenants[0];
+        assert_eq!(tenant.arrived, 50);
+        assert!(tenant.rejected > 0, "a bounded queue must shed herd overflow");
+        assert_eq!(tenant.admitted + tenant.rejected, 50);
+        assert_eq!(tenant.completed, tenant.admitted);
+    }
+}

@@ -1,0 +1,283 @@
+//! Tenants: who is sending documents, under what budget, toward what SLO.
+//!
+//! A [`TenantSpec`] is the contract one customer of the service signs: its
+//! routing α, its optional compute budget, its p99 time-to-parsed target,
+//! its weighted-fair share of the fleet, and the bound on how many of its
+//! documents may sit admitted-but-unselected at once. A [`TenantTrace`]
+//! pairs the spec with the tenant's arrival trace. The
+//! [`TenantRegistry`] owns the per-tenant live state — selector, budget
+//! ledger, admission queue, latency samples — for the duration of a serve
+//! run and renders it into per-tenant [`TenantServeReport`]s at close.
+
+use std::collections::VecDeque;
+
+use crate::campaign::CampaignBudget;
+use crate::hpc::WorkloadSpec;
+use crate::scaling::{BudgetLedger, WindowedSelector};
+use crate::stats::{nearest_rank_percentile, LatencySummary};
+
+use crate::config::AdaParseConfig;
+use crate::scaling::planned_costs;
+
+/// One document arriving at the service: when it becomes visible, and the
+/// router's predicted improvement score for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DocArrival {
+    /// Simulated arrival time in seconds.
+    pub at_seconds: f64,
+    /// Predicted improvement score fed to the tenant's windowed selector.
+    pub score: f64,
+}
+
+/// The per-tenant service contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Human-readable tenant name (reports and logs only).
+    pub name: String,
+    /// Target fraction of this tenant's documents routed to the
+    /// high-quality parser.
+    pub alpha: f64,
+    /// Optional compute budget; `None` routes at `alpha` with no seconds
+    /// ledger. An exhausted budget drives the tenant's effective α to
+    /// zero — its documents keep flowing, on the cheap parser.
+    pub budget: Option<CampaignBudget>,
+    /// SLO: target p99 time-to-parsed (arrival → last task finish) in
+    /// seconds.
+    pub slo_p99_seconds: f64,
+    /// Weighted-fair-queuing weight (> 0): a tenant with weight 2 is
+    /// entitled to twice the admitted planned-cost rate of a tenant with
+    /// weight 1 when both have work queued.
+    pub weight: f64,
+    /// Bound on the tenant's admission queue; arrivals past it are
+    /// rejected (counted, never silently dropped).
+    pub max_pending: usize,
+    /// Shape of this tenant's documents (pages, MB) for task generation
+    /// and planned costs.
+    pub workload: WorkloadSpec,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec {
+            name: "tenant".to_string(),
+            alpha: 0.2,
+            budget: None,
+            slo_p99_seconds: 60.0,
+            weight: 1.0,
+            max_pending: 256,
+            workload: WorkloadSpec { documents: 0, pages_per_doc: 8, mb_per_doc: 50.0 },
+        }
+    }
+}
+
+/// A tenant's spec plus its arrival trace — one input lane of a serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTrace {
+    /// The service contract.
+    pub spec: TenantSpec,
+    /// Arrivals in non-decreasing time order. (Typically generated from
+    /// `scicorpus::generate_arrivals` timestamps zipped with improvement
+    /// scores.)
+    pub arrivals: Vec<DocArrival>,
+}
+
+/// Final per-tenant accounting of a serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantServeReport {
+    /// Tenant name, copied from the spec.
+    pub name: String,
+    /// Documents that arrived over the run.
+    pub arrived: usize,
+    /// Documents admitted into the cluster.
+    pub admitted: usize,
+    /// Arrivals rejected because the tenant's queue was full.
+    pub rejected: usize,
+    /// Admitted documents whose tasks all finished.
+    pub completed: usize,
+    /// Admitted documents still unfinished at close (nonzero only when the
+    /// run hit its epoch bound or tasks were skipped).
+    pub unfinished: usize,
+    /// Documents routed to the high-quality parser.
+    pub selected: usize,
+    /// Time-to-parsed (arrival → last task finish) over completed
+    /// documents, with exact nearest-rank percentiles.
+    pub latency: LatencySummary,
+    /// The tenant's p99 target, copied from the spec.
+    pub slo_p99_seconds: f64,
+    /// The tenant's effective α when the run closed (after any ledger
+    /// tightening).
+    pub final_effective_alpha: f64,
+    /// Seconds of budget left, when the tenant had one.
+    pub remaining_budget_seconds: Option<f64>,
+}
+
+impl TenantServeReport {
+    /// Achieved p99 over SLO target; < 1 means the SLO was met. Zero when
+    /// nothing completed.
+    pub fn slo_ratio(&self) -> f64 {
+        if self.latency.count == 0 {
+            0.0
+        } else {
+            self.latency.p99_seconds / self.slo_p99_seconds
+        }
+    }
+
+    /// Whether the tenant's p99 target was met (vacuously true with no
+    /// completions).
+    pub fn slo_met(&self) -> bool {
+        self.slo_ratio() <= 1.0
+    }
+}
+
+/// Live per-tenant state during a serve run (registry-internal).
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub(crate) spec: TenantSpec,
+    /// Streaming α selection with the tenant's own ledger.
+    pub(crate) selector: WindowedSelector,
+    /// Admitted planned-cost seconds divided by weight — the WFQ virtual
+    /// service that admission minimizes across tenants.
+    pub(crate) virtual_service: f64,
+    /// Expected planned cost of one admitted document (cheap + α-share of
+    /// the upgrade), the WFQ charge unit.
+    pub(crate) planned_doc_cost: f64,
+    /// Arrived-but-unadmitted documents, in arrival order.
+    pub(crate) queue: VecDeque<DocArrival>,
+    /// Recent time-to-parsed samples (sliding window) for the SLO signal.
+    pub(crate) recent_latency: VecDeque<f64>,
+    /// All time-to-parsed samples, in completion-observation order.
+    pub(crate) latencies: Vec<f64>,
+    pub(crate) arrived: usize,
+    pub(crate) admitted: usize,
+    pub(crate) rejected: usize,
+    pub(crate) completed: usize,
+    pub(crate) selected: usize,
+    /// Completed documents whose measured costs were reconciled into the
+    /// tenant's ledger (the rest are released at close).
+    pub(crate) observed_docs: usize,
+    /// Effective α as applied to the tenant's most recent admitted batch
+    /// (once the stream position passes the last document, the live
+    /// affordable-α clamp is vacuous, so the report carries this instead).
+    pub(crate) closing_alpha: f64,
+}
+
+/// The set of tenants a serve run multiplexes, with their live state.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    tenants: Vec<TenantState>,
+}
+
+impl TenantRegistry {
+    /// Build the registry from the run's tenant traces: one selector,
+    /// ledger, and queue per tenant. `config` supplies the parser pair the
+    /// planned costs are derived from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tenant has a non-positive weight or a non-positive SLO
+    /// target, or if arrivals are not in non-decreasing time order.
+    pub fn new(config: &AdaParseConfig, traces: &[TenantTrace]) -> Self {
+        let tenants = traces
+            .iter()
+            .map(|trace| {
+                let spec = &trace.spec;
+                assert!(spec.weight > 0.0, "tenant {:?}: weight must be positive", spec.name);
+                assert!(spec.slo_p99_seconds > 0.0, "tenant {:?}: SLO target must be positive", spec.name);
+                for pair in trace.arrivals.windows(2) {
+                    assert!(
+                        pair[1].at_seconds >= pair[0].at_seconds,
+                        "tenant {:?}: arrivals must be time-sorted",
+                        spec.name
+                    );
+                }
+                let (cheap, expensive) = planned_costs(config, spec.workload.pages_per_doc);
+                let mut selector = WindowedSelector::new(spec.max_pending.max(1), spec.alpha);
+                if let Some(budget) = &spec.budget {
+                    let mut ledger =
+                        BudgetLedger::new(budget.total_seconds, trace.arrivals.len(), cheap, expensive);
+                    if budget.observed_feedback {
+                        ledger = ledger.with_observed_costs(budget.prior_weight);
+                    }
+                    selector = selector.with_budget(ledger);
+                }
+                TenantState {
+                    spec: spec.clone(),
+                    selector,
+                    virtual_service: 0.0,
+                    planned_doc_cost: cheap + spec.alpha * (expensive - cheap),
+                    queue: VecDeque::new(),
+                    recent_latency: VecDeque::new(),
+                    latencies: Vec::new(),
+                    arrived: 0,
+                    admitted: 0,
+                    rejected: 0,
+                    completed: 0,
+                    selected: 0,
+                    observed_docs: 0,
+                    closing_alpha: spec.alpha,
+                }
+            })
+            .collect();
+        TenantRegistry { tenants }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the registry has no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    pub(crate) fn states(&self) -> &[TenantState] {
+        &self.tenants
+    }
+
+    pub(crate) fn states_mut(&mut self) -> &mut [TenantState] {
+        &mut self.tenants
+    }
+
+    /// Total documents currently queued for admission across tenants.
+    pub(crate) fn queued(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// The worst per-tenant ratio of sliding-window p99 to SLO target,
+    /// over tenants with at least `min_samples` recent completions (0 when
+    /// none qualifies yet).
+    pub(crate) fn worst_slo_ratio(&self, min_samples: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for tenant in &self.tenants {
+            if tenant.recent_latency.len() < min_samples {
+                continue;
+            }
+            let window: Vec<f64> = tenant.recent_latency.iter().copied().collect();
+            if let Some(p99) = nearest_rank_percentile(&window, 99.0) {
+                worst = worst.max(p99 / tenant.spec.slo_p99_seconds);
+            }
+        }
+        worst
+    }
+
+    /// Render the per-tenant final reports.
+    pub(crate) fn reports(&self) -> Vec<TenantServeReport> {
+        self.tenants
+            .iter()
+            .map(|tenant| TenantServeReport {
+                name: tenant.spec.name.clone(),
+                arrived: tenant.arrived,
+                admitted: tenant.admitted,
+                rejected: tenant.rejected,
+                completed: tenant.completed,
+                unfinished: tenant.admitted - tenant.completed,
+                selected: tenant.selected,
+                latency: LatencySummary::from_values(&tenant.latencies),
+                slo_p99_seconds: tenant.spec.slo_p99_seconds,
+                final_effective_alpha: tenant.closing_alpha,
+                remaining_budget_seconds: tenant.selector.ledger().map(BudgetLedger::remaining_seconds),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,170 @@
+//! Exact order statistics shared by the closed-loop simulator and the
+//! serve layer.
+//!
+//! Latency SLOs are stated over tail percentiles, and two subsystems
+//! reporting "p99" must mean the same number — so both the simulation
+//! loop's queue-wait summary and the serve layer's per-tenant
+//! time-to-parsed use this one helper instead of ad-hoc aggregates. The
+//! method is the *exact nearest-rank* definition (no interpolation): the
+//! p-th percentile of `n` values is the `ceil(p/100 · n)`-th smallest
+//! (1-indexed), which is always one of the observed values — a latency
+//! that actually happened, not a blend of two. NaNs sort last under a
+//! deterministic total order, so a corrupted observation can only inflate
+//! the extreme tail, never silently vanish or poison a comparison.
+
+/// Deterministic total order on `f64`: ordinary order on numbers
+/// (`-0.0 == 0.0`), every NaN after every number, NaNs tied with each
+/// other.
+fn nan_last(a: &f64, b: &f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.partial_cmp(b).expect("both finite-or-infinite"),
+        (false, true) => std::cmp::Ordering::Less,
+        (true, false) => std::cmp::Ordering::Greater,
+        (true, true) => std::cmp::Ordering::Equal,
+    }
+}
+
+/// The exact nearest-rank `percentile` (in `[0, 100]`) of `values`:
+/// the `ceil(p/100 · n)`-th smallest value (1-indexed), under the
+/// NaN-last total order. `p = 0` returns the minimum. Returns `None` on an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if `percentile` is not in `[0, 100]` (NaN included).
+///
+/// # Examples
+///
+/// ```
+/// use adaparse::stats::nearest_rank_percentile;
+///
+/// let waits = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(nearest_rank_percentile(&waits, 50.0), Some(2.0));
+/// assert_eq!(nearest_rank_percentile(&waits, 99.0), Some(4.0));
+/// assert_eq!(nearest_rank_percentile(&waits, 0.0), Some(1.0));
+/// assert_eq!(nearest_rank_percentile(&[], 50.0), None);
+/// ```
+pub fn nearest_rank_percentile(values: &[f64], percentile: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&percentile), "percentile must be in [0, 100], got {percentile}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(nan_last);
+    let n = sorted.len();
+    // ceil(p/100 · n), clamped into 1..=n. The product is exact enough
+    // for any realistic n; the clamp guards the p = 0 and rounding edges.
+    let rank = ((percentile / 100.0) * n as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, n) - 1])
+}
+
+/// Exact summary of one latency population: count, mean, max, and the two
+/// SLO-facing nearest-rank percentiles. This is the unit both
+/// `SimLoopReport` (queue waits) and the serve layer's per-tenant
+/// time-to-parsed reports carry, so their tails are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean_seconds: f64,
+    /// Exact nearest-rank p50 (0 when empty).
+    pub p50_seconds: f64,
+    /// Exact nearest-rank p99 (0 when empty).
+    pub p99_seconds: f64,
+    /// Largest observation (0 when empty).
+    pub max_seconds: f64,
+}
+
+impl LatencySummary {
+    /// Summarize `values` (empty input yields the all-zero summary).
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return LatencySummary::default();
+        }
+        let count = values.len();
+        let mean_seconds = values.iter().sum::<f64>() / count as f64;
+        let p50_seconds = nearest_rank_percentile(values, 50.0).expect("non-empty");
+        let p99_seconds = nearest_rank_percentile(values, 99.0).expect("non-empty");
+        let max_seconds = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        LatencySummary { count, mean_seconds, p50_seconds, p99_seconds, max_seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_has_no_percentile() {
+        assert_eq!(nearest_rank_percentile(&[], 0.0), None);
+        assert_eq!(nearest_rank_percentile(&[], 50.0), None);
+        assert_eq!(nearest_rank_percentile(&[], 100.0), None);
+        assert_eq!(LatencySummary::from_values(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_value_is_every_percentile() {
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(nearest_rank_percentile(&[7.5], p), Some(7.5), "p{p}");
+        }
+        let summary = LatencySummary::from_values(&[7.5]);
+        assert_eq!(summary.count, 1);
+        assert_eq!(summary.p50_seconds, 7.5);
+        assert_eq!(summary.p99_seconds, 7.5);
+        assert_eq!(summary.max_seconds, 7.5);
+    }
+
+    #[test]
+    fn tied_values_return_the_tie() {
+        let tied = [3.0; 9];
+        assert_eq!(nearest_rank_percentile(&tied, 50.0), Some(3.0));
+        assert_eq!(nearest_rank_percentile(&tied, 99.0), Some(3.0));
+        // Ties mixed with distinct values still hit an observed value.
+        let mixed = [1.0, 2.0, 2.0, 2.0, 5.0];
+        assert_eq!(nearest_rank_percentile(&mixed, 50.0), Some(2.0));
+        assert_eq!(nearest_rank_percentile(&mixed, 80.0), Some(2.0));
+        assert_eq!(nearest_rank_percentile(&mixed, 81.0), Some(5.0));
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_textbook_cases() {
+        // Classic worked example: n = 5.
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(nearest_rank_percentile(&v, 5.0), Some(15.0));
+        assert_eq!(nearest_rank_percentile(&v, 30.0), Some(20.0));
+        assert_eq!(nearest_rank_percentile(&v, 40.0), Some(20.0));
+        assert_eq!(nearest_rank_percentile(&v, 50.0), Some(35.0));
+        assert_eq!(nearest_rank_percentile(&v, 100.0), Some(50.0));
+        // Unsorted input is handled (the helper sorts a copy).
+        let shuffled = [40.0, 15.0, 50.0, 20.0, 35.0];
+        assert_eq!(nearest_rank_percentile(&shuffled, 50.0), Some(35.0));
+    }
+
+    #[test]
+    fn nans_sort_last_and_only_touch_the_extreme_tail() {
+        let v = [1.0, f64::NAN, 2.0, 3.0];
+        assert_eq!(nearest_rank_percentile(&v, 50.0), Some(2.0));
+        assert_eq!(nearest_rank_percentile(&v, 75.0), Some(3.0));
+        assert!(nearest_rank_percentile(&v, 100.0).unwrap().is_nan());
+        // Negative zero and zero are tied; the result is a real value.
+        assert_eq!(nearest_rank_percentile(&[-0.0, 0.0], 50.0), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        nearest_rank_percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn summary_is_exact_on_a_known_population() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let summary = LatencySummary::from_values(&values);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.mean_seconds, 50.5);
+        assert_eq!(summary.p50_seconds, 50.0);
+        assert_eq!(summary.p99_seconds, 99.0);
+        assert_eq!(summary.max_seconds, 100.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Multi-tenant serve demo: SLO attainment under autoscaling, with a
+//! tracked trajectory.
+//!
+//! Drives `adaparse::serve::run_service` over a bursty multi-tenant
+//! arrival mix — a herding heavy tenant, a steady interactive tenant, and
+//! a budgeted batch tenant — twice:
+//!
+//! 1. **Autoscaled**: the `SloAutoscaler` breathes the fleet between
+//!    `--min-nodes` and `--max-nodes` against the worst per-tenant
+//!    p99/SLO ratio.
+//! 2. **Fixed ablation**: the same traces on a pinned fleet of equal
+//!    *average* capacity (the autoscaled run's epoch-mean active nodes,
+//!    rounded) — same mean node-hours, none of the elasticity.
+//!
+//! The demo asserts that the service replays bitwise, that the autoscaled
+//! run meets every tenant's p99 target, and that the equal-capacity fixed
+//! fleet misses at least one — the elasticity, not the capacity, is what
+//! buys the tail — then appends a schema-versioned entry (per-tenant
+//! p50/p99, admitted/rejected counts, run fingerprint) to
+//! `BENCH_serve.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release --bin serve_demo                  # full entry + ablation
+//! cargo run --release --bin serve_demo -- --smoke       # scaled-down CI run
+//! cargo run --release --bin serve_demo -- --validate    # check BENCH_serve.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use adaparse::{
+    run_service, AdaParseConfig, AutoscaleConfig, CampaignBudget, DocArrival, ServeConfig, ServeReport,
+    TenantSpec, TenantTrace, WorkloadSpec,
+};
+use bench::trajectory::{append_entry, unix_timestamp, validate_trajectory, JsonValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scicorpus::{generate_arrivals, ArrivalConfig, ArrivalPattern};
+
+struct Args {
+    seed: u64,
+    scale: usize,
+    min_nodes: usize,
+    max_nodes: usize,
+    slo_seconds: f64,
+    label: String,
+    out: PathBuf,
+    smoke: bool,
+    validate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        scale: 6,
+        min_nodes: 1,
+        max_nodes: 6,
+        slo_seconds: 130.0,
+        label: "serve".to_string(),
+        out: PathBuf::from("BENCH_serve.json"),
+        smoke: false,
+        validate: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--min-nodes" => {
+                args.min_nodes = value("--min-nodes")?.parse().map_err(|e| format!("--min-nodes: {e}"))?
+            }
+            "--max-nodes" => {
+                args.max_nodes = value("--max-nodes")?.parse().map_err(|e| format!("--max-nodes: {e}"))?
+            }
+            "--slo-seconds" => {
+                args.slo_seconds =
+                    value("--slo-seconds")?.parse().map_err(|e| format!("--slo-seconds: {e}"))?
+            }
+            "--label" => args.label = value("--label")?,
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--smoke" => args.smoke = true,
+            "--validate" => args.validate = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.scale == 0 || args.min_nodes == 0 || args.max_nodes < args.min_nodes {
+        return Err("--scale must be positive and --max-nodes >= --min-nodes >= 1".to_string());
+    }
+    Ok(args)
+}
+
+/// Fields every `BENCH_serve.json` entry must carry (shared with the CI
+/// `--validate` step).
+const REQUIRED_FIELDS: &[&str] = &[
+    "label",
+    "seed",
+    "scale",
+    "smoke",
+    "slo_seconds",
+    "auto_worst_slo_ratio",
+    "fixed_worst_slo_ratio",
+    "mean_active_nodes",
+    "fixed_nodes",
+    "admitted",
+    "rejected",
+    "wall_seconds",
+    "tenants",
+    "fingerprint",
+];
+
+/// Zip seeded arrival timestamps with seeded improvement scores.
+fn doc_arrivals(n: usize, seed: u64, rate: f64, pattern: ArrivalPattern) -> Vec<DocArrival> {
+    let times =
+        generate_arrivals(&ArrivalConfig { n_documents: n, seed, mean_rate_per_second: rate, pattern });
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    times
+        .into_iter()
+        .map(|arrival| DocArrival { at_seconds: arrival.at_seconds, score: rng.gen_range(0.0..1.0) })
+        .collect()
+}
+
+/// The demo's tenant mix: a herding heavy tenant, a steady interactive
+/// tenant, and a budgeted batch tenant, all sharing one p99 target.
+fn traces(args: &Args) -> Vec<TenantTrace> {
+    let workload = WorkloadSpec { documents: 0, pages_per_doc: 40, mb_per_doc: 80.0 };
+    let s = args.scale;
+    vec![
+        TenantTrace {
+            spec: TenantSpec {
+                name: "bursty-heavy".to_string(),
+                alpha: 0.35,
+                weight: 2.0,
+                slo_p99_seconds: args.slo_seconds,
+                max_pending: 4096,
+                workload,
+                ..Default::default()
+            },
+            arrivals: doc_arrivals(
+                120 * s,
+                args.seed,
+                0.5,
+                ArrivalPattern::AdversarialHerd { herd_size: 40 * s },
+            ),
+        },
+        TenantTrace {
+            spec: TenantSpec {
+                name: "steady-interactive".to_string(),
+                alpha: 0.15,
+                weight: 1.0,
+                slo_p99_seconds: args.slo_seconds,
+                max_pending: 4096,
+                workload,
+                ..Default::default()
+            },
+            arrivals: doc_arrivals(15 * s, args.seed ^ 0xA11CE, 0.1, ArrivalPattern::Steady),
+        },
+        TenantTrace {
+            spec: TenantSpec {
+                name: "budgeted-batch".to_string(),
+                alpha: 0.4,
+                budget: Some(CampaignBudget::seconds(2_000.0 * s as f64)),
+                weight: 1.0,
+                slo_p99_seconds: args.slo_seconds,
+                max_pending: 4096,
+                workload,
+            },
+            arrivals: doc_arrivals(
+                25 * s,
+                args.seed ^ 0xBA7C4,
+                0.2,
+                ArrivalPattern::Bursty { burst_size: 8 * s },
+            ),
+        },
+    ]
+}
+
+fn serve_config(args: &Args, autoscale: bool, fixed_nodes: usize) -> ServeConfig {
+    ServeConfig {
+        engine: AdaParseConfig::default(),
+        epoch_seconds: 20.0,
+        nodes: if autoscale { args.min_nodes } else { fixed_nodes },
+        autoscale: autoscale.then_some(AutoscaleConfig {
+            min_nodes: args.min_nodes,
+            max_nodes: args.max_nodes,
+            step_up: 3,
+            step_down: 2,
+            down_patience: 2,
+            headroom: 0.6,
+            backlog_per_slot_up: 1.0,
+        }),
+        // A short sliding window lets the SLO signal recover between
+        // herds (with the default 64 samples, one herd's tail lingers in
+        // view through the whole quiet period and the fleet never
+        // breathes down).
+        slo_window: 16,
+        ..Default::default()
+    }
+}
+
+fn print_report(title: &str, report: &ServeReport) {
+    println!("{title}:");
+    println!(
+        "  epochs {}  makespan {:.1}s  mean fleet {:.2} nodes (max {})  fleet events {}",
+        report.epochs,
+        report.makespan_seconds,
+        report.mean_active_nodes,
+        report.max_active_nodes,
+        report.fleet.len()
+    );
+    for tenant in &report.tenants {
+        println!(
+            "  {:<20} admitted {:>5}  rejected {:>4}  selected {:>4}  p50 {:>7.1}s  p99 {:>7.1}s  \
+             slo-ratio {:.2}{}",
+            tenant.name,
+            tenant.admitted,
+            tenant.rejected,
+            tenant.selected,
+            tenant.latency.p50_seconds,
+            tenant.latency.p99_seconds,
+            tenant.slo_ratio(),
+            if tenant.slo_met() { "" } else { "  ** SLO MISSED **" }
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = parse_args()?;
+    if args.validate {
+        let entries = validate_trajectory(&args.out, "serve", REQUIRED_FIELDS)?;
+        println!("{}: valid ({entries} entries)", args.out.display());
+        return Ok(());
+    }
+    if args.smoke {
+        args.scale = args.scale.min(2);
+    }
+
+    let traces = traces(&args);
+    let docs: usize = traces.iter().map(|t| t.arrivals.len()).sum();
+    println!(
+        "serve_demo: {docs} documents over {} tenants, seed {}, fleet {}..{} nodes{}",
+        traces.len(),
+        args.seed,
+        args.min_nodes,
+        args.max_nodes,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    // Autoscaled run, twice: the service must replay bit for bit.
+    let wall = Instant::now();
+    let auto = run_service(&serve_config(&args, true, 0), &traces);
+    let replay = run_service(&serve_config(&args, true, 0), &traces);
+    if auto != replay {
+        return Err("serve run failed to replay bitwise".to_string());
+    }
+    println!("replay: bitwise identical (fingerprint {:#018x})", auto.fingerprint);
+
+    // Equal-average-capacity ablation: pin the fleet at the autoscaled
+    // run's mean active nodes.
+    let fixed_nodes = (auto.mean_active_nodes.round() as usize).clamp(1, args.max_nodes);
+    let fixed = run_service(&serve_config(&args, false, fixed_nodes), &traces);
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    print_report("autoscaled", &auto);
+    print_report(&format!("fixed fleet ({fixed_nodes} nodes, equal average capacity)"), &fixed);
+
+    if !auto.all_slos_met() {
+        return Err(format!(
+            "autoscaled run must meet every tenant's p99 target (worst ratio {:.3})",
+            auto.worst_slo_ratio()
+        ));
+    }
+    if !args.smoke && fixed.all_slos_met() {
+        return Err(format!(
+            "ablation lost its teeth: the equal-capacity fixed fleet also met every SLO \
+             (worst ratio {:.3}) — retune the traces",
+            fixed.worst_slo_ratio()
+        ));
+    }
+    if !args.smoke {
+        println!(
+            "ablation: autoscaling met the p99 target (worst ratio {:.3}) that the {fixed_nodes}-node \
+             fixed fleet missed (worst ratio {:.3})",
+            auto.worst_slo_ratio(),
+            fixed.worst_slo_ratio()
+        );
+    }
+
+    let tenants_json = JsonValue::Array(
+        auto.tenants
+            .iter()
+            .map(|t| {
+                JsonValue::object(vec![
+                    ("name", JsonValue::Str(t.name.clone())),
+                    ("admitted", JsonValue::U64(t.admitted as u64)),
+                    ("rejected", JsonValue::U64(t.rejected as u64)),
+                    ("selected", JsonValue::U64(t.selected as u64)),
+                    ("p50_seconds", JsonValue::F64(t.latency.p50_seconds)),
+                    ("p99_seconds", JsonValue::F64(t.latency.p99_seconds)),
+                    ("slo_ratio", JsonValue::F64(t.slo_ratio())),
+                ])
+            })
+            .collect(),
+    );
+    let entry = JsonValue::object(vec![
+        ("timestamp", JsonValue::U64(unix_timestamp())),
+        ("label", JsonValue::Str(args.label.clone())),
+        ("seed", JsonValue::U64(args.seed)),
+        ("scale", JsonValue::U64(args.scale as u64)),
+        ("smoke", JsonValue::Bool(args.smoke)),
+        ("slo_seconds", JsonValue::F64(args.slo_seconds)),
+        ("auto_worst_slo_ratio", JsonValue::F64(auto.worst_slo_ratio())),
+        ("fixed_worst_slo_ratio", JsonValue::F64(fixed.worst_slo_ratio())),
+        ("mean_active_nodes", JsonValue::F64(auto.mean_active_nodes)),
+        ("fixed_nodes", JsonValue::U64(fixed_nodes as u64)),
+        ("admitted", JsonValue::U64(auto.admitted as u64)),
+        ("rejected", JsonValue::U64(auto.rejected as u64)),
+        ("wall_seconds", JsonValue::F64(wall_seconds)),
+        ("tenants", tenants_json),
+        ("fingerprint", JsonValue::hex(auto.fingerprint)),
+    ]);
+    append_entry(&args.out, "serve", entry).map_err(|e| format!("append: {e}"))?;
+    println!("appended entry to {}", args.out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("serve_demo: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

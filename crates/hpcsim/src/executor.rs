@@ -549,8 +549,14 @@ struct PendingMeta {
     /// can never find its input and will be skipped too.
     poisoned: bool,
     /// Popped from the ready queue (run or skipped). Entries never popped
-    /// by the end of a drain are dependency cycles.
+    /// by the end of an *unbounded* drain are dependency cycles; a bounded
+    /// [`ExecutorSession::advance_until`] leaves them pending instead.
     dispatched: bool,
+    /// Already pushed onto the session's ready queue. The queue persists
+    /// across bounded drains, so the per-drain seeding sweep must not push
+    /// an entry a previous drain (or a mid-drain dependency release)
+    /// already queued.
+    seeded: bool,
 }
 
 /// A small set of arena indices that avoids heap allocation for the
@@ -738,9 +744,11 @@ pub struct ExecutorSession {
     /// The session-persistent pending set: tasks enqueued by
     /// [`submit_with`](Self::submit_with) that
     /// [`advance_to_frontier`](Self::advance_to_frontier) has not yet
-    /// drained. Cleared after every drain (the engine dispatches eagerly,
-    /// so nothing lingers), but batches enqueued *between* drains share
-    /// this arena and interleave in `(ready time, task id)` event order.
+    /// drained. Cleared after every unbounded drain (the engine dispatches
+    /// eagerly, so nothing lingers) and compacted down to the undispatched
+    /// backlog after every bounded [`advance_until`](Self::advance_until);
+    /// batches enqueued *between* drains share this arena and interleave
+    /// in `(ready time, task id)` event order.
     /// Struct-of-arrays: `pending_meta[i]` and `pending_dependents[i]`
     /// belong to `pending_tasks[i]`.
     pending_tasks: Vec<Task>,
@@ -765,6 +773,12 @@ pub struct ExecutorSession {
     /// is the natural event boundary for a closed loop to make its next
     /// admission decision at.
     frontier: f64,
+    /// Nodes currently receiving new work: dispatch only targets nodes
+    /// `< active_nodes`. Tasks already running on a node drained by
+    /// [`set_active_nodes`](Self::set_active_nodes) run to completion, and
+    /// the node's warm pools and slot availability stay indexed for when
+    /// the fleet grows back.
+    active_nodes: usize,
     gpu_count: usize,
 }
 
@@ -815,6 +829,7 @@ impl ExecutorSession {
             slot_index,
             finish_index: FinishIndex::new(),
             frontier: 0.0,
+            active_nodes: cluster.nodes,
             gpu_count,
         }
     }
@@ -836,9 +851,30 @@ impl ExecutorSession {
     }
 
     /// Tasks enqueued by [`submit_with`](Self::submit_with) but not yet
-    /// drained by [`advance_to_frontier`](Self::advance_to_frontier).
+    /// drained by [`advance_to_frontier`](Self::advance_to_frontier) or
+    /// [`advance_until`](Self::advance_until).
     pub fn pending_task_count(&self) -> usize {
         self.pending_meta.iter().filter(|m| !m.dispatched).count()
+    }
+
+    /// Nodes currently receiving new work (see
+    /// [`set_active_nodes`](Self::set_active_nodes)).
+    pub fn active_nodes(&self) -> usize {
+        self.active_nodes
+    }
+
+    /// Resize the *active fleet*: dispatch from now on only targets nodes
+    /// `< nodes` (clamped to `1..=cluster.nodes`). This is the
+    /// fleet-autoscaling hook for a resident service: shrinking never
+    /// preempts — tasks already dispatched to a drained node run to
+    /// completion, and the node keeps its slot availability and warm-pool
+    /// residency so growing the fleet back is instant (resident models on
+    /// returning nodes are still warm). Fully deterministic: the active
+    /// fleet is always the prefix of the node list, so two runs issuing the
+    /// same `set_active_nodes` calls at the same event boundaries place
+    /// every task identically.
+    pub fn set_active_nodes(&mut self, nodes: usize) {
+        self.active_nodes = nodes.clamp(1, self.cluster.nodes);
     }
 
     /// Number of *dispatched* tasks still in flight at simulated time
@@ -991,6 +1027,7 @@ impl ExecutorSession {
                 remaining: 0,
                 poisoned: false,
                 dispatched: false,
+                seeded: false,
             });
             self.pending_dependents.push(IndexList::None);
         }
@@ -1085,6 +1122,50 @@ impl ExecutorSession {
     /// With nothing pending this is a no-op returning an empty report
     /// whose makespan is the current session clock.
     pub fn advance_to_frontier(&mut self, filesystem: &LustreModel) -> CampaignReport {
+        self.drain(filesystem, None)
+    }
+
+    /// Bounded drain: dispatch, in the same global `(release time, task
+    /// id)` event order as [`advance_to_frontier`](Self::advance_to_frontier),
+    /// exactly the pending tasks whose release time is at or before
+    /// `until_seconds` — including tasks whose dependencies finish within
+    /// the bound mid-drain — and leave everything released later pending
+    /// for a future advance. This is what lets a resident service
+    /// interleave admission decisions with dispatch: advance to the next
+    /// decision tick, observe what completed, admit the next arrivals with
+    /// a release floor at the tick, repeat.
+    ///
+    /// A task released at or before the bound may still *finish* after it;
+    /// the session clock tracks the latest completion as usual. Dependency
+    /// cycles are never resolved by a bounded drain (their members simply
+    /// stay pending); only `advance_to_frontier` sweeps them out as
+    /// skipped.
+    ///
+    /// Interleaving bounded drains is *schedule-transparent*: any sequence
+    /// of `advance_until` calls followed by a final `advance_to_frontier`
+    /// yields bitwise the same schedule (every placement, start, and
+    /// finish), frontier, and clock as one big `advance_to_frontier` over
+    /// the same submissions — the event order is merely consumed in
+    /// segments. The cumulative report's *summed* aggregates (busy
+    /// seconds, queue wait, …) accumulate per segment, so they may differ
+    /// from the one-drain sums in the last ulp — floating-point addition
+    /// is not associative; replaying the same segmentation is still
+    /// bitwise-deterministic. (Transparency holds when submissions are the
+    /// same; the point of the bound is of course to let *later*
+    /// submissions depend on what completed early.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until_seconds` is NaN.
+    pub fn advance_until(&mut self, until_seconds: f64, filesystem: &LustreModel) -> CampaignReport {
+        assert!(!until_seconds.is_nan(), "advance_until bound must not be NaN");
+        self.drain(filesystem, Some(until_seconds))
+    }
+
+    /// The shared drain behind [`advance_to_frontier`](Self::advance_to_frontier)
+    /// (`until: None`) and [`advance_until`](Self::advance_until)
+    /// (`until: Some(bound)`).
+    fn drain(&mut self, filesystem: &LustreModel, until: Option<f64>) -> CampaignReport {
         // Enqueueing never advances the clock, so this is also the
         // session clock at the time the drained batches were submitted.
         let advance_floor = self.clock.now_seconds();
@@ -1100,15 +1181,26 @@ impl ExecutorSession {
         // Seed the ready queue with every pending task whose dependencies
         // are already satisfied. Deferred to the drain (rather than done
         // at enqueue) so that batches enqueued later into the same drain
-        // may still add forward edges to earlier ones.
+        // may still add forward edges to earlier ones. The queue persists
+        // across bounded drains, so entries it already holds (seeded by an
+        // earlier drain, released after its bound) must not be re-pushed.
         for index in 0..self.pending_meta.len() {
-            if self.pending_meta[index].remaining == 0 {
+            let meta = self.pending_meta[index];
+            if meta.remaining == 0 && !meta.seeded {
+                self.pending_meta[index].seeded = true;
                 let release = self.release_time(index);
                 self.ready.push(release, self.pending_tasks[index].id, index);
             }
         }
 
-        while let Some((time, _, index)) = self.ready.pop() {
+        loop {
+            if let Some(limit) = until {
+                match self.ready.peek_time() {
+                    Some(next) if next <= limit => {}
+                    _ => break,
+                }
+            }
+            let Some((time, _, index)) = self.ready.pop() else { break };
             self.pending_meta[index].dispatched = true;
             // Move the task out of the arena (it is dispatched exactly
             // once and the arena clears at the end of the drain) — no
@@ -1128,6 +1220,7 @@ impl ExecutorSession {
                     meta.poisoned = true;
                     meta.remaining -= 1;
                     if meta.remaining == 0 {
+                        meta.seeded = true;
                         let release = self.release_time(dependent).max(time);
                         self.ready.push(release, self.pending_tasks[dependent].id, dependent);
                     }
@@ -1175,7 +1268,7 @@ impl ExecutorSession {
             // instead of a scan over every slot of the kind.
             let slot_index = self
                 .slot_index
-                .best_slot(task.slot, time, marginal_penalty, believed_node)
+                .best_slot(task.slot, time, marginal_penalty, believed_node, self.active_nodes)
                 .expect("slots of this kind exist, so the index has a champion");
             // The penalty actually *paid* is against the data's real
             // location, not the scheduler's belief: a scheduler that
@@ -1313,28 +1406,36 @@ impl ExecutorSession {
                 meta.chain = meta.chain.max(critical_path);
                 meta.remaining -= 1;
                 if meta.remaining == 0 {
+                    meta.seeded = true;
                     let release = self.release_time(dependent);
                     self.ready.push(release, self.pending_tasks[dependent].id, dependent);
                 }
             }
         }
-        // Tasks never released: dependency cycles (including self-edges).
-        // They count as skipped, and — like every other skip — poison their
-        // dependents in later batches.
-        for (index, meta) in self.pending_meta.iter().enumerate() {
-            if !meta.dispatched {
-                self.skipped.insert(self.pending_tasks[index].id);
-                report.tasks_skipped += 1;
+        if until.is_none() {
+            // Tasks never released: dependency cycles (including
+            // self-edges). They count as skipped, and — like every other
+            // skip — poison their dependents in later batches.
+            for (index, meta) in self.pending_meta.iter().enumerate() {
+                if !meta.dispatched {
+                    self.skipped.insert(self.pending_tasks[index].id);
+                    report.tasks_skipped += 1;
+                }
             }
+            // Everything pending has now been dispatched or skipped; later
+            // batches resolve dependencies through the completion and skip
+            // maps, so the arenas empty between drains (keeping their
+            // capacity for the next batch).
+            self.pending_tasks.clear();
+            self.pending_meta.clear();
+            self.pending_dependents.clear();
+            self.pending_by_id.clear();
+        } else {
+            // A bounded drain leaves later-released tasks pending; evict
+            // only the dispatched entries so the arenas stay proportional
+            // to the live backlog over a long-running service.
+            self.compact_pending();
         }
-        // Everything pending has now been dispatched or skipped; later
-        // batches resolve dependencies through the completion and skip
-        // maps, so the arenas empty between drains (keeping their capacity
-        // for the next batch).
-        self.pending_tasks.clear();
-        self.pending_meta.clear();
-        self.pending_dependents.clear();
-        self.pending_by_id.clear();
 
         // A drain that completed nothing (every task skipped, or no tasks
         // at all) ends where the session already was — `makespan_seconds`
@@ -1362,6 +1463,79 @@ impl ExecutorSession {
         self.batch_warm_touched.clear();
         self.absorb(&report);
         report
+    }
+
+    /// Evict dispatched entries from the pending arenas after a bounded
+    /// drain, compacting the live (undispatched) remainder in place so the
+    /// arenas — and the forward-edge sweep each later
+    /// [`enqueue_batch`](Self::submit_with) runs over them — stay
+    /// proportional to the live backlog instead of growing with everything
+    /// a resident service ever admitted.
+    ///
+    /// Dependent edges only ever point at live entries (a task with an
+    /// undispatched dependency has `remaining > 0`, so it was never popped;
+    /// a dispatched entry's dependent list was taken at dispatch), so the
+    /// order-preserving remap rewrites only live lists. Ready-queue
+    /// payloads are remapped by re-pushing in pop order, which preserves
+    /// the deterministic `(time, id, insertion)` order exactly.
+    fn compact_pending(&mut self) {
+        if !self.pending_meta.iter().any(|meta| meta.dispatched) {
+            return;
+        }
+        // Ready entries always reference undispatched tasks (each entry is
+        // pushed once, and popping it is what dispatches the task), so if
+        // everything is dispatched the queue is empty and a plain clear
+        // suffices.
+        if self.pending_meta.iter().all(|meta| meta.dispatched) {
+            debug_assert!(self.ready.is_empty(), "ready queue must not outlive a fully dispatched arena");
+            self.pending_tasks.clear();
+            self.pending_meta.clear();
+            self.pending_dependents.clear();
+            self.pending_by_id.clear();
+            return;
+        }
+        let len = self.pending_meta.len();
+        let mut remap = vec![usize::MAX; len];
+        let mut live = 0usize;
+        for (old, slot) in remap.iter_mut().enumerate() {
+            if !self.pending_meta[old].dispatched {
+                *slot = live;
+                if live != old {
+                    self.pending_tasks.swap(live, old);
+                    self.pending_meta[live] = self.pending_meta[old];
+                    self.pending_dependents[live] = std::mem::take(&mut self.pending_dependents[old]);
+                }
+                live += 1;
+            }
+        }
+        self.pending_tasks.truncate(live);
+        self.pending_meta.truncate(live);
+        self.pending_dependents.truncate(live);
+        for list in &mut self.pending_dependents {
+            match list {
+                IndexList::None => {}
+                IndexList::One(index) => *index = remap[*index],
+                IndexList::Many(indices) => {
+                    for index in indices {
+                        *index = remap[*index];
+                    }
+                }
+            }
+        }
+        self.pending_by_id.clear();
+        for (index, task) in self.pending_tasks.iter().enumerate() {
+            self.pending_by_id.entry(task.id).or_default().push(index);
+        }
+        if !self.ready.is_empty() {
+            let mut entries = Vec::with_capacity(self.ready.len());
+            while let Some(entry) = self.ready.pop() {
+                entries.push(entry);
+            }
+            for (time, id, index) in entries {
+                debug_assert!(remap[index] != usize::MAX, "queued entries reference live tasks");
+                self.ready.push(time, id, remap[index]);
+            }
+        }
     }
 
     /// Fold a batch report into the session-cumulative one. (Warm-model

@@ -93,17 +93,21 @@ impl SlotIndex {
     /// The slot of `kind` minimizing the executor's dispatch key for a task
     /// ready at `ready_at`: effective start (availability, or availability
     /// plus `marginal_penalty` off `believed_node`), preferring local slots,
-    /// then the longest-idle slot, then the lowest slot index. Returns
-    /// `None` when no slot of `kind` exists.
+    /// then the longest-idle slot, then the lowest slot index. Only nodes
+    /// `< active_nodes` are considered — the executor's fleet-autoscaling
+    /// hook: a drained node keeps its slots (and their queued busy times)
+    /// indexed but receives no new work while outside the active prefix.
+    /// Returns `None` when no slot of `kind` exists on an active node.
     pub fn best_slot(
         &self,
         kind: SlotKind,
         ready_at: f64,
         marginal_penalty: f64,
         believed_node: Option<usize>,
+        active_nodes: usize,
     ) -> Option<usize> {
         let mut best: Option<(f64, bool, f64, usize)> = None;
-        for (node, bucket) in self.buckets(kind).iter().enumerate() {
+        for (node, bucket) in self.buckets(kind).iter().take(active_nodes).enumerate() {
             let Some(&(bits, slot)) = bucket.first() else { continue };
             let free = f64::from_bits(bits);
             let local = believed_node.is_none_or(|n| n == node);
@@ -216,14 +220,14 @@ mod tests {
         index.insert(SlotKind::Cpu, 0, 0.0, 1);
         index.insert(SlotKind::Cpu, 1, 0.0, 2);
         // All free at 0: lowest slot index wins.
-        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 0.0, None), Some(0));
+        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 0.0, None, 2), Some(0));
         index.update(SlotKind::Cpu, 0, 0.0, 10.0, 0);
         // Slot 0 busy until 10: next-lowest free slot wins.
-        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 0.0, None), Some(1));
+        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 0.0, None, 2), Some(1));
         // A locality penalty off node 1 makes slot 2 the only local choice.
-        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 100.0, Some(1)), Some(2));
+        assert_eq!(index.best_slot(SlotKind::Cpu, 5.0, 100.0, Some(1), 2), Some(2));
         // No GPU slots registered at all.
-        assert_eq!(index.best_slot(SlotKind::Gpu, 0.0, 0.0, None), None);
+        assert_eq!(index.best_slot(SlotKind::Gpu, 0.0, 0.0, None, 2), None);
     }
 
     #[test]
@@ -233,7 +237,23 @@ mod tests {
         index.insert(SlotKind::Gpu, 0, 0.0, 1);
         index.update(SlotKind::Gpu, 0, 0.0, 3.0, 0);
         // Both start the task at t = 7, but slot 1 has been idle longer.
-        assert_eq!(index.best_slot(SlotKind::Gpu, 7.0, 0.0, None), Some(1));
+        assert_eq!(index.best_slot(SlotKind::Gpu, 7.0, 0.0, None, 1), Some(1));
+    }
+
+    #[test]
+    fn slot_index_active_prefix_excludes_drained_nodes() {
+        let mut index = SlotIndex::new(3);
+        index.insert(SlotKind::Cpu, 0, 0.0, 0);
+        index.insert(SlotKind::Cpu, 1, 0.0, 1);
+        index.insert(SlotKind::Cpu, 2, 0.0, 2);
+        index.update(SlotKind::Cpu, 0, 0.0, 50.0, 0);
+        // Full fleet: node 1's free slot wins over node 0's busy one.
+        assert_eq!(index.best_slot(SlotKind::Cpu, 0.0, 0.0, None, 3), Some(1));
+        // Shrunk to one active node: only node 0 is eligible, busy or not,
+        // even though nodes 1 and 2 have idle slots.
+        assert_eq!(index.best_slot(SlotKind::Cpu, 0.0, 0.0, None, 1), Some(0));
+        // An active count of zero has no eligible slot at all.
+        assert_eq!(index.best_slot(SlotKind::Cpu, 0.0, 0.0, None, 0), None);
     }
 
     #[test]

@@ -69,7 +69,7 @@ proptest! {
             };
             let expected = linear_best(&free_at, &node_of, ready, penalty, believed);
             let got = index
-                .best_slot(SlotKind::Cpu, ready, penalty, believed)
+                .best_slot(SlotKind::Cpu, ready, penalty, believed, nodes)
                 .expect("slots of this kind exist");
             prop_assert_eq!(got, expected, "ready={} penalty={} believed={:?}", ready, penalty, believed);
             // Dispatch onto the winner, exactly as the executor would.

@@ -25,6 +25,7 @@
 //! assert!(corpus.documents()[0].word_count() > 50);
 //! ```
 
+pub mod arrivals;
 pub mod augment;
 pub mod dataset;
 pub mod generator;
@@ -32,6 +33,7 @@ pub mod latex;
 pub mod smiles;
 pub mod vocab;
 
+pub use arrivals::{generate_arrivals, Arrival, ArrivalConfig, ArrivalPattern};
 pub use augment::{augment_image_layers, augment_text_layers, AugmentConfig};
 pub use dataset::{Corpus, SplitSizes};
 pub use generator::{DocumentGenerator, GeneratorConfig};
