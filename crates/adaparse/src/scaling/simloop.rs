@@ -191,6 +191,11 @@ pub struct SimWave {
     pub warm_hits: usize,
     /// Seconds the epoch's tasks spent ready but queued for a slot.
     pub queue_wait_seconds: f64,
+    /// Seconds the epoch's paid cold starts spent queued for a shared
+    /// model-load channel
+    /// ([`hpcsim::LustreModel::model_load_channels`]) — the
+    /// thundering-herd serialization cost. Zero with unlimited channels.
+    pub herd_queue_seconds: f64,
     /// Tasks of the epoch that could not run (no slot of the required
     /// kind, or a dependency that was itself skipped). An epoch whose
     /// tasks were *all* skipped is well-defined: its
@@ -507,6 +512,7 @@ pub fn run_closed_loop(
             locality_penalty_seconds: wave.locality_penalty_seconds,
             warm_hits: wave.warm_hits,
             queue_wait_seconds: wave.queue_wait_seconds,
+            herd_queue_seconds: wave.herd_queue_seconds,
             tasks_skipped: wave.tasks_skipped,
             queue_depth,
             extract: wave.stage_timings.extract,

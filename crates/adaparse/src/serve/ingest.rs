@@ -281,6 +281,12 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
                     } else {
                         progress.extract = Some(span);
                     }
+                    // Herd-channel queue time is attributed to the owning
+                    // tenant as its rows surface (a doc's rows always scan
+                    // before it graduates out of `awaiting`).
+                    if row.herd_wait_seconds > 0.0 {
+                        registry.states_mut()[progress.tenant].herd_queue_seconds += row.herd_wait_seconds;
+                    }
                 }
                 deferred_stage.push(DeferredStageObs {
                     observable_at: row.finish_seconds,

@@ -102,6 +102,11 @@ pub struct TenantServeReport {
     /// Time-to-parsed (arrival → last task finish) over completed
     /// documents, with exact nearest-rank percentiles.
     pub latency: LatencySummary,
+    /// Seconds this tenant's paid cold starts spent queued for a shared
+    /// model-load channel ([`hpcsim::LustreModel::model_load_channels`]) —
+    /// the tenant's share of the thundering-herd serialization cost. Zero
+    /// with unlimited channels.
+    pub herd_queue_seconds: f64,
     /// The tenant's p99 target, copied from the spec.
     pub slo_p99_seconds: f64,
     /// The tenant's effective α when the run closed (after any ledger
@@ -147,6 +152,9 @@ pub(crate) struct TenantState {
     pub(crate) recent_latency: VecDeque<f64>,
     /// All time-to-parsed samples, in completion-observation order.
     pub(crate) latencies: Vec<f64>,
+    /// Herd-channel queue seconds paid by this tenant's tasks, accumulated
+    /// from schedule rows as they are harvested.
+    pub(crate) herd_queue_seconds: f64,
     pub(crate) arrived: usize,
     pub(crate) admitted: usize,
     pub(crate) rejected: usize,
@@ -208,6 +216,7 @@ impl TenantRegistry {
                     queue: VecDeque::new(),
                     recent_latency: VecDeque::new(),
                     latencies: Vec::new(),
+                    herd_queue_seconds: 0.0,
                     arrived: 0,
                     admitted: 0,
                     rejected: 0,
@@ -274,6 +283,7 @@ impl TenantRegistry {
                 unfinished: tenant.admitted - tenant.completed,
                 selected: tenant.selected,
                 latency: LatencySummary::from_values(&tenant.latencies),
+                herd_queue_seconds: tenant.herd_queue_seconds,
                 slo_p99_seconds: tenant.spec.slo_p99_seconds,
                 final_effective_alpha: tenant.closing_alpha,
                 remaining_budget_seconds: tenant.selector.ledger().map(BudgetLedger::remaining_seconds),

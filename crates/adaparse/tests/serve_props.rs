@@ -11,11 +11,17 @@
 //!   than with a rich one.
 //! * **Bitwise replay** — a full serve run, autoscaler and all, is a pure
 //!   function of its config and traces.
+//! * **Warm locality** — a tenant whose documents all route to one
+//!   resident model never pays more cold starts under
+//!   `PlacementPolicy::CostAware` than under the warm-blind
+//!   `PlacementPolicy::EarliestSlot`, and full service runs (autoscaler
+//!   included) replay bitwise under both policies.
 
 use adaparse::{
     run_service, AutoscaleConfig, CampaignBudget, DocArrival, ServeConfig, TenantSpec, TenantTrace,
     WorkloadSpec,
 };
+use hpcsim::{ExecutorConfig, PlacementPolicy};
 use proptest::prelude::*;
 use scicorpus::{generate_arrivals, ArrivalConfig, ArrivalPattern};
 
@@ -161,5 +167,46 @@ proptest! {
         let completed: usize = x.tenants.iter().map(|t| t.completed).sum();
         prop_assert_eq!(completed, x.latency.count);
         prop_assert_eq!(x.admitted, completed + x.tenants.iter().map(|t| t.unfinished).sum::<usize>());
+    }
+
+    // Warm locality: a tenant routing every document to the one expensive
+    // parser (α = 1, one resident model) never pays *more* cold starts
+    // when placement follows the warm weights than when it is warm-blind —
+    // and both policies remain pure functions of their inputs, autoscaler
+    // included.
+    #[test]
+    fn one_model_tenant_never_pays_more_cold_starts_under_cost_aware(
+        seed in 0u64..1000,
+        autoscale in 0u8..2,
+        docs in 20usize..60,
+    ) {
+        let traces = vec![TenantTrace {
+            spec: TenantSpec { alpha: 1.0, ..tenant("one-model", 1.0) },
+            arrivals: doc_arrivals(docs, seed, 1.2, ArrivalPattern::Steady),
+        }];
+        let run = |placement| {
+            let config = ServeConfig {
+                executor: ExecutorConfig { placement, ..Default::default() },
+                autoscale: (autoscale == 1).then(AutoscaleConfig::default),
+                ..ServeConfig::default()
+            };
+            (run_service(&config, &traces), run_service(&config, &traces))
+        };
+        let (blind, blind_replay) = run(PlacementPolicy::EarliestSlot);
+        let (aware, aware_replay) = run(PlacementPolicy::CostAware);
+        prop_assert_eq!(&blind, &blind_replay, "EarliestSlot serve runs must replay bitwise");
+        prop_assert_eq!(&aware, &aware_replay, "CostAware serve runs must replay bitwise");
+        // The single tenant owns every task, so the executor totals are its
+        // own: following the warm weights can only avoid re-loads.
+        prop_assert!(
+            aware.executor_report.cold_starts <= blind.executor_report.cold_starts,
+            "CostAware paid {} cold starts where warm-blind paid {}",
+            aware.executor_report.cold_starts,
+            blind.executor_report.cold_starts
+        );
+        // Same service either way: every admitted document completes.
+        prop_assert_eq!(aware.tenants[0].completed, blind.tenants[0].completed);
+        // No load channels are configured, so no herd wait accrues.
+        prop_assert_eq!(aware.tenants[0].herd_queue_seconds.to_bits(), 0.0f64.to_bits());
     }
 }

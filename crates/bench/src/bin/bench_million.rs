@@ -25,6 +25,7 @@
 //! ```text
 //! cargo run --release --bin bench_million                    # full 1M-doc entry
 //! cargo run --release --bin bench_million -- --docs 2000 --smoke
+//! cargo run --release --bin bench_million -- --placement cost-aware --smoke
 //! cargo run --release --bin bench_million -- --validate      # check BENCH_hotpath.json
 //! ```
 
@@ -39,7 +40,7 @@ use adaparse::{
     WindowedSelector, WorkloadSpec,
 };
 use bench::trajectory::{append_entry, unix_timestamp, validate_trajectory, JsonValue};
-use hpcsim::{CausalityMode, ExecutorConfig};
+use hpcsim::{CausalityMode, ExecutorConfig, PlacementPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
@@ -129,6 +130,7 @@ struct Args {
     nodes: usize,
     label: String,
     out: PathBuf,
+    placement: PlacementPolicy,
     smoke: bool,
     validate: bool,
 }
@@ -141,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
         nodes: 4,
         label: "hotpath".to_string(),
         out: PathBuf::from("BENCH_hotpath.json"),
+        placement: PlacementPolicy::EarliestSlot,
         smoke: false,
         validate: false,
     };
@@ -154,6 +157,13 @@ fn parse_args() -> Result<Args, String> {
             "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?,
             "--label" => args.label = value("--label")?,
             "--out" => args.out = PathBuf::from(value("--out")?),
+            "--placement" => {
+                args.placement = match value("--placement")?.as_str() {
+                    "earliest" => PlacementPolicy::EarliestSlot,
+                    "cost-aware" => PlacementPolicy::CostAware,
+                    other => return Err(format!("--placement: expected earliest|cost-aware, got {other:?}")),
+                }
+            }
             "--smoke" => args.smoke = true,
             "--validate" => args.validate = true,
             other => return Err(format!("unknown argument {other:?}")),
@@ -231,7 +241,11 @@ fn run_campaign(
         window: args.window,
         nodes: args.nodes,
         controller: ControllerConfig { total_workers: 8, patience: 1, ..Default::default() },
-        executor: ExecutorConfig { causality: CausalityMode::Causal, ..Default::default() },
+        executor: ExecutorConfig {
+            causality: CausalityMode::Causal,
+            placement: args.placement,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let loop_start = Instant::now();
@@ -301,6 +315,20 @@ fn run() -> Result<(), String> {
         ("window", JsonValue::U64(args.window as u64)),
         ("nodes", JsonValue::U64(args.nodes as u64)),
         ("smoke", JsonValue::Bool(args.smoke)),
+        // Optional fields (absent from pre-placement entries, so kept out
+        // of REQUIRED_FIELDS): which slot-choice policy ran, and the herd
+        // serialization cost it observed.
+        (
+            "placement",
+            JsonValue::Str(
+                match args.placement {
+                    PlacementPolicy::EarliestSlot => "earliest-slot",
+                    PlacementPolicy::CostAware => "cost-aware",
+                }
+                .to_string(),
+            ),
+        ),
+        ("herd_queue_seconds", JsonValue::F64(report.executor_report.herd_queue_seconds)),
         ("tasks_completed", JsonValue::U64(tasks_completed)),
         ("wall_seconds_total", JsonValue::F64(wall_seconds_total)),
         ("tasks_per_second", JsonValue::F64(tasks_per_second)),

@@ -25,7 +25,13 @@
 //!    legacy `RetroFill` placement — asserting the causal run admits zero
 //!    causality violations, the retro-fill run audits its own, the causal
 //!    makespan bounds the retro-fill makespan from above (the price of
-//!    causality), and both modes replay bitwise.
+//!    causality), and both modes replay bitwise,
+//! 8. a placement-policy ablation: the warm-heavy two-model corpus under
+//!    capacity-1 pools with warm-blind `EarliestSlot` vs warm-aware
+//!    `CostAware` placement (cost-aware must pay no more cold starts and
+//!    no more makespan), then a forced cold-start herd on one shared
+//!    model-load channel vs unlimited — the serialized herd must accrue
+//!    `herd_queue_seconds > 0` while the unlimited run accrues none.
 //!
 //! Run with: `cargo run --release --bin streaming_scaling`
 //! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
@@ -39,7 +45,7 @@ use adaparse::{
     StageSample, WaveStats, WorkloadSpec,
 };
 use bench::bench_doc_count;
-use hpcsim::{CausalityMode, ClusterConfig, ExecutorConfig, LustreModel, WorkflowExecutor};
+use hpcsim::{CausalityMode, ClusterConfig, ExecutorConfig, LustreModel, PlacementPolicy, WorkflowExecutor};
 use scicorpus::generator::{DocumentGenerator, GeneratorConfig};
 
 fn main() {
@@ -378,4 +384,81 @@ fn main() {
     let causal_replay = run_closed_loop(engine.config(), &scores, &sim_workload, &causal_sim);
     assert_eq!(causal, causal_replay, "the causal closed loop must replay bitwise");
     println!("  replay: identical in both modes");
+
+    // 8. Placement-policy ablation. Capacity-1 pools on the alternating
+    // two-model corpus make residency the whole game: warm-blind
+    // EarliestSlot sprays Nougat and Marker over both nodes and thrashes
+    // the pools, while CostAware's completion-time ranking (free-at +
+    // cold-if-miss + locality) segregates the models onto the nodes that
+    // already hold them.
+    println!("\nPlacement-policy ablation ({n_docs} two-model GPU tasks, capacity-1 pools, 2 nodes)");
+    println!("{:>15} {:>10} {:>10} {:>10} {:>12}", "policy", "hits", "misses", "evictions", "makespan");
+    let mut by_policy = Vec::new();
+    for (label, placement) in
+        [("earliest-slot", PlacementPolicy::EarliestSlot), ("cost-aware", PlacementPolicy::CostAware)]
+    {
+        let executor = WorkflowExecutor::new(ExecutorConfig {
+            warm_pool_capacity: Some(1),
+            placement,
+            ..Default::default()
+        });
+        let report = executor.run(&ablation_tasks, &pool_cluster, &LustreModel::default());
+        println!(
+            "{label:>15} {:>10} {:>10} {:>10} {:>10.1} s",
+            report.warm_hits, report.cold_starts, report.warm_evictions, report.makespan_seconds
+        );
+        by_policy.push(report);
+    }
+    let (blind, aware) = (&by_policy[0], &by_policy[1]);
+    assert!(
+        aware.cold_starts <= blind.cold_starts,
+        "warm-aware placement must not pay more cold starts ({} vs {})",
+        aware.cold_starts,
+        blind.cold_starts
+    );
+    assert!(
+        aware.makespan_seconds <= blind.makespan_seconds + 1e-9,
+        "warm-aware placement must not lengthen the warm-heavy corpus ({} vs {})",
+        aware.makespan_seconds,
+        blind.makespan_seconds
+    );
+
+    // Then the forced cold-start herd: warm starts off, so every task pays
+    // its model load. One shared load channel serializes the herd;
+    // unlimited channels (the legacy default) stream every load in
+    // parallel and accrue zero herd wait.
+    let herd_executor = WorkflowExecutor::new(ExecutorConfig { warm_start: false, ..Default::default() });
+    println!("\nModel-load herd ablation (same corpus, warm starts off)");
+    println!("{:>10} {:>12} {:>14} {:>12}", "channels", "makespan", "herd queue", "peak loads");
+    let mut herd_reports = Vec::new();
+    for (label, channels) in [("inf", 0usize), ("1", 1)] {
+        let fs = LustreModel { model_load_channels: channels, ..Default::default() };
+        let report = herd_executor.run(&ablation_tasks, &pool_cluster, &fs);
+        println!(
+            "{label:>10} {:>10.1} s {:>12.1} s {:>12}",
+            report.makespan_seconds, report.herd_queue_seconds, report.concurrent_cold_starts_peak
+        );
+        herd_reports.push(report);
+    }
+    let (unserialized, serialized) = (&herd_reports[0], &herd_reports[1]);
+    assert_eq!(
+        unserialized.herd_queue_seconds.to_bits(),
+        0.0f64.to_bits(),
+        "unlimited channels must pay no herd wait"
+    );
+    assert!(
+        serialized.herd_queue_seconds > 0.0,
+        "one channel under a forced cold-start herd must queue loads"
+    );
+    assert!(serialized.concurrent_cold_starts_peak <= 1, "one channel caps loads in flight at one");
+    assert!(
+        unserialized.concurrent_cold_starts_peak > 1,
+        "the unserialized herd must actually overlap loads"
+    );
+    assert!(
+        serialized.makespan_seconds >= unserialized.makespan_seconds - 1e-9,
+        "serializing the herd cannot shorten the campaign ({} vs {})",
+        serialized.makespan_seconds,
+        unserialized.makespan_seconds
+    );
 }

@@ -104,6 +104,28 @@ pub struct SubmitOptions {
     pub release_seconds: Option<f64>,
 }
 
+/// How the dispatcher ranks candidate slots for a ready task.
+///
+/// [`EarliestSlot`](PlacementPolicy::EarliestSlot) is the legacy policy and
+/// the default — bitwise-identical to the engine before this enum existed.
+/// [`CostAware`](PlacementPolicy::CostAware) additionally charges each
+/// candidate node the cold start the task would pay there (probing the
+/// node's [`WarmPool`] residency without mutating it), so a slightly later
+/// slot on a node that already holds the task's model warm can beat an
+/// earlier slot on a cold node. The two policies coincide bitwise whenever
+/// every task's cold start is zero or warm starts are disabled — pinned by
+/// `tests/placement_equivalence.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Rank slots by effective start time only (availability plus any
+    /// locality penalty): the legacy earliest-effective-slot scan.
+    EarliestSlot,
+    /// Rank slots by expected completion: effective start plus locality
+    /// penalty plus cold-start-if-miss on the candidate node, with
+    /// deterministic (cost, locality, idle-time, node, slot) tie-breaks.
+    CostAware,
+}
+
 /// Executor options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutorConfig {
@@ -134,6 +156,10 @@ pub struct ExecutorConfig {
     /// ([`CausalityMode::RetroFill`], the legacy default — placement is
     /// bitwise-identical to the pre-causality engine).
     pub causality: CausalityMode,
+    /// How candidate slots are ranked for each ready task
+    /// ([`PlacementPolicy::EarliestSlot`], the legacy default, or the
+    /// warm-aware [`PlacementPolicy::CostAware`]).
+    pub placement: PlacementPolicy,
 }
 
 impl Default for ExecutorConfig {
@@ -145,6 +171,7 @@ impl Default for ExecutorConfig {
             co_schedule_pairs: true,
             warm_pool_capacity: None,
             causality: CausalityMode::RetroFill,
+            placement: PlacementPolicy::EarliestSlot,
         }
     }
 }
@@ -281,6 +308,16 @@ pub struct CampaignReport {
     pub warm_hits: usize,
     /// Models evicted from per-node warm pools to make room.
     pub warm_evictions: usize,
+    /// Seconds paid cold starts spent queued for a free model-load channel
+    /// ([`crate::LustreModel::model_load_channels`]), summed over tasks —
+    /// the thundering-herd serialization cost. Zero with unlimited
+    /// channels. Equals the sum of [`ScheduledTask::herd_wait_seconds`]
+    /// over the report's tasks, bitwise (folded in schedule order).
+    pub herd_queue_seconds: f64,
+    /// Largest number of model loads in flight at any instant — the peak
+    /// of the cold-start herd the load channels had to absorb (exact, via
+    /// a sweep over the report's load intervals).
+    pub concurrent_cold_starts_peak: usize,
     /// Per-model warm-pool counters, sorted by model key. Empty when
     /// [`ExecutorConfig::warm_start`] is off (the pools are bypassed).
     pub warm_models: Vec<ModelWarmStats>,
@@ -313,6 +350,8 @@ impl CampaignReport {
             decision_lag_seconds: 0.0,
             warm_hits: 0,
             warm_evictions: 0,
+            herd_queue_seconds: 0.0,
+            concurrent_cold_starts_peak: 0,
             warm_models: Vec::new(),
             stage_timings: StageTimings::default(),
             gpu_trace: GpuTrace::new(gpus),
@@ -326,6 +365,26 @@ impl CampaignReport {
     pub fn mean_gpu_utilization(&self) -> f64 {
         self.gpu_trace.mean_utilization(self.makespan_seconds)
     }
+}
+
+/// Exact maximum number of half-open `[start, end)` load intervals
+/// overlapping at any instant, by an event sweep (ends processed before
+/// starts at equal times, so a load beginning exactly when another finishes
+/// does not count as concurrent with it).
+fn peak_concurrent_loads(intervals: &[(f64, f64)]) -> usize {
+    let mut starts: Vec<f64> = intervals.iter().map(|&(s, _)| s).collect();
+    let mut ends: Vec<f64> = intervals.iter().map(|&(_, e)| e).collect();
+    starts.sort_by(f64::total_cmp);
+    ends.sort_by(f64::total_cmp);
+    let (mut peak, mut open, mut closed) = (0usize, 0usize, 0usize);
+    for &start in &starts {
+        while closed < ends.len() && ends[closed] <= start {
+            closed += 1;
+        }
+        open += 1;
+        peak = peak.max(open - closed);
+    }
+    peak
 }
 
 /// Outcome of a [`WarmPool::acquire`].
@@ -464,6 +523,23 @@ impl WarmPool {
         });
         WarmAccess::Miss { evicted }
     }
+
+    /// Whether a task starting at `start_seconds` whose cold start costs
+    /// `cold_start_seconds` would find `model` warm — a side-effect-free
+    /// residency *probe* for placement ranking. Unlike
+    /// [`acquire`](Self::acquire) it never touches LRU order, the access
+    /// sequence, or residency, so ranking any number of candidate nodes
+    /// cannot perturb which model a later acquire evicts. Returns `true`
+    /// exactly when `acquire` with the same arguments would return
+    /// [`WarmAccess::Hit`]: zero-cost models are always warm, and a
+    /// resident model still loading at `start_seconds` counts as a miss
+    /// (the task would pay the cold start concurrently).
+    pub fn would_hit(&self, model: ModelId, cold_start_seconds: f64, start_seconds: f64) -> bool {
+        if cold_start_seconds <= 0.0 {
+            return true;
+        }
+        self.resident.iter().find(|r| r.model == model).is_some_and(|r| start_seconds >= r.loaded_at_seconds)
+    }
 }
 
 /// One scheduled task as placed by an [`ExecutorSession`], in schedule
@@ -507,6 +583,12 @@ pub struct ScheduledTask {
     pub finish_seconds: f64,
     /// Cold-start seconds this task paid (zero on a warm hit).
     pub cold_start_paid_seconds: f64,
+    /// Seconds this task's paid model load waited for a free model-load
+    /// channel ([`crate::LustreModel::model_load_channels`]) before its
+    /// weights could start streaming. Zero on warm hits and with unlimited
+    /// channels. The task's compute begins only after
+    /// `start_seconds + herd_wait_seconds + cold_start_paid_seconds`.
+    pub herd_wait_seconds: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -780,6 +862,15 @@ pub struct ExecutorSession {
     /// the fleet grows back.
     active_nodes: usize,
     gpu_count: usize,
+    /// Free-at times of the shared model-load channels
+    /// ([`LustreModel::model_load_channels`]), persisting across batches so
+    /// a herd straddling a drain boundary still queues. Resized at each
+    /// drain to the filesystem's channel count; empty means unlimited.
+    load_channel_free: Vec<f64>,
+    /// `(load_start, load_end)` of every paid cold start this session, in
+    /// dispatch order — the sweep input for the session-exact
+    /// [`CampaignReport::concurrent_cold_starts_peak`].
+    load_intervals: Vec<(f64, f64)>,
 }
 
 impl ExecutorSession {
@@ -831,6 +922,8 @@ impl ExecutorSession {
             frontier: 0.0,
             active_nodes: cluster.nodes,
             gpu_count,
+            load_channel_free: Vec::new(),
+            load_intervals: Vec::new(),
         }
     }
 
@@ -907,6 +1000,10 @@ impl ExecutorSession {
         report.warm_models = self.materialize_warm_models(
             self.warm_totals.iter().enumerate().map(|(id, &counts)| (id as ModelId, counts)),
         );
+        // The cumulative peak is recomputed exactly over every load interval
+        // of the session: the per-batch maximum `absorb` keeps is a lower
+        // bound when a herd straddles a drain boundary.
+        report.concurrent_cold_starts_peak = peak_concurrent_loads(&self.load_intervals);
         report
     }
 
@@ -1177,6 +1274,16 @@ impl ExecutorSession {
         // contention level the shared filesystem sees.
         let staging_concurrency = self.cluster.nodes;
         let mut batch_first_start = f64::INFINITY;
+        // Shared model-load channels: paid cold starts queue on these.
+        // Resynced per drain so the filesystem parameter may change between
+        // batches; an empty vector (0 channels) is unlimited — the legacy
+        // free-parallel-load behavior, bitwise.
+        if self.load_channel_free.len() != filesystem.model_load_channels {
+            self.load_channel_free.resize(filesystem.model_load_channels, 0.0);
+        }
+        // This drain's paid-load intervals, for the batch-exact
+        // `concurrent_cold_starts_peak` sweep.
+        let mut batch_load_intervals: Vec<(f64, f64)> = Vec::new();
 
         // Seed the ready queue with every pending task whose dependencies
         // are already satisfied. Deferred to the drain (rather than done
@@ -1266,10 +1373,52 @@ impl ExecutorSession {
             // slot index. Fully deterministic, and answered by the
             // per-(node, kind) [`SlotIndex`] in O(nodes + log slots)
             // instead of a scan over every slot of the kind.
-            let slot_index = self
-                .slot_index
-                .best_slot(task.slot, time, marginal_penalty, believed_node, self.active_nodes)
-                .expect("slots of this kind exist, so the index has a champion");
+            //
+            // Under `CostAware` the ranking additionally charges each
+            // candidate node the cold start the task would pay there — a
+            // side-effect-free `would_hit` probe of the node's warm pool,
+            // so ranking cannot perturb LRU order. The probe only runs
+            // when the cold addend can differ across nodes (warm starts
+            // on, positive cold start); otherwise it would be a uniform
+            // addend, which float rounding could collapse into spurious
+            // ties, so the plain earliest-slot scan — to which the policy
+            // is then exactly equivalent — answers instead.
+            let cost_probe = if self.config.placement == PlacementPolicy::CostAware
+                && self.config.warm_start
+                && task.cold_start_seconds > 0.0
+            {
+                Some(self.interner.intern(&task.label))
+            } else {
+                None
+            };
+            let slot_index = match cost_probe {
+                Some(label_id) => {
+                    let pools = &self.pools;
+                    let cold_cost = task.cold_start_seconds;
+                    self.slot_index.best_slot_cost_aware(
+                        task.slot,
+                        time,
+                        marginal_penalty,
+                        believed_node,
+                        self.active_nodes,
+                        |node, projected_start| {
+                            if pools[node].would_hit(label_id, cold_cost, projected_start) {
+                                0.0
+                            } else {
+                                cold_cost
+                            }
+                        },
+                    )
+                }
+                None => self.slot_index.best_slot(
+                    task.slot,
+                    time,
+                    marginal_penalty,
+                    believed_node,
+                    self.active_nodes,
+                ),
+            }
+            .expect("slots of this kind exist, so the index has a champion");
             // The penalty actually *paid* is against the data's real
             // location, not the scheduler's belief: a scheduler that
             // ignored the pair anchor still re-fetches from the shared
@@ -1336,17 +1485,44 @@ impl ExecutorSession {
                     }
                 }
             };
+            // A paid cold start must claim a model-load channel before its
+            // weights can stream; with none free it queues behind the
+            // earliest-finishing load (lowest channel index on ties). The
+            // wait is the herd-serialization cost: compute begins only once
+            // the channel frees *and* the load completes.
+            let herd_wait = if cold > 0.0 && !self.load_channel_free.is_empty() {
+                let channel = self
+                    .load_channel_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(index, &free)| (free.to_bits(), index))
+                    .map(|(index, _)| index)
+                    .expect("checked non-empty");
+                let load_start = self.load_channel_free[channel].max(start);
+                self.load_channel_free[channel] = load_start + cold;
+                load_start - start
+            } else {
+                0.0
+            };
             if cold > 0.0 {
                 report.cold_starts += 1;
+                report.herd_queue_seconds += herd_wait;
+                let load_start = start + herd_wait;
+                batch_load_intervals.push((load_start, load_start + cold));
+                self.load_intervals.push((load_start, load_start + cold));
             }
 
             // Prefetching overlaps stage-in with compute; otherwise they are
-            // serial. Model loading can never be overlapped.
+            // serial. Model loading (queueing included) can never be
+            // overlapped. `stall` is bitwise `cold` when no herd wait was
+            // paid, so unlimited channels reproduce the legacy arithmetic
+            // exactly.
+            let stall = herd_wait + cold;
             let stage_in = base_stage_in + penalty;
             let busy = if self.config.prefetch {
-                cold + task.compute_seconds.max(stage_in)
+                stall + task.compute_seconds.max(stage_in)
             } else {
-                cold + stage_in + task.compute_seconds
+                stall + stage_in + task.compute_seconds
             };
             let end = start + busy;
             report.stage_in_seconds += stage_in;
@@ -1368,9 +1544,9 @@ impl ExecutorSession {
                     report.gpu_busy_seconds += busy;
                     if let Some(gpu) = self.slots[slot_index].gpu_index {
                         if cold > 0.0 {
-                            batch_trace.record(gpu, start, start + cold, true);
+                            batch_trace.record(gpu, start, start + stall, true);
                         }
-                        batch_trace.record(gpu, start + cold, end, false);
+                        batch_trace.record(gpu, start + stall, end, false);
                     }
                 }
             }
@@ -1398,6 +1574,7 @@ impl ExecutorSession {
                 start_seconds: start,
                 finish_seconds: end,
                 cold_start_paid_seconds: cold,
+                herd_wait_seconds: herd_wait,
             });
             // Release dependents whose last dependency just finished.
             for dependent in std::mem::take(&mut self.pending_dependents[index]) {
@@ -1452,6 +1629,7 @@ impl ExecutorSession {
         report.throughput_per_second =
             if batch_span > 0.0 { report.tasks_completed as f64 / batch_span } else { 0.0 };
         report.gpu_trace = batch_trace;
+        report.concurrent_cold_starts_peak = peak_concurrent_loads(&batch_load_intervals);
         // Materialize the batch's warm rows from the touched scratch slots,
         // then reset exactly those slots for the next drain.
         report.warm_models = self.materialize_warm_models(
@@ -1560,6 +1738,12 @@ impl ExecutorSession {
         total.decision_lag_seconds += batch.decision_lag_seconds;
         total.warm_hits += batch.warm_hits;
         total.warm_evictions += batch.warm_evictions;
+        total.herd_queue_seconds += batch.herd_queue_seconds;
+        // A per-batch max is a lower bound on the session-wide peak when a
+        // herd straddles a drain boundary; `report()` recomputes the exact
+        // figure over every session load interval.
+        total.concurrent_cold_starts_peak =
+            total.concurrent_cold_starts_peak.max(batch.concurrent_cold_starts_peak);
         total.stage_timings.absorb(&batch.stage_timings);
         total.gpu_trace.merge(&batch.gpu_trace);
         self.clock.advance_to(batch.makespan_seconds);

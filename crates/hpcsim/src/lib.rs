@@ -54,8 +54,8 @@ pub mod task;
 pub use clock::SimClock;
 pub use event::ReadyQueue;
 pub use executor::{
-    CampaignReport, CausalityMode, ExecutorConfig, ExecutorSession, ModelWarmStats, ScheduledTask,
-    StageTiming, StageTimings, SubmitOptions, WarmAccess, WarmPool, WorkflowExecutor,
+    CampaignReport, CausalityMode, ExecutorConfig, ExecutorSession, ModelWarmStats, PlacementPolicy,
+    ScheduledTask, StageTiming, StageTimings, SubmitOptions, WarmAccess, WarmPool, WorkflowExecutor,
 };
 pub use intern::{ModelId, ModelInterner};
 pub use lustre::LustreModel;

@@ -119,6 +119,41 @@ impl SlotIndex {
         }
         best.map(|(_, _, _, slot)| slot)
     }
+
+    /// The slot of `kind` minimizing the *cost-aware* dispatch key for a
+    /// task ready at `ready_at`: expected completion — effective start plus
+    /// any locality penalty off `believed_node` plus `cold_if_miss(node,
+    /// projected_start)` (the cold-start seconds the task would pay on that
+    /// node, zero when its model is already warm there) — preferring local
+    /// slots, then the longest-idle slot, then the lowest slot index (slots
+    /// are numbered node-by-node, so the final slot tiebreak orders by node
+    /// first). The per-node additions are constant across a node's slots,
+    /// so each bucket's `first()` champion still prunes the scan exactly as
+    /// in [`SlotIndex::best_slot`]. Returns `None` when no slot of `kind`
+    /// exists on an active node.
+    pub fn best_slot_cost_aware(
+        &self,
+        kind: SlotKind,
+        ready_at: f64,
+        marginal_penalty: f64,
+        believed_node: Option<usize>,
+        active_nodes: usize,
+        cold_if_miss: impl Fn(usize, f64) -> f64,
+    ) -> Option<usize> {
+        let mut best: Option<(f64, bool, f64, usize)> = None;
+        for (node, bucket) in self.buckets(kind).iter().take(active_nodes).enumerate() {
+            let Some(&(bits, slot)) = bucket.first() else { continue };
+            let free = f64::from_bits(bits);
+            let local = believed_node.is_none_or(|n| n == node);
+            let penalty = if local { 0.0 } else { marginal_penalty };
+            let start = free.max(ready_at);
+            let key = (start + penalty + cold_if_miss(node, start), !local, free, slot);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, _, slot)| slot)
+    }
 }
 
 /// Log-structured index of task finish times, counting in-flight work at an
