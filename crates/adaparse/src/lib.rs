@@ -123,7 +123,7 @@ pub use scaling::{
     SimWave, SloAutoscaler, Stage, StageSample, WaveCosts, WaveStats, WindowedSelector, DEFAULT_PRIOR_WEIGHT,
 };
 pub use serve::{
-    run_service, DocArrival, ServeConfig, ServeReport, TenantRegistry, TenantServeReport, TenantSpec,
-    TenantTrace,
+    run_service, run_service_instrumented, DocArrival, ServeConfig, ServeReport, SoakStats, TenantRegistry,
+    TenantServeReport, TenantSpec, TenantTrace,
 };
-pub use stats::{nearest_rank_percentile, LatencySummary};
+pub use stats::{nearest_rank_percentile, LatencyLedger, LatencySummary};

@@ -313,7 +313,10 @@ pub fn run_closed_loop(
         non_local_tasks: 0,
         locality_penalty_seconds: 0.0,
         history: Vec::new(),
-        executor_report: session.report(),
+        // Placeholder until the loop closes (a blank session's snapshot is
+        // identical to its full report); the cheap path skips cloning the
+        // GPU trace and warm rows.
+        executor_report: session.report_snapshot(),
         queue_wait: LatencySummary::default(),
         final_observed: None,
         remaining_budget_seconds: None,

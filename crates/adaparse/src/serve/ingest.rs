@@ -22,7 +22,7 @@ use crate::scaling::{
     AutoscaleConfig, ControllerConfig, FleetEvent, ScalingController, SloAutoscaler, StageSample, WaveCosts,
     WaveStats,
 };
-use crate::stats::LatencySummary;
+use crate::stats::{LatencyLedger, LatencySummary};
 
 use super::tenant::{DocArrival, TenantRegistry, TenantServeReport, TenantTrace};
 
@@ -70,6 +70,15 @@ pub struct ServeConfig {
     /// Safety bound on epochs; a run that hits it closes with whatever is
     /// unfinished reported per tenant. Generous by default.
     pub max_epochs: usize,
+    /// Retire session history behind each epoch boundary
+    /// ([`hpcsim::ExecutorSession::retire_before`]), keeping resident
+    /// memory and per-epoch accounting cost proportional to work in
+    /// flight instead of session age. Every observable of the run —
+    /// report, fingerprint, per-tenant percentiles — is **bitwise
+    /// identical** either way (the loop satisfies the retirement contract
+    /// structurally); the switch exists for the equivalence wall and for
+    /// ablation. Default on.
+    pub retirement: bool,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +95,7 @@ impl Default for ServeConfig {
             inflight_per_slot: 4.0,
             slo_window: 64,
             max_epochs: 100_000,
+            retirement: true,
         }
     }
 }
@@ -159,40 +169,106 @@ impl DocProgress {
     }
 }
 
-/// A completed document waiting for a decision boundary to pass its finish
-/// time before its latency and cost become observable.
+/// A completed document waiting (keyed in a [`DeferredQueue`] by its
+/// finish time) for a decision boundary to pass before its latency and
+/// cost become observable.
 #[derive(Debug, Clone, Copy)]
 struct DeferredCompletion {
     tenant: usize,
-    observable_at: f64,
     latency_seconds: f64,
     expensive: bool,
     busy_seconds: f64,
 }
 
-/// A per-task stage sample deferred to the boundary past its finish.
+/// A per-task stage sample deferred (keyed by the task finish) to the
+/// boundary past it.
 #[derive(Debug, Clone, Copy)]
 struct DeferredStageObs {
-    observable_at: f64,
     /// Even task ids are extract, odd are parse.
     parse: bool,
     busy_seconds: f64,
 }
 
-/// Split off (in insertion order) every deferred item whose `at` time is
-/// at or before `boundary`.
-fn drain_observable<T>(deferred: &mut Vec<T>, boundary: f64, at: impl Fn(&T) -> f64) -> Vec<T> {
-    let mut observable = Vec::new();
-    let mut kept = Vec::new();
-    for item in deferred.drain(..) {
-        if at(&item) <= boundary {
-            observable.push(item);
-        } else {
-            kept.push(item);
-        }
+/// Order-preserving bit key of an observable-at time: non-negative finite
+/// times sort by their IEEE-754 bits (`-0.0` → 0); `+∞` (the close
+/// boundary) sorts last.
+fn time_bits(seconds: f64) -> u64 {
+    debug_assert!(seconds >= 0.0 && !seconds.is_nan(), "observable-at out of domain: {seconds}");
+    if seconds == 0.0 {
+        0
+    } else {
+        seconds.to_bits()
     }
-    *deferred = kept;
-    observable
+}
+
+/// An entry of a [`DeferredQueue`], ordered by `(observable-at bits,
+/// insertion sequence)` — the deterministic tie-break that lets the heap
+/// reproduce the old linear rescan's insertion order exactly.
+struct DeferredEntry<T> {
+    at_bits: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for DeferredEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_bits, self.seq) == (other.at_bits, other.seq)
+    }
+}
+impl<T> Eq for DeferredEntry<T> {}
+impl<T> PartialOrd for DeferredEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for DeferredEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_bits, self.seq).cmp(&(other.at_bits, other.seq))
+    }
+}
+
+/// Min-heap of deferred observations keyed by `(observable_at bits,
+/// insertion index)`. Each epoch pops only the entries the boundary
+/// surfaces — O(Δ log n) — instead of rescanning every deferred item, and
+/// the popped batch is re-sorted by insertion index so the output is
+/// *bitwise the order the old full rescan produced* (insertion order among
+/// due items), which everything downstream (cost folds, controller
+/// samples, fingerprints) depends on.
+struct DeferredQueue<T> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<DeferredEntry<T>>>,
+    next_seq: u64,
+}
+
+impl<T> DeferredQueue<T> {
+    fn new() -> Self {
+        DeferredQueue { heap: std::collections::BinaryHeap::new(), next_seq: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn push(&mut self, observable_at: f64, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse(DeferredEntry { at_bits: time_bits(observable_at), seq, item }));
+    }
+
+    /// Pop every entry observable at or before `boundary`, in insertion
+    /// order.
+    fn pop_due(&mut self, boundary: f64) -> Vec<T> {
+        let boundary_bits = if boundary.is_infinite() { u64::MAX } else { time_bits(boundary) };
+        let mut due: Vec<DeferredEntry<T>> = Vec::new();
+        while let Some(std::cmp::Reverse(entry)) = self.heap.peek() {
+            if entry.at_bits > boundary_bits {
+                break;
+            }
+            let std::cmp::Reverse(entry) = self.heap.pop().expect("peeked non-empty");
+            due.push(entry);
+        }
+        due.sort_by_key(|entry| entry.seq);
+        due.into_iter().map(|entry| entry.item).collect()
+    }
 }
 
 /// FNV-1a over the bytes that define a run's observable outcome.
@@ -218,10 +294,41 @@ fn fingerprint(tenants: &[TenantServeReport], makespan_seconds: f64) -> u64 {
     hash
 }
 
+/// Steady-state instrumentation of one serve run, returned by
+/// [`run_service_instrumented`] alongside the report. Wall-clock fields
+/// are host measurements and **not** deterministic — they live here, apart
+/// from [`ServeReport`], precisely so replay equality over reports stays
+/// meaningful.
+#[derive(Debug, Clone, Default)]
+pub struct SoakStats {
+    /// Wall-clock seconds each epoch took (host time).
+    pub epoch_wall_seconds: Vec<f64>,
+    /// Peak retained schedule rows observed at any epoch boundary —
+    /// post-retirement when [`ServeConfig::retirement`] is on, so this is
+    /// the resident-row bound the soak benchmark asserts.
+    pub peak_retained_rows: usize,
+    /// Peak retained completed-task records at any epoch boundary.
+    pub peak_retained_completed: usize,
+    /// Peak documents simultaneously awaiting schedule rows.
+    pub peak_awaiting_docs: usize,
+    /// Peak admitted-but-uncompleted documents (the in-flight cap's view).
+    pub peak_in_flight: usize,
+    /// Largest single-task busy span (finish − start) harvested — the
+    /// straggler horizon bounding how many epochs a retained row can span.
+    pub max_task_busy_seconds: f64,
+}
+
 /// Run the resident multi-tenant ingest service over the given tenant
 /// traces. Fully deterministic: same config and traces, same report, bit
 /// for bit. See the [module docs](super) for the epoch contract.
 pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport {
+    run_service_instrumented(config, traces).0
+}
+
+/// [`run_service`], additionally returning [`SoakStats`] — per-epoch wall
+/// times and peak retained-state sizes — for steady-state (soak)
+/// benchmarking. The report is bitwise identical to [`run_service`]'s.
+pub fn run_service_instrumented(config: &ServeConfig, traces: &[TenantTrace]) -> (ServeReport, SoakStats) {
     let epoch_seconds = config.epoch_seconds.max(1e-9);
     let max_nodes = match &config.autoscale {
         Some(auto) => auto.max_nodes.max(config.nodes).max(1),
@@ -255,14 +362,17 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
     // Documents in the cluster whose tasks have not all scheduled yet,
     // keyed by doc id.
     let mut awaiting: HashMap<u64, DocProgress> = HashMap::new();
-    let mut deferred_done: Vec<DeferredCompletion> = Vec::new();
-    let mut deferred_stage: Vec<DeferredStageObs> = Vec::new();
+    let mut deferred_done: DeferredQueue<DeferredCompletion> = DeferredQueue::new();
+    let mut deferred_stage: DeferredQueue<DeferredStageObs> = DeferredQueue::new();
+    // Global-order harvest cursor: compared against `schedule_len()`, not
+    // the retained slice, so retirement never moves it.
     let mut scanned_rows = 0usize;
     let mut in_flight = 0usize;
     let mut epochs = 0usize;
     let mut active_node_sum = 0usize;
     let mut max_active = session.active_nodes();
     let mut plan = controller.plan_nodes(session.active_nodes());
+    let mut soak = SoakStats::default();
 
     // One closure-free harvest pass, shared by the epoch loop and the
     // final drain: scan new schedule rows into per-doc progress, then
@@ -270,8 +380,7 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
     macro_rules! harvest {
         ($boundary:expr) => {{
             let boundary: f64 = $boundary;
-            let rows = session.schedule();
-            for row in &rows[scanned_rows..] {
+            for row in session.schedule_since(scanned_rows) {
                 let doc_id = row.id / 2;
                 let parse = row.id % 2 == 1;
                 if let Some(progress) = awaiting.get_mut(&doc_id) {
@@ -288,13 +397,14 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
                         registry.states_mut()[progress.tenant].herd_queue_seconds += row.herd_wait_seconds;
                     }
                 }
-                deferred_stage.push(DeferredStageObs {
-                    observable_at: row.finish_seconds,
-                    parse,
-                    busy_seconds: row.finish_seconds - row.start_seconds,
-                });
+                soak.max_task_busy_seconds =
+                    soak.max_task_busy_seconds.max(row.finish_seconds - row.start_seconds);
+                deferred_stage.push(
+                    row.finish_seconds,
+                    DeferredStageObs { parse, busy_seconds: row.finish_seconds - row.start_seconds },
+                );
             }
-            scanned_rows = rows.len();
+            scanned_rows = session.schedule_len();
             // Documents whose last task has now scheduled graduate from
             // awaiting to deferred completion (iterate in doc-id order so
             // the deferred list, and everything downstream, is
@@ -307,23 +417,25 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
                 let finish = progress.completion().expect("filtered on completion");
                 let busy = progress.extract.map(|(s, f)| f - s).unwrap_or(0.0)
                     + progress.parse.map(|(s, f)| f - s).unwrap_or(0.0);
-                deferred_done.push(DeferredCompletion {
-                    tenant: progress.tenant,
-                    observable_at: finish,
-                    latency_seconds: finish - progress.arrived_at,
-                    expensive: progress.expensive,
-                    busy_seconds: busy,
-                });
+                deferred_done.push(
+                    finish,
+                    DeferredCompletion {
+                        tenant: progress.tenant,
+                        latency_seconds: finish - progress.arrived_at,
+                        expensive: progress.expensive,
+                        busy_seconds: busy,
+                    },
+                );
             }
             // Latencies and measured costs become visible only once the
             // boundary passes the finish — the service never acts on a
             // completion that has not happened yet.
-            let observable = drain_observable(&mut deferred_done, boundary, |d| d.observable_at);
+            let observable = deferred_done.pop_due(boundary);
             let mut per_tenant_costs: HashMap<usize, WaveCosts> = HashMap::new();
             for done in observable {
                 let state = &mut registry.states_mut()[done.tenant];
                 state.completed += 1;
-                state.latencies.push(done.latency_seconds);
+                state.latencies.record(done.latency_seconds);
                 state.recent_latency.push_back(done.latency_seconds);
                 while state.recent_latency.len() > config.slo_window.max(1) {
                     state.recent_latency.pop_front();
@@ -351,6 +463,7 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
         if epochs >= config.max_epochs {
             break;
         }
+        let epoch_started = std::time::Instant::now();
         let boundary = (epochs + 1) as f64 * epoch_seconds;
         active_node_sum += session.active_nodes();
         epochs += 1;
@@ -360,8 +473,15 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
         session.advance_until(boundary, &config.filesystem);
 
         // 2. Harvest: completions (latency + measured cost) and stage
-        //    samples that are observable at this boundary.
+        //    samples that are observable at this boundary. Every row up to
+        //    the boundary is scanned before retirement, all later floors
+        //    are ≥ the boundary, and documents never reference earlier
+        //    batches — the retirement contract holds structurally, so the
+        //    drop below is invisible in every observable.
         harvest!(boundary);
+        if config.retirement {
+            session.retire_before(boundary);
+        }
 
         // 3. Ingest arrivals up to the boundary into bounded per-tenant
         //    queues; overflow is rejected, never silently dropped.
@@ -460,7 +580,7 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
 
         // 6. Feed the stage-split controller the samples observable at the
         //    boundary and rescale the fleet against SLO attainment.
-        let observable = drain_observable(&mut deferred_stage, boundary, |o| o.observable_at);
+        let observable = deferred_stage.pop_due(boundary);
         let mut extract = StageSample { busy_seconds: 0.0, items: 0 };
         let mut parse = StageSample { busy_seconds: 0.0, items: 0 };
         for obs in observable {
@@ -478,6 +598,16 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
         }
         max_active = max_active.max(session.active_nodes());
         plan = controller.plan_nodes(session.active_nodes());
+
+        // 7. Soak sampling (host-side only; never feeds back into the
+        //    run): per-epoch wall time and peak retained-state sizes,
+        //    measured after retirement so the peaks reflect what actually
+        //    stays resident.
+        soak.epoch_wall_seconds.push(epoch_started.elapsed().as_secs_f64());
+        soak.peak_retained_rows = soak.peak_retained_rows.max(session.schedule().len());
+        soak.peak_retained_completed = soak.peak_retained_completed.max(session.retained_completed_tasks());
+        soak.peak_awaiting_docs = soak.peak_awaiting_docs.max(awaiting.len());
+        soak.peak_in_flight = soak.peak_in_flight.max(in_flight);
     }
 
     // Close: let every in-flight task run to completion and fold in the
@@ -488,7 +618,7 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
     // with a task the engine skipped outright (they are reported per
     // tenant as unfinished).
     assert_eq!(in_flight, awaiting.len(), "every scheduled document must be harvested at close");
-    debug_assert_eq!(scanned_rows, session.schedule().len());
+    debug_assert_eq!(scanned_rows, session.schedule_len());
     for state in registry.states_mut() {
         // Every arrival held a planning slot in the ledger — including
         // rejected and never-admitted documents; refund whatever was never
@@ -500,11 +630,15 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
     let tenants = registry.reports();
     let admitted = tenants.iter().map(|t| t.admitted).sum();
     let rejected = tenants.iter().map(|t| t.rejected).sum();
-    let all_latencies: Vec<f64> =
-        registry.states().iter().flat_map(|state| state.latencies.iter().copied()).collect();
+    // Overall latency is the tenant ledgers merged in declaration order —
+    // exact count/percentiles/max; the mean is the merged-sum mean.
+    let mut overall = LatencyLedger::new();
+    for state in registry.states() {
+        overall.absorb(&state.latencies);
+    }
     let makespan_seconds = session.now_seconds();
     let fingerprint = fingerprint(&tenants, makespan_seconds);
-    ServeReport {
+    let report = ServeReport {
         tenants,
         epochs,
         makespan_seconds,
@@ -518,9 +652,10 @@ pub fn run_service(config: &ServeConfig, traces: &[TenantTrace]) -> ServeReport 
         admitted,
         rejected,
         executor_report: session.report(),
-        latency: LatencySummary::from_values(&all_latencies),
+        latency: overall.summary(),
         fingerprint,
-    }
+    };
+    (report, soak)
 }
 
 #[cfg(test)]

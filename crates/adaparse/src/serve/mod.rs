@@ -66,5 +66,5 @@
 mod ingest;
 mod tenant;
 
-pub use ingest::{run_service, ServeConfig, ServeReport};
+pub use ingest::{run_service, run_service_instrumented, ServeConfig, ServeReport, SoakStats};
 pub use tenant::{DocArrival, TenantRegistry, TenantServeReport, TenantSpec, TenantTrace};

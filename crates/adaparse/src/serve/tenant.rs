@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use crate::campaign::CampaignBudget;
 use crate::hpc::WorkloadSpec;
 use crate::scaling::{BudgetLedger, WindowedSelector};
-use crate::stats::{nearest_rank_percentile, LatencySummary};
+use crate::stats::{nearest_rank_percentile, LatencyLedger, LatencySummary};
 
 use crate::config::AdaParseConfig;
 use crate::scaling::planned_costs;
@@ -150,8 +150,10 @@ pub(crate) struct TenantState {
     pub(crate) queue: VecDeque<DocArrival>,
     /// Recent time-to-parsed samples (sliding window) for the SLO signal.
     pub(crate) recent_latency: VecDeque<f64>,
-    /// All time-to-parsed samples, in completion-observation order.
-    pub(crate) latencies: Vec<f64>,
+    /// All time-to-parsed samples, folded in completion-observation order
+    /// into a bounded-memory counting ledger (exact nearest-rank
+    /// percentiles, bitwise-equal summary — see [`LatencyLedger`]).
+    pub(crate) latencies: LatencyLedger,
     /// Herd-channel queue seconds paid by this tenant's tasks, accumulated
     /// from schedule rows as they are harvested.
     pub(crate) herd_queue_seconds: f64,
@@ -215,7 +217,7 @@ impl TenantRegistry {
                     planned_doc_cost: cheap + spec.alpha * (expensive - cheap),
                     queue: VecDeque::new(),
                     recent_latency: VecDeque::new(),
-                    latencies: Vec::new(),
+                    latencies: LatencyLedger::new(),
                     herd_queue_seconds: 0.0,
                     arrived: 0,
                     admitted: 0,
@@ -282,7 +284,7 @@ impl TenantRegistry {
                 completed: tenant.completed,
                 unfinished: tenant.admitted - tenant.completed,
                 selected: tenant.selected,
-                latency: LatencySummary::from_values(&tenant.latencies),
+                latency: tenant.latencies.summary(),
                 herd_queue_seconds: tenant.herd_queue_seconds,
                 slo_p99_seconds: tenant.spec.slo_p99_seconds,
                 final_effective_alpha: tenant.closing_alpha,

@@ -91,6 +91,165 @@ impl LatencySummary {
     }
 }
 
+/// Order-preserving sortable bit key of an `f64` (sign-flipped two's-
+/// complement trick): numeric order on numbers with `-0.0` just below
+/// `+0.0`. NaNs are excluded — the ledger counts them separately.
+fn ledger_key(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`ledger_key`].
+fn ledger_value(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+/// A bounded-memory, bit-exact counting ledger of a latency population.
+///
+/// The serve layer used to keep every observed latency in a `Vec<f64>` so
+/// its final report could take exact nearest-rank percentiles — O(total
+/// completions) resident memory over a service's lifetime. This ledger
+/// keeps a count per *distinct bit pattern* instead (an ordered histogram
+/// keyed by order-preserving sign-flipped f64 bits), plus the push-order
+/// running sum and maximum,
+/// and yields a [`LatencySummary`] **bitwise identical** to
+/// [`LatencySummary::from_values`] over the same observations for
+/// populations free of NaN and `-0.0` (which real latencies are — they are
+/// differences of finite times with the minuend ≥ the subtrahend):
+///
+/// - `count` — trivially equal.
+/// - `mean` — the sum accumulates left-to-right in observation order,
+///   exactly the fold `from_values` computes, divided by the same count.
+/// - `p50`/`p99` — nearest-rank over an ordered multiset is a function of
+///   the multiset alone; walking the histogram in key order to rank
+///   `ceil(p/100 · n)` selects the same value the sorted-`Vec` index does.
+/// - `max` — tracked with the same `f64::max` fold in observation order.
+///
+/// With `-0.0` present, percentile ties between the two zeros resolve to
+/// `-0.0` first (a stable Vec sort keeps insertion order instead); with
+/// NaNs present, NaNs count into the extreme tail as in the NaN-last sort
+/// but surface as the canonical `f64::NAN` bit pattern. Both divergences
+/// are outside the serve latency domain and affect only bit patterns of
+/// equal-comparing values.
+///
+/// Memory is O(distinct latency values), which a discrete-event simulator
+/// keeps small (task times are sums of a few model terms); the worst case
+/// is the old `Vec` cost, never more.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyLedger {
+    /// Observation count per distinct non-NaN bit pattern, in value order.
+    counts: std::collections::BTreeMap<u64, usize>,
+    /// NaN observations (sorted past every number, like `from_values`).
+    nan_count: usize,
+    /// Total observations, NaNs included.
+    count: usize,
+    /// Running sum in observation order (the `from_values` mean fold).
+    sum: f64,
+    /// Running `f64::max` fold in observation order.
+    max: f64,
+}
+
+impl LatencyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        LatencyLedger {
+            counts: std::collections::BTreeMap::new(),
+            nan_count: 0,
+            count: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, seconds: f64) {
+        self.count += 1;
+        self.sum += seconds;
+        self.max = self.max.max(seconds);
+        if seconds.is_nan() {
+            self.nan_count += 1;
+        } else {
+            *self.counts.entry(ledger_key(seconds)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another ledger into this one, as if `other`'s observations had
+    /// been recorded after this ledger's own (the merged sum is
+    /// `self.sum + other.sum`, one addition — callers folding tenants in a
+    /// fixed order get a deterministic, reproducible merged mean).
+    pub fn absorb(&mut self, other: &LatencyLedger) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.nan_count += other.nan_count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for (&key, &n) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Exact nearest-rank `percentile` (in `[0, 100]`) over the recorded
+    /// population — the value [`nearest_rank_percentile`] returns on the
+    /// same observations. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is not in `[0, 100]` (NaN included).
+    pub fn percentile(&self, percentile: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&percentile), "percentile must be in [0, 100], got {percentile}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((percentile / 100.0) * self.count as f64).ceil() as usize;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0usize;
+        for (&key, &n) in &self.counts {
+            seen += n;
+            if seen >= rank {
+                return Some(ledger_value(key));
+            }
+        }
+        // Rank falls past every number: a NaN observation holds it.
+        Some(f64::NAN)
+    }
+
+    /// Summarize the population — bitwise equal to
+    /// [`LatencySummary::from_values`] over the same observations (NaN- and
+    /// `-0.0`-free populations; see the type docs).
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: self.count,
+            mean_seconds: self.sum / self.count as f64,
+            p50_seconds: self.percentile(50.0).expect("non-empty"),
+            p99_seconds: self.percentile(99.0).expect("non-empty"),
+            max_seconds: self.max,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +314,78 @@ mod tests {
     #[should_panic(expected = "percentile must be in [0, 100]")]
     fn out_of_range_percentile_panics() {
         nearest_rank_percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn ledger_summary_is_bitwise_equal_to_from_values() {
+        // Deterministic LCG over awkward magnitudes, with heavy ties.
+        let mut state = 0xDEADBEEFCAFEF00Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 33) as f64) / ((1u64 << 31) as f64);
+            if u < 0.3 {
+                1.5 // tie cluster
+            } else {
+                u * 73.3 + 0.001
+            }
+        };
+        let mut ledger = LatencyLedger::new();
+        let mut values = Vec::new();
+        for _ in 0..1000 {
+            let v = next();
+            ledger.record(v);
+            values.push(v);
+        }
+        let from_vec = LatencySummary::from_values(&values);
+        let from_ledger = ledger.summary();
+        assert_eq!(from_ledger.count, from_vec.count);
+        assert_eq!(from_ledger.mean_seconds.to_bits(), from_vec.mean_seconds.to_bits());
+        assert_eq!(from_ledger.p50_seconds.to_bits(), from_vec.p50_seconds.to_bits());
+        assert_eq!(from_ledger.p99_seconds.to_bits(), from_vec.p99_seconds.to_bits());
+        assert_eq!(from_ledger.max_seconds.to_bits(), from_vec.max_seconds.to_bits());
+        for p in [0.0, 1.0, 37.0, 50.0, 99.0, 100.0] {
+            assert_eq!(
+                ledger.percentile(p).unwrap().to_bits(),
+                nearest_rank_percentile(&values, p).unwrap().to_bits(),
+                "p{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_absorb_merges_multisets_exactly() {
+        let mut a = LatencyLedger::new();
+        let mut b = LatencyLedger::new();
+        let mut all = Vec::new();
+        for (i, v) in [5.0, 1.0, 3.0, 3.0, 9.0, 2.0, 7.0, 3.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        // Merge order a-then-b defines the merged observation order.
+        for v in [5.0, 3.0, 9.0, 7.0, 1.0, 3.0, 2.0, 3.0] {
+            all.push(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a.len(), 8);
+        let expected = LatencySummary::from_values(&all);
+        let got = a.summary();
+        assert_eq!(got.count, expected.count);
+        assert_eq!(got.p50_seconds.to_bits(), expected.p50_seconds.to_bits());
+        assert_eq!(got.p99_seconds.to_bits(), expected.p99_seconds.to_bits());
+        assert_eq!(got.max_seconds.to_bits(), expected.max_seconds.to_bits());
+        // Absorbing an empty ledger is a no-op; absorbing into empty copies.
+        let snapshot = a.clone();
+        a.absorb(&LatencyLedger::new());
+        assert_eq!(a, snapshot);
+        let mut fresh = LatencyLedger::new();
+        fresh.absorb(&snapshot);
+        assert_eq!(fresh.summary(), snapshot.summary());
+        assert!(LatencyLedger::new().is_empty());
+        assert_eq!(LatencyLedger::new().summary(), LatencySummary::default());
+        assert_eq!(LatencyLedger::new().percentile(50.0), None);
     }
 
     #[test]

@@ -16,12 +16,18 @@
 //!   `PlacementPolicy::CostAware` than under the warm-blind
 //!   `PlacementPolicy::EarliestSlot`, and full service runs (autoscaler
 //!   included) replay bitwise under both policies.
+//! * **Retirement invisibility** — running the service with per-epoch
+//!   session retirement on produces a bitwise-identical report (same
+//!   fingerprint, same per-tenant percentiles, same executor totals and
+//!   per-GPU busy bits) to running it with retirement off, while keeping
+//!   the retained schedule rows bounded by work in flight instead of run
+//!   length.
 
 use adaparse::{
-    run_service, AutoscaleConfig, CampaignBudget, DocArrival, ServeConfig, TenantSpec, TenantTrace,
-    WorkloadSpec,
+    run_service, run_service_instrumented, AutoscaleConfig, CampaignBudget, DocArrival, ServeConfig,
+    TenantSpec, TenantTrace, WorkloadSpec,
 };
-use hpcsim::{ExecutorConfig, PlacementPolicy};
+use hpcsim::{ExecutorConfig, GpuTrace, PlacementPolicy};
 use proptest::prelude::*;
 use scicorpus::{generate_arrivals, ArrivalConfig, ArrivalPattern};
 
@@ -208,5 +214,83 @@ proptest! {
         prop_assert_eq!(aware.tenants[0].completed, blind.tenants[0].completed);
         // No load channels are configured, so no herd wait accrues.
         prop_assert_eq!(aware.tenants[0].herd_queue_seconds.to_bits(), 0.0f64.to_bits());
+    }
+
+    // Per-epoch session retirement must be invisible in every observable
+    // of the run — only the retained GPU-trace *span lists* (a memory
+    // artifact, not an observable) may differ — while bounding resident
+    // schedule rows by work in flight.
+    #[test]
+    fn retirement_replays_bitwise_and_bounds_resident_state(
+        seed in 0u64..1000,
+        autoscale in 0u8..2,
+        burst_size in 2usize..16,
+    ) {
+        let traces = vec![
+            TenantTrace {
+                spec: TenantSpec {
+                    budget: Some(CampaignBudget::seconds(50_000.0)),
+                    ..tenant("bursty", 2.0)
+                },
+                arrivals: doc_arrivals(50, seed, 1.5, ArrivalPattern::Bursty { burst_size }),
+            },
+            TenantTrace {
+                spec: tenant("steady", 1.0),
+                arrivals: doc_arrivals(30, seed.wrapping_add(9), 0.8, ArrivalPattern::Steady),
+            },
+        ];
+        let config = ServeConfig {
+            autoscale: (autoscale == 1).then(AutoscaleConfig::default),
+            ..ServeConfig::default()
+        };
+        let (mut on, soak) =
+            run_service_instrumented(&ServeConfig { retirement: true, ..config.clone() }, &traces);
+        let (mut off, _) =
+            run_service_instrumented(&ServeConfig { retirement: false, ..config }, &traces);
+
+        prop_assert_eq!(on.fingerprint, off.fingerprint, "latency fingerprints diverged");
+        prop_assert_eq!(&on.tenants, &off.tenants, "per-tenant reports diverged");
+        prop_assert_eq!(on.latency, off.latency);
+        prop_assert_eq!(on.makespan_seconds.to_bits(), off.makespan_seconds.to_bits());
+        // The executor report agrees on every observable, including the
+        // per-GPU busy and model-load seconds the retained trace folds
+        // through its retired partial sums.
+        let gpus = on.executor_report.gpu_trace.gpus();
+        prop_assert_eq!(gpus, off.executor_report.gpu_trace.gpus());
+        for gpu in 0..gpus {
+            prop_assert_eq!(
+                on.executor_report.gpu_trace.busy_seconds(gpu).to_bits(),
+                off.executor_report.gpu_trace.busy_seconds(gpu).to_bits(),
+                "GPU {} busy seconds diverged", gpu
+            );
+            prop_assert_eq!(
+                on.executor_report.gpu_trace.model_load_seconds(gpu).to_bits(),
+                off.executor_report.gpu_trace.model_load_seconds(gpu).to_bits(),
+                "GPU {} model-load seconds diverged", gpu
+            );
+        }
+        // With the span lists normalized away, the whole report — tenants,
+        // fleet history, executor totals, warm stats, stage timings — must
+        // be *equal*, not merely fingerprint-equal.
+        on.executor_report.gpu_trace = GpuTrace::new(gpus);
+        off.executor_report.gpu_trace = GpuTrace::new(gpus);
+        prop_assert_eq!(&on, &off, "retirement changed an observable");
+
+        // Bounded memory: every retained schedule row (and completed-task
+        // record) belongs to a document still in flight at the boundary,
+        // and a document owns at most two tasks.
+        let row_bound = 2 * soak.peak_in_flight.max(1);
+        prop_assert!(
+            soak.peak_retained_rows <= row_bound,
+            "retained {} rows with {} docs in flight",
+            soak.peak_retained_rows,
+            soak.peak_in_flight
+        );
+        prop_assert!(
+            soak.peak_retained_completed <= row_bound,
+            "retained {} completed-task records with {} docs in flight",
+            soak.peak_retained_completed,
+            soak.peak_in_flight
+        );
     }
 }

@@ -45,7 +45,7 @@
 //!
 //! [`submit`]: ExecutorSession::submit
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -372,12 +372,27 @@ impl CampaignReport {
 /// starts at equal times, so a load beginning exactly when another finishes
 /// does not count as concurrent with it).
 fn peak_concurrent_loads(intervals: &[(f64, f64)]) -> usize {
+    peak_concurrent_loads_below(intervals, f64::INFINITY)
+}
+
+/// [`peak_concurrent_loads`], restricted to instants strictly before
+/// `bound`: the same sweep, taking the maximum only at start events `< bound`
+/// (overlap counts can only change at starts, so the supremum over `[0,
+/// bound)` is attained at one). This is the retirement-watermark carry:
+/// computed over the still-present intervals *at retirement time* it is the
+/// exact peak over all history below the watermark, because every interval
+/// open anywhere in `[0, bound)` either ends after the previous watermark
+/// (still present) or was already folded into the previous carry.
+fn peak_concurrent_loads_below(intervals: &[(f64, f64)], bound: f64) -> usize {
     let mut starts: Vec<f64> = intervals.iter().map(|&(s, _)| s).collect();
     let mut ends: Vec<f64> = intervals.iter().map(|&(_, e)| e).collect();
     starts.sort_by(f64::total_cmp);
     ends.sort_by(f64::total_cmp);
     let (mut peak, mut open, mut closed) = (0usize, 0usize, 0usize);
     for &start in &starts {
+        if start >= bound {
+            break;
+        }
         while closed < ends.len() && ends[closed] <= start {
             closed += 1;
         }
@@ -797,10 +812,12 @@ pub struct ExecutorSession {
     free_at: Vec<f64>,
     /// One warm pool per node.
     pools: Vec<WarmPool>,
-    /// Node each task group is anchored to: the first member of a group to
-    /// be scheduled leaves its output there, and that is where later
-    /// members of the same group find their input.
-    group_nodes: HashMap<u64, usize>,
+    /// Anchor of each task group: the first member of a group to be
+    /// scheduled leaves its output on `node`, and that is where later
+    /// members of the same group find their input. `last_finish` tracks
+    /// the latest member completion so fully finished anchors can be
+    /// retired ([`retire_before`](Self::retire_before)).
+    group_nodes: HashMap<u64, GroupAnchor>,
     /// Finish time and critical path of every completed task, so precedence
     /// edges may span submit batches.
     completed: HashMap<u64, Finished>,
@@ -821,8 +838,9 @@ pub struct ExecutorSession {
     /// Ids of tasks skipped in any batch (no slot, cycle, or poisoned
     /// dependency), so dependents submitted in *later* batches are skipped
     /// too — the skip cascade spans batch boundaries, like the completion
-    /// map does.
-    skipped: HashSet<u64>,
+    /// map does. The value is the simulated time the skip was recorded,
+    /// so [`retire_before`](Self::retire_before) can age entries out.
+    skipped: HashMap<u64, f64>,
     /// The session-persistent pending set: tasks enqueued by
     /// [`submit_with`](Self::submit_with) that
     /// [`advance_to_frontier`](Self::advance_to_frontier) has not yet
@@ -867,10 +885,37 @@ pub struct ExecutorSession {
     /// a herd straddling a drain boundary still queues. Resized at each
     /// drain to the filesystem's channel count; empty means unlimited.
     load_channel_free: Vec<f64>,
-    /// `(load_start, load_end)` of every paid cold start this session, in
-    /// dispatch order — the sweep input for the session-exact
-    /// [`CampaignReport::concurrent_cold_starts_peak`].
+    /// `(load_start, load_end)` of every paid cold start this session *not
+    /// yet retired*, in dispatch order — the sweep input for the
+    /// session-exact [`CampaignReport::concurrent_cold_starts_peak`],
+    /// combined with [`retired_peak`](Self::retire_before) for history
+    /// below the watermark.
     load_intervals: Vec<(f64, f64)>,
+    /// Exclusive upper bound of retired history: every observable at or
+    /// after it is bitwise identical to the unretired session (see
+    /// [`retire_before`](Self::retire_before)). Starts at zero.
+    retire_watermark: f64,
+    /// Exact concurrent-cold-start peak over `[0, retire_watermark)`,
+    /// carried across retirements so the cumulative peak never needs the
+    /// retired intervals again.
+    retired_peak: usize,
+    /// Schedule rows dropped by [`retire_before`](Self::retire_before):
+    /// the base offset of the retained `schedule` vector in global
+    /// schedule-order coordinates (see [`schedule_since`](Self::schedule_since)).
+    retired_rows: usize,
+    /// Interned model ids sorted by resolved label — the report's
+    /// `warm_models` row order, maintained incrementally as the interner
+    /// grows so [`report`](Self::report) never re-sorts label strings.
+    warm_order: Vec<ModelId>,
+}
+
+/// Where a task group's output lives and when its members last finished.
+#[derive(Debug, Clone, Copy)]
+struct GroupAnchor {
+    node: usize,
+    /// Latest finish among the group's dispatched members — the earliest
+    /// watermark at which the anchor itself can retire.
+    last_finish: f64,
 }
 
 impl ExecutorSession {
@@ -911,7 +956,7 @@ impl ExecutorSession {
             warm_totals: Vec::new(),
             batch_warm: Vec::new(),
             batch_warm_touched: Vec::new(),
-            skipped: HashSet::new(),
+            skipped: HashMap::new(),
             pending_tasks: Vec::new(),
             pending_meta: Vec::new(),
             pending_dependents: Vec::new(),
@@ -924,6 +969,10 @@ impl ExecutorSession {
             gpu_count,
             load_channel_free: Vec::new(),
             load_intervals: Vec::new(),
+            retire_watermark: 0.0,
+            retired_peak: 0,
+            retired_rows: 0,
+            warm_order: Vec::new(),
         }
     }
 
@@ -980,31 +1029,234 @@ impl ExecutorSession {
     /// stays cheap even over a million-task campaign; the query time need
     /// not be monotone across calls.
     pub fn tasks_in_flight_at(&self, seconds: f64) -> usize {
+        debug_assert!(
+            self.retired_rows == 0 || seconds >= self.retire_watermark,
+            "tasks_in_flight_at({seconds}) below the retirement watermark {}",
+            self.retire_watermark
+        );
         self.finish_index.count_after(seconds)
     }
 
-    /// Every task scheduled so far, in schedule order (ready-queue pop
-    /// order), across all submitted batches.
+    /// Every *retained* scheduled task, in schedule order (ready-queue pop
+    /// order), across all submitted batches. Without retirement this is
+    /// the full session schedule; after [`retire_before`](Self::retire_before)
+    /// the retained rows start [`retired_rows`](Self::retired_rows) deep
+    /// into global schedule order — cursor-based harvesters should use
+    /// [`schedule_since`](Self::schedule_since) /
+    /// [`schedule_len`](Self::schedule_len) instead of indexing this slice.
     pub fn schedule(&self) -> &[ScheduledTask] {
         &self.schedule
     }
 
+    /// Total schedule rows ever produced (retired rows included): the
+    /// global-order cursor value a harvester holds after consuming
+    /// everything. `schedule_len() - retired_rows()` rows are retained.
+    pub fn schedule_len(&self) -> usize {
+        self.retired_rows + self.schedule.len()
+    }
+
+    /// Schedule rows dropped by [`retire_before`](Self::retire_before) so
+    /// far — the base offset of [`schedule`](Self::schedule) in global
+    /// schedule order.
+    pub fn retired_rows(&self) -> usize {
+        self.retired_rows
+    }
+
+    /// The retained schedule rows from global cursor position `cursor`
+    /// (0-based over all rows ever produced) to the end — the harvest API
+    /// for resident loops: read `schedule_since(cursor)`, then set `cursor
+    /// = schedule_len()`. Identical, row for row, to
+    /// `&schedule()[cursor..]` on a never-retired session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` points below the retirement watermark (those
+    /// rows are gone — the caller failed the harvest-before-retire
+    /// contract) or past [`schedule_len`](Self::schedule_len).
+    pub fn schedule_since(&self, cursor: usize) -> &[ScheduledTask] {
+        assert!(
+            cursor >= self.retired_rows,
+            "schedule cursor {cursor} points below the retirement watermark ({} rows retired)",
+            self.retired_rows
+        );
+        &self.schedule[cursor - self.retired_rows..]
+    }
+
+    /// Exclusive upper bound of retired history — zero until
+    /// [`retire_before`](Self::retire_before) is first called.
+    pub fn retire_watermark(&self) -> f64 {
+        self.retire_watermark
+    }
+
+    /// Number of completed-task records currently retained (the
+    /// cross-batch dependency map). Grows with work, shrinks at
+    /// [`retire_before`](Self::retire_before) — a steady-state memory
+    /// probe for soak benchmarks.
+    pub fn retained_completed_tasks(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Number of cold-start load intervals currently retained (the peak
+    /// sweep's input). Same probe role as
+    /// [`retained_completed_tasks`](Self::retained_completed_tasks).
+    pub fn retained_load_intervals(&self) -> usize {
+        self.load_intervals.len()
+    }
+
+    /// Drop session history that finished at or before `watermark_seconds`:
+    /// schedule rows, completed-task records, skip records, fully-finished
+    /// group anchors, cold-start load intervals (their exact peak is
+    /// carried forward), [`FinishIndex`] entries, and the cumulative GPU
+    /// trace's span prefix (its busy accounting is carried forward
+    /// bitwise). Idempotent; watermarks must be finite and non-negative,
+    /// and a watermark at or below the current one is a no-op.
+    ///
+    /// # Contract — when retirement is invisible
+    ///
+    /// Under the following caller obligations, **every subsequent
+    /// observable is bitwise identical** to the unretired session:
+    /// cumulative reports ([`report`](Self::report) /
+    /// [`report_snapshot`](Self::report_snapshot) — all counters, warm
+    /// stats, the concurrent-cold-start peak, and the trace's busy/load
+    /// accounting; only the trace's raw span list and per-bin
+    /// [`GpuTrace::utilization_series`] forget retired spans), batch
+    /// reports, schedules read through
+    /// [`schedule_since`](Self::schedule_since),
+    /// [`tasks_in_flight_at`](Self::tasks_in_flight_at) at `t ≥ watermark`,
+    /// dispatch order, placement, and every start/finish time.
+    ///
+    /// 1. Every future batch's release floor is ≥ the watermark (a causal
+    ///    resident loop retiring at its last decision boundary satisfies
+    ///    this by construction).
+    /// 2. No future task depends on, or shares a group with, a task whose
+    ///    finish is ≤ the watermark (otherwise its recorded finish /
+    ///    critical path / skip poison / anchor node are forgotten, which
+    ///    can change `decision_lag_seconds`, `critical_path_seconds`, the
+    ///    skip cascade, or pair-locality accounting).
+    /// 3. In-flight queries only ask about `t ≥ watermark` (earlier times
+    ///    undercount by exactly the retired finishes above them).
+    ///
+    /// The serve ingest loop harvests every row up to the boundary, then
+    /// retires at that boundary: its documents never reference prior
+    /// batches, its extract→parse pairs always dispatch within the
+    /// boundary their dependency finished under, and its floors are the
+    /// boundaries themselves — all three obligations hold structurally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watermark_seconds` is non-finite or negative.
+    pub fn retire_before(&mut self, watermark_seconds: f64) {
+        assert!(
+            watermark_seconds.is_finite() && watermark_seconds >= 0.0,
+            "retirement watermark must be finite and non-negative, got {watermark_seconds}"
+        );
+        if watermark_seconds <= self.retire_watermark {
+            return;
+        }
+        let w = watermark_seconds;
+        // Peak carry first, while the intervals open below `w` are still
+        // present: after this, `retired_peak` is the exact sweep maximum
+        // over all history in `[0, w)`.
+        self.retired_peak = self.retired_peak.max(peak_concurrent_loads_below(&self.load_intervals, w));
+        self.load_intervals.retain(|&(_, end)| end > w);
+        // Schedule rows retire as the longest finished *prefix* (finishes
+        // are not monotone in pop order), keeping the retained rows
+        // contiguous in global schedule order for `schedule_since`.
+        let cut = self.schedule.iter().position(|row| row.finish_seconds > w).unwrap_or(self.schedule.len());
+        self.schedule.drain(..cut);
+        self.retired_rows += cut;
+        self.completed.retain(|_, done| done.finish_seconds > w);
+        self.skipped.retain(|_, &mut at| at > w);
+        self.group_nodes.retain(|_, anchor| anchor.last_finish > w);
+        self.finish_index.retire(w);
+        self.cumulative.gpu_trace.retire_before(w);
+        self.retire_watermark = w;
+    }
+
     /// The session-cumulative report over every batch submitted so far.
+    ///
+    /// O(models + retained load intervals) plus one clone of the
+    /// cumulative GPU trace: the warm-model rows come pre-sorted from the
+    /// incrementally maintained label order, and the concurrent-cold-start
+    /// peak sweeps only the intervals above the retirement watermark (the
+    /// carried [`retire_before`](Self::retire_before) prefix peak covers
+    /// the rest exactly). Per-epoch callers that do not need the trace
+    /// should use [`report_snapshot`](Self::report_snapshot), which skips
+    /// the trace clone too.
     pub fn report(&self) -> CampaignReport {
         let mut report = self.cumulative.clone();
+        self.finish_report(&mut report);
+        report
+    }
+
+    /// [`report`](Self::report) without the per-GPU trace: every other
+    /// field is bitwise identical, but `gpu_trace` is a blank
+    /// [`GpuTrace`] over the session's GPU count — O(models + retained
+    /// load intervals) with no O(session-history) clone. This is the
+    /// per-wave/per-epoch reporting path for resident loops; take the full
+    /// [`report`](Self::report) once at close when the trace is wanted.
+    pub fn report_snapshot(&self) -> CampaignReport {
+        let c = &self.cumulative;
+        let mut report = CampaignReport {
+            tasks_completed: c.tasks_completed,
+            tasks_skipped: c.tasks_skipped,
+            makespan_seconds: c.makespan_seconds,
+            throughput_per_second: c.throughput_per_second,
+            cpu_busy_seconds: c.cpu_busy_seconds,
+            gpu_busy_seconds: c.gpu_busy_seconds,
+            stage_in_seconds: c.stage_in_seconds,
+            cold_starts: c.cold_starts,
+            non_local_tasks: c.non_local_tasks,
+            locality_penalty_seconds: c.locality_penalty_seconds,
+            co_located_pairs: c.co_located_pairs,
+            split_pairs: c.split_pairs,
+            critical_path_seconds: c.critical_path_seconds,
+            queue_wait_seconds: c.queue_wait_seconds,
+            retro_filled_tasks: c.retro_filled_tasks,
+            decision_lag_seconds: c.decision_lag_seconds,
+            warm_hits: c.warm_hits,
+            warm_evictions: c.warm_evictions,
+            herd_queue_seconds: c.herd_queue_seconds,
+            concurrent_cold_starts_peak: c.concurrent_cold_starts_peak,
+            warm_models: Vec::new(),
+            stage_timings: c.stage_timings,
+            gpu_trace: GpuTrace::new(self.gpu_count),
+        };
+        self.finish_report(&mut report);
+        report
+    }
+
+    /// The derived fields shared by [`report`](Self::report) and
+    /// [`report_snapshot`](Self::report_snapshot): throughput, the
+    /// label-ordered warm rows, and the watermark-carried exact peak.
+    fn finish_report(&self, report: &mut CampaignReport) {
         report.throughput_per_second = if report.makespan_seconds > 0.0 {
             report.tasks_completed as f64 / report.makespan_seconds
         } else {
             0.0
         };
-        report.warm_models = self.materialize_warm_models(
-            self.warm_totals.iter().enumerate().map(|(id, &counts)| (id as ModelId, counts)),
-        );
-        // The cumulative peak is recomputed exactly over every load interval
-        // of the session: the per-batch maximum `absorb` keeps is a lower
-        // bound when a herd straddles a drain boundary.
-        report.concurrent_cold_starts_peak = peak_concurrent_loads(&self.load_intervals);
-        report
+        // `warm_order` holds every interned id sorted by label, so this is
+        // the same row set and order `materialize_warm_models` would build
+        // from scratch — without the per-call sort.
+        report.warm_models = self
+            .warm_order
+            .iter()
+            .map(|&id| {
+                let counts = self.warm_totals[id as usize];
+                ModelWarmStats {
+                    model: self.interner.resolve(id).to_string(),
+                    hits: counts.hits,
+                    misses: counts.misses,
+                    evictions: counts.evictions,
+                }
+            })
+            .collect();
+        // The cumulative peak is exact over the whole session: the carried
+        // prefix peak covers `[0, watermark)` and the sweep covers the
+        // retained intervals (the per-batch maximum `absorb` keeps is only
+        // a lower bound when a herd straddles a drain boundary).
+        report.concurrent_cold_starts_peak =
+            self.retired_peak.max(peak_concurrent_loads(&self.load_intervals));
     }
 
     /// Build report-facing [`ModelWarmStats`] rows from integer-keyed
@@ -1143,7 +1395,7 @@ impl ExecutorSession {
                     let meta = &mut self.pending_meta[index];
                     meta.raw_ready = meta.raw_ready.max(done.finish_seconds);
                     meta.chain = meta.chain.max(done.critical_path_seconds);
-                } else if self.skipped.contains(dep) {
+                } else if self.skipped.contains_key(dep) {
                     // The dependency was skipped in an earlier batch: its
                     // output never materialized, so this task is skipped
                     // too (same cascade as within a batch).
@@ -1190,12 +1442,24 @@ impl ExecutorSession {
     }
 
     /// Mark `id` touched in the per-drain warm scratch, growing the
-    /// integer-keyed side tables if the interner has grown.
+    /// integer-keyed side tables if the interner has grown. New ids are
+    /// also spliced into `warm_order` at their label's sorted position, so
+    /// reports read the rows off in label order without ever re-sorting.
     fn touch_warm(&mut self, id: ModelId) {
         let needed = self.interner.len();
         if self.batch_warm.len() < needed {
+            let grown = self.batch_warm.len()..needed;
             self.batch_warm.resize(needed, BatchWarm::default());
             self.warm_totals.resize(needed, WarmCounts::default());
+            for new_id in grown {
+                let new_id = new_id as ModelId;
+                let label = self.interner.resolve(new_id);
+                let pos = self
+                    .warm_order
+                    .binary_search_by(|&seen| self.interner.resolve(seen).cmp(label))
+                    .unwrap_err();
+                self.warm_order.insert(pos, new_id);
+            }
         }
         let entry = &mut self.batch_warm[id as usize];
         if !entry.touched {
@@ -1320,7 +1584,7 @@ impl ExecutorSession {
             };
             if poisoned || no_slots {
                 report.tasks_skipped += 1;
-                self.skipped.insert(task.id);
+                self.skipped.insert(task.id, time);
                 // Dependents of a skipped task can never find their input.
                 for dependent in std::mem::take(&mut self.pending_dependents[index]) {
                     let meta = &mut self.pending_meta[dependent];
@@ -1347,7 +1611,7 @@ impl ExecutorSession {
             // plan staged it. `believed_node` is what the *scheduler* acts
             // on — with co-scheduling disabled it naively trusts the static
             // plan and only discovers the re-fetch at accounting time.
-            let anchor = task.group.as_ref().and_then(|g| self.group_nodes.get(&g.id).copied());
+            let anchor = task.group.as_ref().and_then(|g| self.group_nodes.get(&g.id)).map(|a| a.node);
             let data_node = anchor.or(task.preferred_node);
             let believed_node = if self.config.co_schedule_pairs { data_node } else { task.preferred_node };
             let off_node_penalty = match data_node {
@@ -1432,9 +1696,15 @@ impl ExecutorSession {
             if let Some(group) = &task.group {
                 match self.group_nodes.get(&group.id) {
                     None => {
-                        self.group_nodes.insert(group.id, self.slots[slot_index].node);
+                        // `last_finish` is stamped once `end` is known below.
+                        self.group_nodes.insert(
+                            group.id,
+                            GroupAnchor { node: self.slots[slot_index].node, last_finish: 0.0 },
+                        );
                     }
-                    Some(&node) if node == self.slots[slot_index].node => report.co_located_pairs += 1,
+                    Some(anchor) if anchor.node == self.slots[slot_index].node => {
+                        report.co_located_pairs += 1
+                    }
                     Some(_) => report.split_pairs += 1,
                 }
             }
@@ -1552,6 +1822,12 @@ impl ExecutorSession {
             }
             if let Some(group) = &task.group {
                 report.stage_timings.record(group.role, busy, end);
+                // The anchor exists: this member either claimed it above or
+                // found it claimed. Its retirement horizon is the latest
+                // member finish.
+                if let Some(anchor) = self.group_nodes.get_mut(&group.id) {
+                    anchor.last_finish = anchor.last_finish.max(end);
+                }
             }
             report.tasks_completed += 1;
             report.makespan_seconds = report.makespan_seconds.max(end);
@@ -1593,9 +1869,10 @@ impl ExecutorSession {
             // Tasks never released: dependency cycles (including
             // self-edges). They count as skipped, and — like every other
             // skip — poison their dependents in later batches.
+            let swept_at = advance_floor.max(report.makespan_seconds);
             for (index, meta) in self.pending_meta.iter().enumerate() {
                 if !meta.dispatched {
-                    self.skipped.insert(self.pending_tasks[index].id);
+                    self.skipped.insert(self.pending_tasks[index].id, swept_at);
                     report.tasks_skipped += 1;
                 }
             }

@@ -7,12 +7,20 @@ use serde::{Deserialize, Serialize};
 pub struct GpuTrace {
     /// `intervals[g]` holds `(start, end, is_model_load)` busy spans of GPU `g`.
     intervals: Vec<Vec<(f64, f64, bool)>>,
+    /// Left-fold busy-seconds partial sum over spans retired from each GPU
+    /// by [`retire_before`](Self::retire_before); sized lazily (missing
+    /// entries are zero). Folding the retained spans *starting from* this
+    /// partial reproduces the full-history fold bitwise — left-to-right
+    /// float summation composes over any prefix split.
+    retired_busy: Vec<f64>,
+    /// Same partial sum restricted to model-load spans.
+    retired_load: Vec<f64>,
 }
 
 impl GpuTrace {
     /// Trace for `gpus` devices.
     pub fn new(gpus: usize) -> Self {
-        GpuTrace { intervals: vec![Vec::new(); gpus] }
+        GpuTrace { intervals: vec![Vec::new(); gpus], retired_busy: Vec::new(), retired_load: Vec::new() }
     }
 
     /// Number of GPUs tracked.
@@ -42,17 +50,57 @@ impl GpuTrace {
         }
     }
 
-    /// Total busy seconds of one GPU (compute + model load).
-    pub fn busy_seconds(&self, gpu: usize) -> f64 {
-        self.intervals.get(gpu).map(|spans| spans.iter().map(|(s, e, _)| e - s).sum()).unwrap_or(0.0)
+    /// Drop the longest *prefix* of each GPU's span list that ends at or
+    /// before `watermark_seconds`, folding the dropped spans into the
+    /// retired partial sums. [`busy_seconds`](Self::busy_seconds),
+    /// [`model_load_seconds`](Self::model_load_seconds), and everything
+    /// derived from them ([`utilization`](Self::utilization),
+    /// [`mean_utilization`](Self::mean_utilization)) stay **bitwise
+    /// identical** to the unretired trace: summation is the same
+    /// left-to-right fold, merely resumed from the retired partial.
+    /// Only [`utilization_series`](Self::utilization_series) loses
+    /// information — retired spans no longer appear in per-bin breakdowns.
+    ///
+    /// Prefix-only (rather than filtering every early span) keeps the fold
+    /// order intact; spans are recorded in batch-then-schedule order, so in
+    /// steady state the un-retired suffix is bounded by work in flight.
+    pub fn retire_before(&mut self, watermark_seconds: f64) {
+        if self.retired_busy.len() < self.intervals.len() {
+            self.retired_busy.resize(self.intervals.len(), 0.0);
+            self.retired_load.resize(self.intervals.len(), 0.0);
+        }
+        for (gpu, spans) in self.intervals.iter_mut().enumerate() {
+            let cut = spans.iter().position(|&(_, end, _)| end > watermark_seconds).unwrap_or(spans.len());
+            for &(start, end, load) in &spans[..cut] {
+                self.retired_busy[gpu] += end - start;
+                if load {
+                    self.retired_load[gpu] += end - start;
+                }
+            }
+            spans.drain(..cut);
+        }
     }
 
-    /// Seconds one GPU spent loading models rather than computing.
-    pub fn model_load_seconds(&self, gpu: usize) -> f64 {
+    /// Total busy seconds of one GPU (compute + model load), retired spans
+    /// included (bitwise, see [`retire_before`](Self::retire_before)).
+    pub fn busy_seconds(&self, gpu: usize) -> f64 {
+        let retired = self.retired_busy.get(gpu).copied().unwrap_or(0.0);
         self.intervals
             .get(gpu)
-            .map(|spans| spans.iter().filter(|(_, _, load)| *load).map(|(s, e, _)| e - s).sum())
-            .unwrap_or(0.0)
+            .map(|spans| spans.iter().fold(retired, |acc, (s, e, _)| acc + (e - s)))
+            .unwrap_or(retired)
+    }
+
+    /// Seconds one GPU spent loading models rather than computing, retired
+    /// spans included (bitwise, see [`retire_before`](Self::retire_before)).
+    pub fn model_load_seconds(&self, gpu: usize) -> f64 {
+        let retired = self.retired_load.get(gpu).copied().unwrap_or(0.0);
+        self.intervals
+            .get(gpu)
+            .map(|spans| {
+                spans.iter().filter(|(_, _, load)| *load).fold(retired, |acc, (s, e, _)| acc + (e - s))
+            })
+            .unwrap_or(retired)
     }
 
     /// Utilization of one GPU over `[0, horizon]` in `[0, 1]`.
@@ -139,6 +187,37 @@ mod tests {
         trace.record(0, 6.0, 4.0, false);
         trace.record(9, 0.0, 1.0, false);
         assert_eq!(trace.busy_seconds(0), 0.0);
+    }
+
+    #[test]
+    fn retire_before_preserves_busy_accounting_bitwise() {
+        let mut full = GpuTrace::new(2);
+        let mut retired = GpuTrace::new(2);
+        // Irrational-ish durations so any fold-order change would show.
+        let spans = [
+            (0usize, 0.1, 1.3, false),
+            (0, 1.7, 2.9, true),
+            (1, 0.3, 0.7, false),
+            (0, 3.1, 4.3, false),
+            (1, 2.9, 6.1, true),
+            (0, 5.0, 7.7, false),
+        ];
+        for &(gpu, s, e, load) in &spans {
+            full.record(gpu, s, e, load);
+            retired.record(gpu, s, e, load);
+        }
+        retired.retire_before(3.0);
+        retired.retire_before(5.0); // repeated retirement composes
+        for gpu in 0..2 {
+            assert_eq!(full.busy_seconds(gpu).to_bits(), retired.busy_seconds(gpu).to_bits());
+            assert_eq!(full.model_load_seconds(gpu).to_bits(), retired.model_load_seconds(gpu).to_bits());
+            assert_eq!(full.utilization(gpu, 7.7).to_bits(), retired.utilization(gpu, 7.7).to_bits());
+        }
+        assert_eq!(full.mean_utilization(7.7).to_bits(), retired.mean_utilization(7.7).to_bits());
+        // GPU 1's long span straddles the watermark: it must not retire.
+        // (Prefix rule: GPU 0 retired its first two spans only — span 3
+        // ends at 4.3 > 3.0 at the first call, then <= 5.0 at the second.)
+        assert!(retired.busy_seconds(1) > 0.0);
     }
 
     #[test]

@@ -203,6 +203,47 @@ impl FinishIndex {
         self.total += 1;
     }
 
+    /// Drop every recorded finish at or before `watermark_seconds` and
+    /// re-pack the survivors into runs that restore the binary-counter
+    /// invariant (lengths strictly decreasing powers of two, front to
+    /// back), so subsequent [`insert`](Self::insert)s amortize exactly as
+    /// on a fresh index.
+    ///
+    /// Retiring is *query-transparent above the watermark*:
+    /// [`count_after`](Self::count_after) answers bitwise identically for
+    /// every `seconds >= watermark_seconds` — the dropped finishes are all
+    /// `<= watermark <= seconds` and were never counted by those queries.
+    /// Queries *below* the watermark undercount by exactly the retired
+    /// finishes that exceeded them; [`crate::ExecutorSession`] documents
+    /// the corresponding caller contract.
+    ///
+    /// Cost is O(retained · log n) — a k-way merge of the per-run
+    /// suffixes — which a steady-state caller pays on a bounded working
+    /// set, not on session history.
+    pub fn retire(&mut self, watermark_seconds: f64) {
+        let bits = order_bits(watermark_seconds);
+        let mut retained: Vec<u64> = Vec::new();
+        for run in &self.runs {
+            let keep = &run[run.partition_point(|&b| b <= bits)..];
+            if !keep.is_empty() {
+                retained = if retained.is_empty() { keep.to_vec() } else { merge_sorted(&retained, keep) };
+            }
+        }
+        self.total = retained.len();
+        self.runs.clear();
+        // Split the sorted survivors by the binary representation of their
+        // count: one run per set bit, largest first — the exact state a
+        // binary-counter insertion sequence of `total` elements leaves.
+        let mut offset = 0usize;
+        for shift in (0..usize::BITS).rev() {
+            let size = 1usize << shift;
+            if self.total & size != 0 {
+                self.runs.push(retained[offset..offset + size].to_vec());
+                offset += size;
+            }
+        }
+    }
+
     /// Number of recorded finishes strictly greater than `seconds`.
     ///
     /// Matches `schedule.iter().filter(|s| s.finish_seconds > seconds)`
@@ -316,6 +357,55 @@ mod tests {
         assert_eq!(index.count_after(f64::NAN), 0);
         assert_eq!(index.count_after(f64::INFINITY), 0);
         assert_eq!(index.count_after(1e9), 0);
+    }
+
+    #[test]
+    fn finish_index_retire_restores_run_invariant_and_counts() {
+        // Deterministic LCG, as above.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64) * 100.0
+        };
+        let mut index = FinishIndex::new();
+        let mut naive: Vec<f64> = Vec::new();
+        for _ in 0..300 {
+            let finish = next();
+            index.insert(finish);
+            naive.push(finish);
+        }
+        for watermark in [10.0, 25.0, 25.0, 60.0] {
+            index.retire(watermark);
+            naive.retain(|&f| f > watermark);
+            assert_eq!(index.len(), naive.len(), "w = {watermark}");
+            // Binary-counter invariant: strictly decreasing powers of two.
+            let lengths: Vec<usize> = index.runs.iter().map(Vec::len).collect();
+            for len in &lengths {
+                assert!(len.is_power_of_two(), "run length {len} after retire({watermark})");
+            }
+            for pair in lengths.windows(2) {
+                assert!(pair[0] > pair[1], "run lengths not strictly decreasing: {lengths:?}");
+            }
+            assert_eq!(lengths.iter().sum::<usize>(), index.len());
+            // Non-monotone queries straddling the watermark: above it the
+            // answers match the naive filter bitwise; inserts after a
+            // retire keep amortizing on the restored invariant.
+            for t in [watermark, watermark + 1.0, 95.0, watermark + 0.5, f64::INFINITY] {
+                let expected = naive.iter().filter(|&&f| f > t).count();
+                assert_eq!(index.count_after(t), expected, "t = {t} after retire({watermark})");
+            }
+            for _ in 0..17 {
+                let finish = next().max(watermark);
+                index.insert(finish);
+                naive.push(finish);
+            }
+        }
+        // Retiring everything empties the index; it remains usable.
+        index.retire(1e9);
+        assert!(index.is_empty());
+        assert_eq!(index.count_after(0.0), 0);
+        index.insert(3.0);
+        assert_eq!(index.count_after(2.0), 1);
     }
 
     #[test]
