@@ -141,6 +141,137 @@ pub fn select_global(improvements: &[f64], alpha: f64) -> Vec<bool> {
     top_quota_mask(improvements, quota)
 }
 
+/// Result of a k-parser greedy assignment: per document the chosen upgrade
+/// (an index into the frontier's upgrade list) or `None` for the base
+/// parser, plus the slot budget actually consumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KAssignment {
+    /// Per-document choice: `Some(j)` assigns upgrade `j` (frontier order),
+    /// `None` keeps the base parser.
+    pub choices: Vec<Option<usize>>,
+    /// Sum of the weights of all granted upgrades (≤ the slot budget).
+    pub slots_consumed: f64,
+}
+
+impl KAssignment {
+    /// The binary view of the assignment: `true` where any upgrade was
+    /// granted. In the k=2 degenerate case this is exactly the legacy
+    /// selection mask.
+    pub fn mask(&self) -> Vec<bool> {
+        self.choices.iter().map(Option::is_some).collect()
+    }
+}
+
+/// Marginal-gain-per-cost greedy assignment over a k-parser frontier — the
+/// k-way generalization of [`select_global`]'s top-⌊αn⌋ selection.
+///
+/// `gains_per_parser` holds one gain vector per upgrade parser (frontier
+/// order), each of length n; `weights` holds the per-upgrade slot costs
+/// (`FrontierEntry::upgrade_weight`: in `(0, 1]`, exactly `1.0` for the
+/// costliest upgrade); `slots` is the budget in units of the costliest
+/// upgrade. Candidates `(document, upgrade)` are ranked by gain/weight
+/// under the same total order as [`select_global`] (NaN last, ties by gain,
+/// then ascending document, then ascending — i.e. cheapest — upgrade), and
+/// granted first-fit while their weight fits the remaining budget; each
+/// document takes at most one upgrade.
+///
+/// **Degenerate-case guarantee (pinned by `cascade_equivalence`):** with a
+/// single upgrade of weight exactly `1.0` and `slots = ⌊α·n⌋`, the ranking
+/// key `gain / 1.0` is bitwise the gain itself and the slot arithmetic is
+/// exact integer f64 counting, so the returned mask equals
+/// `select_global(gains, α)` bitwise — ordering, tie-breaks, NaN handling
+/// and all.
+///
+/// # Panics
+///
+/// Panics when `gains_per_parser` and `weights` disagree in length, the gain
+/// vectors have unequal lengths, or a weight is outside `(0, 1]`.
+pub fn assign_k(gains_per_parser: &[Vec<f64>], weights: &[f64], slots: f64) -> KAssignment {
+    fn key(v: f64) -> f64 {
+        if v.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            v
+        }
+    }
+    assert_eq!(gains_per_parser.len(), weights.len(), "one gain vector per upgrade parser");
+    let n = gains_per_parser.first().map(Vec::len).unwrap_or(0);
+    for gains in gains_per_parser {
+        assert_eq!(gains.len(), n, "gain vectors must have equal length");
+    }
+    for &w in weights {
+        assert!(w > 0.0 && w <= 1.0, "upgrade weights must lie in (0, 1], got {w}");
+    }
+    struct Candidate {
+        ratio_key: f64,
+        gain_key: f64,
+        doc: usize,
+        parser: usize,
+    }
+    let mut candidates = Vec::with_capacity(n * weights.len());
+    for (parser, gains) in gains_per_parser.iter().enumerate() {
+        let weight = weights[parser];
+        for (doc, &gain) in gains.iter().enumerate() {
+            candidates.push(Candidate { ratio_key: key(gain / weight), gain_key: key(gain), doc, parser });
+        }
+    }
+    candidates.sort_unstable_by(|a, b| {
+        b.ratio_key
+            .total_cmp(&a.ratio_key)
+            .then_with(|| b.gain_key.total_cmp(&a.gain_key))
+            .then_with(|| a.doc.cmp(&b.doc))
+            .then_with(|| a.parser.cmp(&b.parser))
+    });
+    let mut choices: Vec<Option<usize>> = vec![None; n];
+    let mut remaining = slots.max(0.0);
+    let mut slots_consumed = 0.0;
+    for candidate in candidates {
+        if choices[candidate.doc].is_some() {
+            continue;
+        }
+        let weight = weights[candidate.parser];
+        if weight <= remaining {
+            choices[candidate.doc] = Some(candidate.parser);
+            remaining -= weight;
+            slots_consumed += weight;
+        }
+    }
+    KAssignment { choices, slots_consumed }
+}
+
+/// Global k-parser assignment at fraction `alpha`: slot budget `⌊α·n⌋` in
+/// units of the costliest upgrade, over the whole collection — the k-way
+/// analogue of [`select_global`].
+pub fn assign_k_global(gains_per_parser: &[Vec<f64>], weights: &[f64], alpha: f64) -> KAssignment {
+    let n = gains_per_parser.first().map(Vec::len).unwrap_or(0);
+    let slots = ((n as f64) * alpha.clamp(0.0, 1.0)).floor();
+    assign_k(gains_per_parser, weights, slots)
+}
+
+/// Per-batch k-parser assignment — the k-way analogue of [`select_batch`]:
+/// each batch of `batch_size` documents gets an independent slot budget of
+/// `⌊α·len⌋` costliest-upgrade units.
+pub fn assign_k_batched(
+    gains_per_parser: &[Vec<f64>],
+    weights: &[f64],
+    alpha: f64,
+    batch_size: usize,
+) -> Vec<Option<usize>> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let batch_size = batch_size.max(1);
+    let n = gains_per_parser.first().map(Vec::len).unwrap_or(0);
+    let mut choices = Vec::with_capacity(n);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let batch: Vec<Vec<f64>> = gains_per_parser.iter().map(|g| g[start..end].to_vec()).collect();
+        let slots = (((end - start) as f64) * alpha).floor();
+        choices.extend(assign_k(&batch, weights, slots).choices);
+        start = end;
+    }
+    choices
+}
+
 /// Total improvement captured by a selection mask.
 pub fn captured_improvement(improvements: &[f64], mask: &[bool]) -> f64 {
     improvements.iter().zip(mask).filter(|(_, &m)| m).map(|(v, _)| v).sum()
@@ -307,6 +438,49 @@ mod tests {
         order
     }
 
+    #[test]
+    fn assign_k_prefers_high_ratio_candidates() {
+        // Two upgrades: cheap (weight 0.25) with modest gains, costly
+        // (weight 1.0) with large gains.
+        let gains = vec![vec![0.1, 0.05, 0.2, 0.0], vec![0.3, 0.6, 0.25, 0.0]];
+        let weights = vec![0.25, 1.0];
+        let assignment = assign_k(&gains, &weights, 1.5);
+        // Ratios: cheap = gain*4 → [0.4, 0.2, 0.8, 0], costly = [0.3, 0.6, 0.25, 0].
+        // Greedy order: doc2@cheap(0.8), doc1@costly(0.6), doc0@cheap(0.4)...
+        // Budget 1.5: 0.25 + 1.0 + 0.25 = 1.5 — all three fit.
+        assert_eq!(assignment.choices, vec![Some(0), Some(1), Some(0), None]);
+        assert!((assignment.slots_consumed - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_k_skips_too_costly_and_continues_with_cheaper() {
+        let gains = vec![vec![0.1, 0.09], vec![10.0, 9.0]];
+        let weights = vec![0.5, 1.0];
+        // Budget 0.5: the costly upgrades rank first by ratio but do not
+        // fit; the greedy continues and grants one cheap upgrade.
+        let assignment = assign_k(&gains, &weights, 0.5);
+        assert_eq!(assignment.choices, vec![Some(0), None]);
+        assert!((assignment.slots_consumed - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_k_gives_each_doc_at_most_one_upgrade() {
+        let gains = vec![vec![1.0; 6], vec![2.0; 6]];
+        let weights = vec![0.5, 1.0];
+        let assignment = assign_k(&gains, &weights, 100.0);
+        assert!(assignment.choices.iter().all(Option::is_some));
+        assert!(assignment.slots_consumed <= 100.0);
+    }
+
+    #[test]
+    fn assign_k_empty_inputs() {
+        let assignment = assign_k(&[], &[], 5.0);
+        assert!(assignment.choices.is_empty());
+        assert_eq!(assignment.slots_consumed, 0.0);
+        let assignment = assign_k(&[Vec::new()], &[1.0], 5.0);
+        assert!(assignment.choices.is_empty());
+    }
+
     use proptest::prelude::*;
 
     proptest! {
@@ -333,6 +507,35 @@ mod tests {
             let expected: Vec<usize> =
                 full_sort_order(&scores).into_iter().take(k.min(scores.len())).collect();
             prop_assert_eq!(top_k_indices(&scores, k), expected);
+        }
+
+        // The pinned degenerate case: one upgrade at weight exactly 1.0
+        // makes the k-way greedy bitwise-identical to the binary selectors,
+        // across NaN, ±∞, sentinels, and heavy ties.
+        #[test]
+        fn degenerate_assign_k_equals_binary_selection(
+            raw in prop::collection::vec((0u8..12, -1.0f64..1.0), 0..200),
+            alpha in 0.0f64..1.0,
+            batch in 1usize..64,
+        ) {
+            let scores: Vec<f64> = raw
+                .into_iter()
+                .map(|(tag, v)| match tag {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => 0.5,
+                    4 => f64::MAX / 4.0,  // CLS I invalid sentinel
+                    5 => f64::MIN / 4.0,  // non-candidate sentinel
+                    _ => v,
+                })
+                .collect();
+            let gains = vec![scores.clone()];
+            let weights = vec![1.0f64];
+            prop_assert_eq!(assign_k_global(&gains, &weights, alpha).mask(), select_global(&scores, alpha));
+            let batched: Vec<bool> =
+                assign_k_batched(&gains, &weights, alpha, batch).iter().map(Option::is_some).collect();
+            prop_assert_eq!(batched, select_batch(&scores, alpha, batch));
         }
     }
 }

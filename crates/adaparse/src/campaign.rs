@@ -49,12 +49,17 @@ use rayon::{ThreadPool, ThreadPoolBuilder};
 
 use std::time::Instant;
 
+use crate::cascade::{
+    cascade_gains, delegated_pages, CascadeConfig, CascadeFeatures, CascadeSelector, ParserChoice,
+    RoutingGranularity,
+};
 use crate::config::AdaParseConfig;
 use crate::engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
 use crate::output::{MemorySink, ParsedRecord, RecordSink};
 use crate::scaling::simloop::planned_costs;
 use crate::scaling::{
-    BudgetLedger, ControllerConfig, ScalingController, StageSample, WaveCosts, WaveStats, WindowedSelector,
+    BudgetLedger, ClassLedger, ControllerConfig, ScalingController, StageSample, WaveCosts, WaveStats,
+    WindowedSelector,
 };
 
 /// How routing decisions are produced and interleaved with parsing.
@@ -327,9 +332,17 @@ impl<'a> ParseStage<'a> {
     /// from the document (modelling a re-read from storage) rather than
     /// carried over from extraction, keeping campaign memory wave-bounded.
     pub fn run(&self, doc: &Document, decision: &RoutedDocument, seed: u64) -> Parsed {
+        self.run_parser(doc, decision.parser, seed)
+    }
+
+    /// Run one named parser over the document (the body of [`run`](Self::run),
+    /// shared with the cascade's per-page delegation path). The per-document
+    /// RNG stream is keyed by the document id alone, so every parser sees the
+    /// same stream regardless of how the document was routed.
+    fn run_parser(&self, doc: &Document, kind: ParserKind, seed: u64) -> Parsed {
         let bytes = write_document(doc);
         let file = SpdfFile::parse(&bytes).expect("generated documents serialize cleanly");
-        let parser = self.pool.get(decision.parser);
+        let parser = self.pool.get(kind);
         let mut rng = StdRng::seed_from_u64(seed ^ doc.id.0.wrapping_mul(0x2545F491));
         match parser.parse_file(&file, &mut rng) {
             Ok(output) => Parsed { output, failed: false },
@@ -343,6 +356,52 @@ impl<'a> ParseStage<'a> {
                 },
                 failed: true,
             },
+        }
+    }
+
+    /// Run the stage for one cascade-routed document. With an empty
+    /// delegation set this is exactly [`run`](Self::run) with the choice's
+    /// parser — the pinned whole-document path. With
+    /// [`crate::cascade::RoutingGranularity::ByPage`] delegation the upgrade
+    /// parser and the frontier's `base` parser both run, and the output is
+    /// stitched page by page: delegated pages come from the upgrade, the
+    /// rest from the base. The stitched cost is the upgrade's cost scaled by
+    /// the delegated page fraction — the base pass models re-reading the
+    /// extraction the document already paid for, so only the delegated
+    /// fraction is billed on top (the campaign's extraction cost covers the
+    /// rest), which is the whole point of per-page delegation.
+    pub fn run_choice(&self, doc: &Document, choice: &ParserChoice, base: ParserKind, seed: u64) -> Parsed {
+        if choice.upgraded_pages.is_empty() {
+            return self.run_parser(doc, choice.parser, seed);
+        }
+        let upgraded = self.run_parser(doc, choice.parser, seed);
+        if upgraded.failed {
+            return upgraded;
+        }
+        let base_parse = self.run_parser(doc, base, seed);
+        let total = doc.page_count();
+        let upgrade_pages: Vec<&str> = upgraded.output.text.split('\u{c}').collect();
+        let base_pages: Vec<&str> = base_parse.output.text.split('\u{c}').collect();
+        let mut stitched: Vec<&str> = Vec::with_capacity(total);
+        for page in 0..total {
+            let text = if choice.upgraded_pages.contains(&page) {
+                upgrade_pages.get(page).copied().unwrap_or("")
+            } else {
+                base_pages.get(page).copied().unwrap_or("")
+            };
+            stitched.push(text);
+        }
+        let pages_parsed = stitched.iter().filter(|text| !text.is_empty()).count();
+        let fraction = choice.upgraded_pages.len() as f64 / total.max(1) as f64;
+        Parsed {
+            output: parsersim::ParseOutput {
+                parser: choice.parser,
+                text: stitched.join("\u{c}"),
+                pages_parsed,
+                pages_total: total,
+                cost: upgraded.output.cost.scaled(fraction),
+            },
+            failed: false,
         }
     }
 
@@ -412,6 +471,35 @@ impl<'a> ScoreStage<'a> {
             parse_failed: parsed.failed,
         }
     }
+}
+
+/// Result of a k-parser cascade campaign: the ordinary [`CampaignResult`]
+/// plus the cascade-specific routing breakdown.
+///
+/// For the pinned degenerate configuration ([`CascadeConfig::binary`]) the
+/// embedded `result` is **bitwise identical** to the binary streaming
+/// campaign at the same window — the `cascade_equivalence` suite freezes
+/// this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeReport {
+    /// The campaign result (quality, costs, failures, records), folded in
+    /// input order exactly like every other campaign mode.
+    pub result: CampaignResult,
+    /// Per-document cascade decisions, in input order.
+    pub choices: Vec<ParserChoice>,
+    /// Documents per resolved parser, in [`ParserKind::index`] order
+    /// (parsers that received no documents are omitted).
+    pub parser_docs: Vec<(ParserKind, usize)>,
+    /// Planned per-page dollar spend per parser class
+    /// ([`parsersim::registry::page_dollars`] units), net of per-page
+    /// delegation refunds.
+    pub dollars: ClassLedger,
+    /// Pages delegated to upgrade parsers under
+    /// [`RoutingGranularity::ByPage`] (0 under
+    /// [`RoutingGranularity::ByDoc`]).
+    pub pages_delegated: usize,
+    /// Total pages in the corpus.
+    pub pages_total: usize,
 }
 
 /// The staged campaign executor.
@@ -575,6 +663,168 @@ impl CampaignPipeline {
         }
 
         Ok(aggregates.into_result(documents.len(), routed, extraction_failures))
+    }
+
+    /// Run stages 1–2 of a k-parser cascade campaign: per-document (and,
+    /// under [`RoutingGranularity::ByPage`], per-page) routing decisions
+    /// over the cascade's frontier, without parsing or scoring.
+    ///
+    /// Windows, α, and granularity come from the [`CascadeConfig`] — the
+    /// pipeline's own [`RoutingMode`] and [`CampaignBudget`] are not
+    /// consulted (the cascade selector meters planned dollars per parser
+    /// class instead of seconds). Decisions are bitwise identical for every
+    /// worker count and shard size, like every other routing path.
+    pub fn route_cascade(
+        &self,
+        engine: &AdaParseEngine,
+        documents: &[Document],
+        cascade: &CascadeConfig,
+        seed: u64,
+    ) -> Vec<ParserChoice> {
+        let mut selector = CascadeSelector::new(cascade);
+        let workers = self.threads.current_num_threads().max(1);
+        let mut choices_all = Vec::with_capacity(documents.len());
+        for wave_docs in documents.chunks(selector.window()) {
+            let wave = self.extract_and_score_wave(engine, wave_docs, seed, workers);
+            let (_, choice_wave) =
+                self.resolve_cascade_wave(cascade, &mut selector, wave_docs, &wave.inputs, &wave.scores);
+            choices_all.extend(choice_wave);
+        }
+        choices_all
+    }
+
+    /// Run a full k-parser cascade campaign: windowed selection over the
+    /// cascade's frontier, whole-document or per-page delegation, parse and
+    /// score folded in input order.
+    ///
+    /// The degenerate [`CascadeConfig::binary`] configuration reproduces the
+    /// binary [`RoutingMode::Streaming`] campaign at the same window
+    /// **bitwise** — same masks, same records, same aggregate floats — which
+    /// the `cascade_equivalence` suite pins. Wider frontiers route over the
+    /// transformed gains of [`cascade_gains`]; per-page delegation sends only
+    /// a document's above-mean-difficulty pages to the upgrade parser and
+    /// bills only that fraction of the upgrade's cost. Like every campaign
+    /// mode, the report is bitwise identical across worker counts and shard
+    /// sizes.
+    pub fn run_cascade(
+        &self,
+        engine: &AdaParseEngine,
+        documents: &[Document],
+        cascade: &CascadeConfig,
+        seed: u64,
+    ) -> CascadeReport {
+        let config = engine.config();
+        let parse = ParseStage::new(config, &self.pool);
+        let score = ScoreStage::new(config);
+        let mut selector = CascadeSelector::new(cascade);
+        let workers = self.threads.current_num_threads().max(1);
+
+        let mut sink = MemorySink::new();
+        let mut aggregates = Aggregates::default();
+        let mut routed_all: Vec<RoutedDocument> = Vec::with_capacity(documents.len());
+        let mut choices_all: Vec<ParserChoice> = Vec::with_capacity(documents.len());
+        let mut extraction_failures = 0usize;
+
+        for wave_docs in documents.chunks(selector.window()) {
+            let wave = self.extract_and_score_wave(engine, wave_docs, seed, workers);
+            extraction_failures += wave.failures;
+            let (routed_wave, choice_wave) =
+                self.resolve_cascade_wave(cascade, &mut selector, wave_docs, &wave.inputs, &wave.scores);
+
+            // Stages 3–4, sharded like every other mode, folded in input
+            // order. Whole-document choices take the pinned ParseStage::run
+            // path; delegated ones stitch per page.
+            let base = cascade.frontier.base();
+            let jobs: Vec<(&Document, &RoutedDocument, &ParserChoice)> = wave_docs
+                .iter()
+                .zip(&routed_wave)
+                .zip(&choice_wave)
+                .map(|((doc, decision), choice)| (doc, decision, choice))
+                .collect();
+            let shards: Vec<Vec<DocOutcome>> = self.threads.install(|| {
+                jobs.par_chunks(self.config.shard_size)
+                    .map(|shard| {
+                        shard
+                            .iter()
+                            .map(|&(doc, decision, choice)| {
+                                let parsed = if choice.upgraded_pages.is_empty() {
+                                    parse.run(doc, decision, seed)
+                                } else {
+                                    parse.run_choice(doc, choice, base, seed)
+                                };
+                                let extraction_cost = parse.extraction_cost(doc.page_count());
+                                score.run(doc, decision, parsed, extraction_cost)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            });
+            for outcome in shards.into_iter().flatten() {
+                aggregates.fold(outcome, &mut sink).expect("memory sink cannot fail");
+            }
+            routed_all.extend(routed_wave);
+            choices_all.extend(choice_wave);
+        }
+
+        let mut result = aggregates.into_result(documents.len(), routed_all, extraction_failures);
+        result.records = sink.into_records();
+        let parser_docs = ParserKind::ALL
+            .iter()
+            .map(|&kind| (kind, choices_all.iter().filter(|c| c.parser == kind).count()))
+            .filter(|&(_, count)| count > 0)
+            .collect();
+        CascadeReport {
+            result,
+            parser_docs,
+            dollars: selector.dollars().clone(),
+            pages_delegated: choices_all.iter().map(|c| c.upgraded_pages.len()).sum(),
+            pages_total: documents.iter().map(Document::page_count).sum(),
+            choices: choices_all,
+        }
+    }
+
+    /// Stage 2 of a cascade window: transform scores into per-upgrade gains,
+    /// select through the running [`CascadeSelector`], and resolve each
+    /// grant into a [`ParserChoice`] (with its delegation set under
+    /// [`RoutingGranularity::ByPage`]) plus the [`RoutedDocument`] the
+    /// shared parse/score stages consume. For a pair frontier the resolved
+    /// decisions match [`AdaParseEngine::assemble_routes_with_mask`] over
+    /// the selector's mask bitwise.
+    fn resolve_cascade_wave(
+        &self,
+        cascade: &CascadeConfig,
+        selector: &mut CascadeSelector,
+        wave_docs: &[Document],
+        inputs: &[RoutingInput],
+        scores: &[(f64, bool)],
+    ) -> (Vec<RoutedDocument>, Vec<ParserChoice>) {
+        let features: Vec<CascadeFeatures> = wave_docs.iter().map(CascadeFeatures::of).collect();
+        let gains = cascade_gains(&cascade.frontier, scores, &features);
+        let granted = selector.select_window(&gains);
+        let mut routed_wave = Vec::with_capacity(wave_docs.len());
+        let mut choice_wave = Vec::with_capacity(wave_docs.len());
+        for (i, doc) in wave_docs.iter().enumerate() {
+            let (improvement, invalid) = scores[i];
+            let gain = granted[i].map_or(improvement, |j| gains[j][i]);
+            let mut choice =
+                ParserChoice::resolve(&cascade.frontier, inputs[i].doc_id, granted[i], gain, invalid);
+            if cascade.granularity == RoutingGranularity::ByPage && choice.is_upgraded() {
+                let pages = delegated_pages(doc);
+                if pages.len() < doc.page_count() {
+                    let fraction = pages.len() as f64 / doc.page_count().max(1) as f64;
+                    selector.refund_delegated(choice.upgrade.expect("upgraded choice"), fraction);
+                    choice.upgraded_pages = pages;
+                }
+            }
+            routed_wave.push(RoutedDocument {
+                doc_id: choice.doc_id,
+                parser: choice.parser,
+                predicted_improvement: if improvement > f64::MIN / 8.0 { improvement } else { 0.0 },
+                cls1_invalid: invalid,
+            });
+            choice_wave.push(choice);
+        }
+        (routed_wave, choice_wave)
     }
 
     /// The streaming campaign runner behind [`RoutingMode::Streaming`].

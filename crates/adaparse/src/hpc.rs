@@ -12,7 +12,10 @@ use parsersim::cost::CostModel;
 use parsersim::ParserKind;
 use serde::{Deserialize, Serialize};
 
+use parsersim::ParserFrontier;
+
 use crate::campaign::CampaignPipeline;
+use crate::cascade::ParserChoice;
 use crate::config::AdaParseConfig;
 use crate::engine::{AdaParseEngine, RoutedDocument};
 use crate::scaling::{NodePlan, Stage};
@@ -59,7 +62,7 @@ pub fn tasks_for_routing(
     routed: &[RoutedDocument],
     workload: &WorkloadSpec,
 ) -> Vec<Task> {
-    build_routing_tasks(config, routed, workload, None)
+    build_routing_tasks(config, routed, workload, None, 1.0)
 }
 
 /// Build tasks for an AdaParse campaign from explicit routing decisions
@@ -114,7 +117,119 @@ pub fn tasks_for_routing_with_affinity(
     workload: &WorkloadSpec,
     plan: &NodePlan,
 ) -> Vec<Task> {
-    build_routing_tasks(config, routed, workload, Some(plan))
+    build_routing_tasks(config, routed, workload, Some(plan), 1.0)
+}
+
+/// [`tasks_for_routing_with_affinity`] with the high-quality parse compute
+/// scaled by `parse_fraction` — the task-level model of per-page delegation,
+/// where only a document's delegated page fraction runs on the upgrade
+/// parser. A fraction of `1.0` is a **bitwise no-op** (`x * 1.0 == x`), so
+/// whole-document callers are unchanged; the serve layer passes each
+/// tenant's planned delegation fraction here.
+pub fn tasks_for_routing_with_affinity_scaled(
+    config: &AdaParseConfig,
+    routed: &[RoutedDocument],
+    workload: &WorkloadSpec,
+    plan: &NodePlan,
+    parse_fraction: f64,
+) -> Vec<Task> {
+    build_routing_tasks(config, routed, workload, Some(plan), parse_fraction)
+}
+
+/// Compute seconds of the split and join bookkeeping tasks of a per-page
+/// delegation DAG: cheap CPU work (page-range bookkeeping and text
+/// stitching), deliberately non-zero so the DAG's ordering is visible in
+/// schedules.
+const SPLIT_JOIN_SECONDS: f64 = 0.05;
+
+/// Build the page-level task DAG of a cascade campaign with node-affinity
+/// placement. Per document:
+///
+/// * an **extract** task (base parser, CPU) — every document pays it;
+/// * for a whole-document upgrade, one **parse** task depending on the
+///   extract, exactly like [`tasks_for_routing_with_affinity`];
+/// * for a per-page delegation
+///   ([`ParserChoice::upgraded_pages`] non-empty), a **split** task
+///   depending on the extract, one **page** task per delegated page (each
+///   [`hpcsim::Task::depends_on`] the split, costed at the upgrade parser's
+///   single-page rate), and a **join** task depending on *every* page task
+///   — the join can never complete before the last of its page children,
+///   which the cascade equivalence suite asserts against executor
+///   schedules.
+///
+/// All of a document's parse-side tasks (split, pages, join, or the single
+/// whole-document parse) share the document's [`hpcsim::TaskGroup`] with
+/// [`GroupRole::Parse`], so pair co-scheduling anchors the whole subgraph —
+/// and the stitching join — next to its extract partner. Task ids are
+/// stride-based (`doc_id * stride + offset`), deterministic, and collision
+/// free for any delegation pattern in the batch.
+pub fn tasks_for_cascade_with_affinity(
+    frontier: &ParserFrontier,
+    choices: &[ParserChoice],
+    workload: &WorkloadSpec,
+    plan: &NodePlan,
+) -> Vec<Task> {
+    let base_model = CostModel::for_parser(frontier.base());
+    let base_cost = base_model.document_cost(workload.pages_per_doc, 0.3);
+    let max_pages = choices.iter().map(|c| c.upgraded_pages.len()).max().unwrap_or(0);
+    // extract + split + pages + join, with room for the whole-doc parse.
+    let stride = (max_pages as u64) + 4;
+    let page_mb = workload.mb_per_doc / (workload.pages_per_doc.max(1) as f64);
+
+    let mut tasks = Vec::new();
+    let mut parse_index = 0usize;
+    for (extract_index, choice) in choices.iter().enumerate() {
+        let base_id = choice.doc_id * stride;
+        let extraction = Task::new(base_id, SlotKind::Cpu, base_cost.cpu_seconds)
+            .with_input_mb(workload.mb_per_doc)
+            .with_label(frontier.base().name())
+            .with_preferred_node(plan.preferred_node(Stage::Extract, extract_index))
+            .with_group(choice.doc_id, GroupRole::Extract);
+        tasks.push(extraction);
+        if !choice.is_upgraded() {
+            continue;
+        }
+        let parser = choice.parser;
+        let model = CostModel::for_parser(parser);
+        let slot = if parser.requires_gpu() { SlotKind::Gpu } else { SlotKind::Cpu };
+        let node = plan.preferred_node(Stage::Parse, parse_index);
+        parse_index += 1;
+        let parse_side =
+            |task: Task| task.with_preferred_node(node).with_group(choice.doc_id, GroupRole::Parse);
+        if choice.upgraded_pages.is_empty() {
+            // Whole-document upgrade: the classic single parse task.
+            let cost = model.document_cost(workload.pages_per_doc, 0.3);
+            let compute = if parser.requires_gpu() { cost.gpu_seconds } else { cost.cpu_seconds };
+            let parse = Task::new(base_id + 1, slot, compute)
+                .with_input_mb(workload.mb_per_doc)
+                .with_cold_start(model.model_load_seconds)
+                .with_label(parser.name())
+                .with_dependency(base_id);
+            tasks.push(parse_side(parse));
+            continue;
+        }
+        // Per-page delegation: split → page tasks → join.
+        let split = Task::new(base_id + 1, SlotKind::Cpu, SPLIT_JOIN_SECONDS)
+            .with_label("page-split")
+            .with_dependency(base_id);
+        tasks.push(parse_side(split));
+        let page_cost = model.document_cost(1, 0.3);
+        let page_compute = if parser.requires_gpu() { page_cost.gpu_seconds } else { page_cost.cpu_seconds };
+        let join_id = base_id + 2 + choice.upgraded_pages.len() as u64;
+        let mut join = Task::new(join_id, SlotKind::Cpu, SPLIT_JOIN_SECONDS).with_label("page-join");
+        for (offset, _page) in choice.upgraded_pages.iter().enumerate() {
+            let page_id = base_id + 2 + offset as u64;
+            let page_task = Task::new(page_id, slot, page_compute)
+                .with_input_mb(page_mb)
+                .with_cold_start(model.model_load_seconds)
+                .with_label(parser.name())
+                .with_dependency(base_id + 1);
+            tasks.push(parse_side(page_task));
+            join = join.with_dependency(page_id);
+        }
+        tasks.push(parse_side(join));
+    }
+    tasks
 }
 
 /// Shared task construction: with a [`NodePlan`] tasks carry their staging
@@ -130,11 +245,15 @@ pub fn tasks_for_routing_with_affinity(
 /// the task to a stage in the executor's `StageTimings` (which the closed
 /// loop divides across *all* documents of a wave), and a singleton anchors
 /// trivially — its lone member never counts as a co-located or split pair.
+///
+/// `parse_fraction` scales the high-quality parse compute (per-page
+/// delegation's task-level model); `1.0` is a bitwise no-op.
 fn build_routing_tasks(
     config: &AdaParseConfig,
     routed: &[RoutedDocument],
     workload: &WorkloadSpec,
     plan: Option<&NodePlan>,
+    parse_fraction: f64,
 ) -> Vec<Task> {
     let cheap_model = CostModel::for_parser(config.default_parser);
     let expensive_model = CostModel::for_parser(config.high_quality_parser);
@@ -163,7 +282,7 @@ fn build_routing_tasks(
                 expensive.gpu_seconds
             } else {
                 expensive.cpu_seconds
-            };
+            } * parse_fraction;
             let mut parse = Task::new(decision.doc_id * 2 + 1, slot, compute)
                 .with_input_mb(workload.mb_per_doc)
                 .with_cold_start(expensive_model.model_load_seconds)

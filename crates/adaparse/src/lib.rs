@@ -97,6 +97,7 @@
 
 pub mod budget;
 pub mod campaign;
+pub mod cascade;
 pub mod config;
 pub mod engine;
 pub mod hpc;
@@ -105,25 +106,32 @@ pub mod scaling;
 pub mod serve;
 pub mod stats;
 
+pub use budget::{assign_k, assign_k_batched, assign_k_global, KAssignment};
 pub use budget::{
     max_affordable_alpha, optimality_gap, select_batch, select_global, windowed_optimality_gap,
 };
 pub use campaign::{
-    CampaignBudget, CampaignFailures, CampaignPipeline, PipelineConfig, RoutingInput, RoutingMode,
+    CampaignBudget, CampaignFailures, CampaignPipeline, CascadeReport, PipelineConfig, RoutingInput,
+    RoutingMode,
+};
+pub use cascade::{
+    cascade_gains, delegated_pages, CascadeConfig, CascadeFeatures, CascadeSelector, ParserChoice,
+    RoutingGranularity,
 };
 pub use config::{AdaParseConfig, Variant};
 pub use engine::{AdaParseEngine, CampaignQuality, CampaignResult, RoutedDocument};
 pub use hpc::{
-    adaparse_throughput_at_scale, parser_throughput_at_scale, tasks_for_routing_with_affinity, WorkloadSpec,
+    adaparse_throughput_at_scale, parser_throughput_at_scale, tasks_for_cascade_with_affinity,
+    tasks_for_routing_with_affinity, tasks_for_routing_with_affinity_scaled, WorkloadSpec,
 };
 pub use output::{JsonlSink, MemorySink, ParsedRecord, RecordSink};
 pub use scaling::{
-    planned_costs, run_closed_loop, Allocation, AllocationEvent, AutoscaleConfig, BudgetLedger,
+    planned_costs, run_closed_loop, Allocation, AllocationEvent, AutoscaleConfig, BudgetLedger, ClassLedger,
     ControllerConfig, FleetEvent, NodePlan, ObservedCosts, ScalingController, SimLoopConfig, SimLoopReport,
     SimWave, SloAutoscaler, Stage, StageSample, WaveCosts, WaveStats, WindowedSelector, DEFAULT_PRIOR_WEIGHT,
 };
 pub use serve::{
     run_service, run_service_instrumented, DocArrival, ServeConfig, ServeReport, SoakStats, TenantRegistry,
-    TenantServeReport, TenantSpec, TenantTrace,
+    TenantServeReport, TenantSpec, TenantTrace, BY_PAGE_PLANNED_FRACTION,
 };
 pub use stats::{nearest_rank_percentile, LatencyLedger, LatencySummary};

@@ -93,4 +93,4 @@ pub use controller::{
 };
 pub use observed::{ObservedCosts, WaveCosts, DEFAULT_PRIOR_WEIGHT};
 pub use simloop::{planned_costs, run_closed_loop, SimLoopConfig, SimLoopReport, SimWave};
-pub use window::{BudgetLedger, WindowedSelector};
+pub use window::{BudgetLedger, ClassLedger, WindowedSelector};

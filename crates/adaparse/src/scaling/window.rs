@@ -18,8 +18,61 @@
 
 use std::collections::VecDeque;
 
+use parsersim::ParserKind;
+
 use crate::budget::{max_affordable_alpha, top_quota_mask};
 use crate::scaling::observed::{ObservedCosts, WaveCosts};
+
+/// Committed spend broken down by parser class, in seconds (or any other
+/// single cost unit — the cascade selector meters planned dollars with it).
+///
+/// Entries are kept in [`ParserKind::index`] order, so iteration — and
+/// therefore any report built from it — is deterministic. Used by
+/// [`BudgetLedger`] to split the binary cheap/expensive spend between its
+/// two parser classes, and by the k-parser cascade selector to meter spend
+/// across the whole frontier.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassLedger {
+    spend: Vec<(ParserKind, f64)>,
+}
+
+impl ClassLedger {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        ClassLedger::default()
+    }
+
+    /// Add `amount` to a parser class's committed spend.
+    pub fn charge(&mut self, kind: ParserKind, amount: f64) {
+        match self.spend.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, total)) => *total += amount,
+            None => {
+                self.spend.push((kind, amount));
+                self.spend.sort_by_key(|(k, _)| k.index());
+            }
+        }
+    }
+
+    /// Committed spend of one parser class (0.0 if never charged).
+    pub fn spent(&self, kind: ParserKind) -> f64 {
+        self.spend.iter().find(|(k, _)| *k == kind).map(|(_, total)| *total).unwrap_or(0.0)
+    }
+
+    /// Total spend across all classes.
+    pub fn total(&self) -> f64 {
+        self.spend.iter().map(|(_, total)| total).sum()
+    }
+
+    /// The charged classes and their totals, in [`ParserKind::index`] order.
+    pub fn classes(&self) -> impl Iterator<Item = (ParserKind, f64)> + '_ {
+        self.spend.iter().copied()
+    }
+
+    /// Whether nothing has been charged yet.
+    pub fn is_empty(&self) -> bool {
+        self.spend.is_empty()
+    }
+}
 
 /// Seconds-denominated remaining-budget ledger.
 ///
@@ -44,6 +97,12 @@ pub struct BudgetLedger {
     /// [`ingest_partial`](Self::ingest_partial) consumes it one
     /// document-slot at a time.
     pending_commits: VecDeque<Reservation>,
+    /// The parser classes behind `cheap_cost`/`expensive_cost`, when known:
+    /// lets `commit` attribute spend per class in `class_spend`.
+    classes: Option<(ParserKind, ParserKind)>,
+    /// Planned spend attributed per parser class (see
+    /// [`class_spend`](Self::class_spend)).
+    class_spend: ClassLedger,
 }
 
 /// One committed window's outstanding reservation: the seconds still
@@ -67,7 +126,28 @@ impl BudgetLedger {
             expensive_cost: expensive_cost.max(0.0),
             observed: None,
             pending_commits: VecDeque::new(),
+            classes: None,
+            class_spend: ClassLedger::new(),
         }
+    }
+
+    /// Name the parser classes behind the cheap/expensive costs so every
+    /// commit splits its planned spend between them in
+    /// [`class_spend`](Self::class_spend): the whole window pays the base
+    /// class, selected documents additionally pay the upgrade class.
+    pub fn with_classes(mut self, base: ParserKind, upgrade: ParserKind) -> Self {
+        self.classes = Some((base, upgrade));
+        self
+    }
+
+    /// Planned spend attributed per parser class. Empty unless
+    /// [`with_classes`](Self::with_classes) named the classes (or a cascade
+    /// selector charges classes directly). The attribution is of *planned*
+    /// spend at commit-time effective costs — near exhaustion the clamped
+    /// charge can be smaller than the attributed total, which keeps the
+    /// per-class ratios meaningful even when the ledger bottoms out.
+    pub fn class_spend(&self) -> &ClassLedger {
+        &self.class_spend
     }
 
     /// Enable observed-cost feedback: the ledger's effective per-document
@@ -226,6 +306,10 @@ impl BudgetLedger {
         let cheap = self.effective_cheap_cost();
         let expensive = self.effective_expensive_cost();
         let spend = docs as f64 * cheap + selected as f64 * (expensive - cheap).max(0.0);
+        if let Some((base, upgrade)) = self.classes {
+            self.class_spend.charge(base, docs as f64 * cheap);
+            self.class_spend.charge(upgrade, selected as f64 * (expensive - cheap).max(0.0));
+        }
         // Only what the ledger can actually deduct is reserved: a later
         // refund of more than was charged would fabricate budget exactly in
         // the near-exhaustion regime the ledger exists to police.
@@ -324,6 +408,13 @@ impl WindowedSelector {
     /// The seconds ledger, if one is attached.
     pub fn ledger(&self) -> Option<&BudgetLedger> {
         self.ledger.as_ref()
+    }
+
+    /// Per-parser-class spend of the attached ledger (`None` without a
+    /// ledger; empty unless the ledger was built with
+    /// [`BudgetLedger::with_classes`]).
+    pub fn class_spend(&self) -> Option<&ClassLedger> {
+        self.ledger.as_ref().map(BudgetLedger::class_spend)
     }
 
     /// The α the *next* window will be selected at: the configured α capped
@@ -657,6 +748,39 @@ mod tests {
         // Releasing more slots than were ever committed is harmless.
         selector.release_unobserved(99);
         assert!((selector.ledger().unwrap().remaining_seconds() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_ledger_accounts_spend_per_parser_deterministically() {
+        let mut classes = ClassLedger::new();
+        assert!(classes.is_empty());
+        classes.charge(ParserKind::Nougat, 10.0);
+        classes.charge(ParserKind::PyMuPdf, 4.0);
+        classes.charge(ParserKind::Nougat, 2.5);
+        assert_eq!(classes.spent(ParserKind::Nougat), 12.5);
+        assert_eq!(classes.spent(ParserKind::PyMuPdf), 4.0);
+        assert_eq!(classes.spent(ParserKind::Marker), 0.0);
+        assert!((classes.total() - 16.5).abs() < 1e-12);
+        // Iteration follows ParserKind::index order (Nougat before PyMuPDF
+        // in the paper's table order), not insertion order.
+        let order: Vec<ParserKind> = classes.classes().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![ParserKind::Nougat, ParserKind::PyMuPdf]);
+    }
+
+    #[test]
+    fn ledger_commits_split_spend_between_its_parser_classes() {
+        let ledger =
+            BudgetLedger::new(1_000.0, 100, 1.0, 11.0).with_classes(ParserKind::PyMuPdf, ParserKind::Nougat);
+        let mut selector = WindowedSelector::new(10, 0.5).with_budget(ledger);
+        selector.select_window(&random_scores(10, 21)); // 10 cheap + 5 upgrades
+        let classes = selector.class_spend().expect("ledger attached");
+        assert!((classes.spent(ParserKind::PyMuPdf) - 10.0).abs() < 1e-9);
+        assert!((classes.spent(ParserKind::Nougat) - 50.0).abs() < 1e-9);
+        // The class breakdown covers exactly the committed spend.
+        assert!((classes.total() - (1_000.0 - selector.ledger().unwrap().remaining_seconds())).abs() < 1e-9);
+        // Without with_classes the breakdown stays empty.
+        let plain = WindowedSelector::new(10, 0.5).with_budget(BudgetLedger::new(100.0, 10, 1.0, 2.0));
+        assert!(plain.class_spend().unwrap().is_empty());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use hpcsim::{
 
 use crate::config::AdaParseConfig;
 use crate::engine::RoutedDocument;
-use crate::hpc::tasks_for_routing_with_affinity;
+use crate::hpc::tasks_for_routing_with_affinity_scaled;
 use crate::scaling::{
     AutoscaleConfig, ControllerConfig, FleetEvent, ScalingController, SloAutoscaler, StageSample, WaveCosts,
     WaveStats,
@@ -561,10 +561,12 @@ pub fn run_service_instrumented(config: &ServeConfig, traces: &[TenantTrace]) ->
                     in_flight += 1;
                     RoutedDocument {
                         doc_id,
+                        // The tenant's own parser pair: the service pair by
+                        // default, the allowlist-derived pair otherwise.
                         parser: if hq {
-                            config.engine.high_quality_parser
+                            state.route_config.high_quality_parser
                         } else {
-                            config.engine.default_parser
+                            state.route_config.default_parser
                         },
                         predicted_improvement: doc.score,
                         cls1_invalid: false,
@@ -574,7 +576,15 @@ pub fn run_service_instrumented(config: &ServeConfig, traces: &[TenantTrace]) ->
             let selected = mask.iter().filter(|&&m| m).count();
             state.selected += selected;
             let workload = state.spec.workload;
-            let tasks = tasks_for_routing_with_affinity(&config.engine, &routed, &workload, &plan);
+            // Parse compute scales by the tenant's delegation fraction
+            // (exactly 1.0 for by-doc tenants — a bitwise no-op).
+            let tasks = tasks_for_routing_with_affinity_scaled(
+                &state.route_config,
+                &routed,
+                &workload,
+                &plan,
+                state.parse_fraction,
+            );
             session.submit_owned(tasks, SubmitOptions { release_seconds: Some(boundary) });
         }
 
@@ -723,6 +733,55 @@ mod tests {
         assert_eq!(x.fingerprint, y.fingerprint);
         assert_eq!(x.admitted, 135);
         assert_eq!(x.tenants.iter().map(|t| t.completed).sum::<usize>(), 135);
+    }
+
+    #[test]
+    fn allowlisted_tenants_route_on_their_own_parser_pair() {
+        use crate::campaign::CampaignBudget;
+        use crate::cascade::RoutingGranularity;
+        use parsersim::ParserKind;
+
+        let mut restricted = trace("ocr-only", 40, 11, 1.0);
+        restricted.spec.parsers = Some(vec![ParserKind::PyMuPdf, ParserKind::Tesseract, ParserKind::Marker]);
+        restricted.spec.budget = Some(CampaignBudget::seconds(1e6));
+        let mut by_page = trace("by-page", 40, 12, 1.0);
+        by_page.spec.granularity = RoutingGranularity::ByPage;
+        let default_tenant = trace("default", 40, 13, 1.0);
+
+        let config = ServeConfig::default();
+        let report = run_service(&config, &[restricted, by_page, default_tenant]);
+
+        let ocr = &report.tenants[0];
+        assert_eq!(ocr.base_parser, ParserKind::PyMuPdf, "cheapest allowed parser is the base");
+        assert_eq!(ocr.upgrade_parser, ParserKind::Marker, "costliest frontier survivor upgrades");
+        assert_eq!(ocr.completed, 40);
+        // The budget ledger attributes planned spend to the tenant's own
+        // parser classes, not the service pair.
+        let classes: Vec<ParserKind> = ocr.class_seconds.iter().map(|&(kind, _)| kind).collect();
+        assert!(classes.contains(&ParserKind::PyMuPdf));
+        assert!(
+            !classes.contains(&config.engine.default_parser)
+                || ParserKind::PyMuPdf == config.engine.default_parser
+        );
+
+        // A by-page tenant still completes everything; its planned upgrade
+        // compute is scaled, never its correctness.
+        assert_eq!(report.tenants[1].completed, 40);
+
+        // A default-spec tenant keeps the service-wide pair.
+        let default_report = &report.tenants[2];
+        assert_eq!(default_report.base_parser, config.engine.default_parser);
+        assert_eq!(default_report.upgrade_parser, config.engine.high_quality_parser);
+        assert_eq!(default_report.completed, 40);
+
+        // Replays bitwise like every serve run.
+        let mut restricted = trace("ocr-only", 40, 11, 1.0);
+        restricted.spec.parsers = Some(vec![ParserKind::PyMuPdf, ParserKind::Tesseract, ParserKind::Marker]);
+        restricted.spec.budget = Some(CampaignBudget::seconds(1e6));
+        let mut by_page = trace("by-page", 40, 12, 1.0);
+        by_page.spec.granularity = RoutingGranularity::ByPage;
+        let again = run_service(&config, &[restricted, by_page, trace("default", 40, 13, 1.0)]);
+        assert_eq!(report, again);
     }
 
     #[test]

@@ -67,4 +67,6 @@ mod ingest;
 mod tenant;
 
 pub use ingest::{run_service, run_service_instrumented, ServeConfig, ServeReport, SoakStats};
-pub use tenant::{DocArrival, TenantRegistry, TenantServeReport, TenantSpec, TenantTrace};
+pub use tenant::{
+    DocArrival, TenantRegistry, TenantServeReport, TenantSpec, TenantTrace, BY_PAGE_PLANNED_FRACTION,
+};

@@ -11,13 +11,23 @@
 
 use std::collections::VecDeque;
 
+use parsersim::{page_dollars, ParserFrontier, ParserKind};
+
 use crate::campaign::CampaignBudget;
+use crate::cascade::RoutingGranularity;
 use crate::hpc::WorkloadSpec;
 use crate::scaling::{BudgetLedger, WindowedSelector};
 use crate::stats::{nearest_rank_percentile, LatencyLedger, LatencySummary};
 
 use crate::config::AdaParseConfig;
 use crate::scaling::planned_costs;
+
+/// Planned fraction of a document's pages a [`RoutingGranularity::ByPage`]
+/// tenant delegates to its upgrade parser. Page delegation sends the
+/// at-or-above-mean-difficulty pages — about half of a typical document —
+/// so capacity planning (task compute, WFQ charge, ledger costs) budgets
+/// the upgrade at this fraction of the whole-document cost.
+pub const BY_PAGE_PLANNED_FRACTION: f64 = 0.5;
 
 /// One document arriving at the service: when it becomes visible, and the
 /// router's predicted improvement score for it.
@@ -54,6 +64,19 @@ pub struct TenantSpec {
     /// Shape of this tenant's documents (pages, MB) for task generation
     /// and planned costs.
     pub workload: WorkloadSpec,
+    /// Optional parser allowlist. `None` routes on the service-wide pair
+    /// from [`ServeConfig::engine`](super::ServeConfig::engine) — the
+    /// bitwise-unchanged default. `Some` restricts the tenant to the listed
+    /// parsers: the cheapest (by [`page_dollars`]) becomes its base and the
+    /// costliest surviving entry of a [`ParserFrontier`] over the list
+    /// becomes its upgrade.
+    pub parsers: Option<Vec<ParserKind>>,
+    /// Whether an upgrade routes the whole document
+    /// ([`RoutingGranularity::ByDoc`], the default) or only its
+    /// hardest pages ([`RoutingGranularity::ByPage`]), in which case
+    /// planned costs and task compute are scaled by
+    /// [`BY_PAGE_PLANNED_FRACTION`].
+    pub granularity: RoutingGranularity,
 }
 
 impl Default for TenantSpec {
@@ -66,6 +89,8 @@ impl Default for TenantSpec {
             weight: 1.0,
             max_pending: 256,
             workload: WorkloadSpec { documents: 0, pages_per_doc: 8, mb_per_doc: 50.0 },
+            parsers: None,
+            granularity: RoutingGranularity::ByDoc,
         }
     }
 }
@@ -114,6 +139,14 @@ pub struct TenantServeReport {
     pub final_effective_alpha: f64,
     /// Seconds of budget left, when the tenant had one.
     pub remaining_budget_seconds: Option<f64>,
+    /// The base parser this tenant's unselected documents ran on (the
+    /// service default, or the cheapest of its allowlist).
+    pub base_parser: ParserKind,
+    /// The upgrade parser its selected documents ran on.
+    pub upgrade_parser: ParserKind,
+    /// Planned budget seconds attributed per parser class, in
+    /// [`ParserKind::index`] order. Empty without a budget ledger.
+    pub class_seconds: Vec<(ParserKind, f64)>,
 }
 
 impl TenantServeReport {
@@ -140,6 +173,16 @@ pub(crate) struct TenantState {
     pub(crate) spec: TenantSpec,
     /// Streaming α selection with the tenant's own ledger.
     pub(crate) selector: WindowedSelector,
+    /// The engine config this tenant routes and generates tasks with: the
+    /// service config with the parser pair overridden from the tenant's
+    /// allowlist (a value-identical clone when the spec has no allowlist,
+    /// keeping the default path bitwise-unchanged).
+    pub(crate) route_config: AdaParseConfig,
+    /// Fraction of whole-document parse compute an upgraded document costs:
+    /// exactly `1.0` for [`RoutingGranularity::ByDoc`] (a bitwise no-op on
+    /// task compute), [`BY_PAGE_PLANNED_FRACTION`] for
+    /// [`RoutingGranularity::ByPage`].
+    pub(crate) parse_fraction: f64,
     /// Admitted planned-cost seconds divided by weight — the WFQ virtual
     /// service that admission minimizes across tenants.
     pub(crate) virtual_service: f64,
@@ -177,6 +220,28 @@ pub struct TenantRegistry {
     tenants: Vec<TenantState>,
 }
 
+/// Derive the engine config a tenant routes with: the service config with
+/// the parser pair overridden from the tenant's allowlist. With no
+/// allowlist this is a value-identical clone, so the default serve path
+/// stays bitwise-unchanged.
+fn route_config_for(config: &AdaParseConfig, spec: &TenantSpec) -> AdaParseConfig {
+    let Some(allow) = &spec.parsers else {
+        return config.clone();
+    };
+    assert!(!allow.is_empty(), "tenant {:?}: parser allowlist must not be empty", spec.name);
+    // Cheapest allowed parser is the base (ties to the stable kind index).
+    let base = allow
+        .iter()
+        .copied()
+        .min_by(|a, b| page_dollars(*a).total_cmp(&page_dollars(*b)).then(a.index().cmp(&b.index())))
+        .expect("allowlist is non-empty");
+    // The costliest frontier survivor is the upgrade; if nothing on the
+    // allowlist improves on the base (single-parser tenants), the upgrade
+    // degenerates to the base and α is vacuous.
+    let upgrade = ParserFrontier::new(base, allow).costliest().map(|e| e.parser).unwrap_or(base);
+    AdaParseConfig { default_parser: base, high_quality_parser: upgrade, ..config.clone() }
+}
+
 impl TenantRegistry {
     /// Build the registry from the run's tenant traces: one selector,
     /// ledger, and queue per tenant. `config` supplies the parser pair the
@@ -200,11 +265,23 @@ impl TenantRegistry {
                         spec.name
                     );
                 }
-                let (cheap, expensive) = planned_costs(config, spec.workload.pages_per_doc);
+                let route_config = route_config_for(config, spec);
+                let parse_fraction = match spec.granularity {
+                    RoutingGranularity::ByDoc => 1.0,
+                    RoutingGranularity::ByPage => BY_PAGE_PLANNED_FRACTION,
+                };
+                let (cheap, mut expensive) = planned_costs(&route_config, spec.workload.pages_per_doc);
+                if parse_fraction < 1.0 {
+                    // A by-page tenant's upgrade only re-parses the hardest
+                    // pages, so plan for that fraction of the gap. Gated so
+                    // the by-doc path keeps the bitwise-original cost.
+                    expensive = cheap + (expensive - cheap) * parse_fraction;
+                }
                 let mut selector = WindowedSelector::new(spec.max_pending.max(1), spec.alpha);
                 if let Some(budget) = &spec.budget {
                     let mut ledger =
-                        BudgetLedger::new(budget.total_seconds, trace.arrivals.len(), cheap, expensive);
+                        BudgetLedger::new(budget.total_seconds, trace.arrivals.len(), cheap, expensive)
+                            .with_classes(route_config.default_parser, route_config.high_quality_parser);
                     if budget.observed_feedback {
                         ledger = ledger.with_observed_costs(budget.prior_weight);
                     }
@@ -213,6 +290,8 @@ impl TenantRegistry {
                 TenantState {
                     spec: spec.clone(),
                     selector,
+                    route_config,
+                    parse_fraction,
                     virtual_service: 0.0,
                     planned_doc_cost: cheap + spec.alpha * (expensive - cheap),
                     queue: VecDeque::new(),
@@ -289,6 +368,13 @@ impl TenantRegistry {
                 slo_p99_seconds: tenant.spec.slo_p99_seconds,
                 final_effective_alpha: tenant.closing_alpha,
                 remaining_budget_seconds: tenant.selector.ledger().map(BudgetLedger::remaining_seconds),
+                base_parser: tenant.route_config.default_parser,
+                upgrade_parser: tenant.route_config.high_quality_parser,
+                class_seconds: tenant
+                    .selector
+                    .class_spend()
+                    .map(|ledger| ledger.classes().collect())
+                    .unwrap_or_default(),
             })
             .collect()
     }

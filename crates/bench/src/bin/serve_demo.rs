@@ -170,6 +170,7 @@ fn traces(args: &Args) -> Vec<TenantTrace> {
                 slo_p99_seconds: args.slo_seconds,
                 max_pending: 4096,
                 workload,
+                ..Default::default()
             },
             arrivals: doc_arrivals(
                 25 * s,

@@ -32,6 +32,12 @@
 //!    no more makespan), then a forced cold-start herd on one shared
 //!    model-load channel vs unlimited — the serialized herd must accrue
 //!    `herd_queue_seconds > 0` while the unlimited run accrues none.
+//! 9. a cascade-routing ablation: the same streaming campaign as a binary
+//!    (pair-frontier) cascade — asserting it reproduces the section-1
+//!    campaign bitwise — then the full k = 4 frontier by document and by
+//!    page, printing upgrades, per-class ledger dollars, and delegated
+//!    pages (the k = 4 arm must never upgrade fewer documents than the
+//!    binary arm at the same α).
 //!
 //! Run with: `cargo run --release --bin streaming_scaling`
 //! (`ADAPARSE_BENCH_DOCS` overrides the corpus size.)
@@ -41,8 +47,8 @@ use std::time::Instant;
 use adaparse::budget::windowed_optimality_gap;
 use adaparse::{
     planned_costs, run_closed_loop, tasks_for_routing_with_affinity, AdaParseConfig, AdaParseEngine,
-    CampaignBudget, CampaignPipeline, ControllerConfig, PipelineConfig, ScalingController, SimLoopConfig,
-    StageSample, WaveStats, WorkloadSpec,
+    CampaignBudget, CampaignPipeline, CascadeConfig, ControllerConfig, PipelineConfig, ScalingController,
+    SimLoopConfig, StageSample, WaveStats, WorkloadSpec,
 };
 use bench::bench_doc_count;
 use hpcsim::{CausalityMode, ClusterConfig, ExecutorConfig, LustreModel, PlacementPolicy, WorkflowExecutor};
@@ -461,4 +467,53 @@ fn main() {
         serialized.makespan_seconds,
         unserialized.makespan_seconds
     );
+
+    // 9. Cascade-routing ablation on the same corpus: the binary cascade is
+    // the pinned degenerate case (bitwise equal to the section-1 streaming
+    // campaign), the k = 4 frontier spreads the same α across cheaper
+    // upgrades, and by-page delegation sends only the hardest pages.
+    let cascade_pipeline = CampaignPipeline::new(PipelineConfig::streaming(2, 64));
+    let binary_cascade =
+        cascade_pipeline.run_cascade(&engine, &docs, &CascadeConfig::binary(engine.config(), 64), 7);
+    assert_eq!(
+        &binary_cascade.result,
+        baseline_result.as_ref().expect("campaign ran"),
+        "the binary cascade must reproduce the streaming campaign bitwise"
+    );
+    let k4 = cascade_pipeline.run_cascade(&engine, &docs, &CascadeConfig::full(engine.config(), 64), 7);
+    let by_page =
+        cascade_pipeline.run_cascade(&engine, &docs, &CascadeConfig::full(engine.config(), 64).by_page(), 7);
+    println!("\nCascade-routing ablation (α = 0.1, window = 64, {n_docs} documents)");
+    println!("{:>12} {:>10} {:>16} {:>14}", "frontier", "upgraded", "delegated pages", "ledger");
+    for (label, run) in [("binary", &binary_cascade), ("k4", &k4), ("k4 by-page", &by_page)] {
+        println!(
+            "{label:>12} {:>10} {:>11}/{:<4} {:>12.1} $",
+            run.choices.iter().filter(|c| c.upgrade.is_some()).count(),
+            run.pages_delegated,
+            run.pages_total,
+            run.dollars.total()
+        );
+    }
+    let upgraded = |r: &adaparse::CascadeReport| r.choices.iter().filter(|c| c.is_upgraded()).count();
+    assert!(
+        upgraded(&k4) >= upgraded(&binary_cascade),
+        "the k=4 frontier must not shrink upgrade coverage ({} vs {})",
+        upgraded(&k4),
+        upgraded(&binary_cascade)
+    );
+    assert!(by_page.pages_delegated > 0, "by-page routing must actually delegate pages");
+    assert!(
+        by_page.pages_delegated < by_page.pages_total,
+        "by-page routing must not delegate the whole corpus"
+    );
+    assert!(
+        by_page.dollars.total() <= k4.dollars.total() + 1e-9,
+        "delegating pages cannot cost more than whole-document upgrades ({} vs {})",
+        by_page.dollars.total(),
+        k4.dollars.total()
+    );
+    let cascade_replay =
+        cascade_pipeline.run_cascade(&engine, &docs, &CascadeConfig::full(engine.config(), 64), 7);
+    assert_eq!(k4, cascade_replay, "the k=4 cascade must replay bitwise");
+    println!("  replay: identical (cascade routing is a pure function of its inputs)");
 }

@@ -49,5 +49,5 @@ pub mod textlayer;
 pub use document::{DocId, Document, Page};
 pub use element::{Element, ElementKind};
 pub use imagelayer::{ImageLayer, PageImage};
-pub use metadata::{DocMetadata, Domain, PdfFormat, ProducerTool, Publisher};
+pub use metadata::{DocCategory, DocMetadata, Domain, PdfFormat, ProducerTool, Publisher};
 pub use textlayer::{TextLayer, TextLayerQuality};

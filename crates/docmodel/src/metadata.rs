@@ -253,6 +253,60 @@ pub fn total_subcategories() -> usize {
     Domain::ALL.iter().map(|d| d.subcategories().len()).sum()
 }
 
+/// Coarse document *condition* category, orthogonal to [`Domain`]: what kind
+/// of artifact the PDF is, which drives both how a corpus generator skews a
+/// category's documents and which parsers a cascade should prefer for them.
+/// Used by `scicorpus`' category-skewed generator presets and by
+/// `parsersim`'s per-category parser-quality priors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DocCategory {
+    /// Scanner output: raster pages, missing or OCR-attached text layer.
+    Scanned,
+    /// Born-digital but dense with tables (layout-sensitive extraction).
+    TablesHeavy,
+    /// Mixed-script documents whose embedded text layers come through
+    /// mangled (modeled via scrambled/LaTeX-mangled layers).
+    Multilingual,
+    /// Clean born-digital documents with faithful text layers.
+    CleanBornDigital,
+}
+
+impl DocCategory {
+    /// Every category, in stable order.
+    pub const ALL: [DocCategory; 4] = [
+        DocCategory::Scanned,
+        DocCategory::TablesHeavy,
+        DocCategory::Multilingual,
+        DocCategory::CleanBornDigital,
+    ];
+
+    /// Stable human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DocCategory::Scanned => "scanned",
+            DocCategory::TablesHeavy => "tables-heavy",
+            DocCategory::Multilingual => "multilingual",
+            DocCategory::CleanBornDigital => "clean-born-digital",
+        }
+    }
+
+    /// Stable index into [`DocCategory::ALL`].
+    pub fn index(&self) -> usize {
+        match self {
+            DocCategory::Scanned => 0,
+            DocCategory::TablesHeavy => 1,
+            DocCategory::Multilingual => 2,
+            DocCategory::CleanBornDigital => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for DocCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Software that produced the PDF; a strong CLS I / CLS II feature because it
 /// correlates with text-layer quality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -43,7 +43,10 @@ pub mod traits;
 
 pub use cost::{CostModel, NodeSpec, ResourceCost};
 pub use evaluate::{evaluate_corpus, evaluate_document, DocumentEvaluation, ParserEvaluation};
-pub use registry::{all_parsers, parser_for, ParserPool};
+pub use registry::{
+    all_parsers, category_quality_prior, page_dollars, parser_for, quality_prior, FrontierEntry,
+    ParserFrontier, ParserPool, GPU_DOLLAR_RATIO,
+};
 pub use traits::{ParseError, ParseOutput, Parser, ParserKind};
 
 #[cfg(test)]

@@ -42,6 +42,9 @@ pub struct GeneratorConfig {
     pub sentences_per_paragraph: usize,
     /// Mean number of paragraphs per page.
     pub paragraphs_per_page: usize,
+    /// Probability a page carries a table (the category presets skew this;
+    /// the default reproduces the historical corpus bitwise).
+    pub table_probability: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -58,6 +61,7 @@ impl Default for GeneratorConfig {
             max_year: 2024,
             sentences_per_paragraph: 4,
             paragraphs_per_page: 3,
+            table_probability: 0.35,
         }
     }
 }
@@ -212,7 +216,7 @@ impl DocumentGenerator {
             }
         }
 
-        if rng.gen_bool(0.35) {
+        if rng.gen_bool(self.config.table_probability.clamp(0.0, 1.0)) {
             let cols = rng.gen_range(2..5usize);
             let rows = rng.gen_range(2..6usize);
             let table_rows: Vec<Vec<String>> = (0..rows)

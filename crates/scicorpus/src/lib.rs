@@ -27,6 +27,7 @@
 
 pub mod arrivals;
 pub mod augment;
+pub mod categories;
 pub mod dataset;
 pub mod generator;
 pub mod latex;
@@ -35,5 +36,6 @@ pub mod vocab;
 
 pub use arrivals::{generate_arrivals, Arrival, ArrivalConfig, ArrivalPattern};
 pub use augment::{augment_image_layers, augment_text_layers, AugmentConfig};
+pub use categories::{category_preset, generate_categorized, CategorizedCorpus, CategoryMix};
 pub use dataset::{Corpus, SplitSizes};
 pub use generator::{DocumentGenerator, GeneratorConfig};
